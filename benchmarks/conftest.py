@@ -1,0 +1,51 @@
+"""Shared benchmark fixtures.
+
+The clinical-scale systems are expensive to build, so they are
+constructed once per session and shared across the figure benchmarks.
+Regenerated tables are printed to stdout (run with ``-s`` to see them
+live; pytest captures otherwise) and appended to
+``benchmarks/results.txt`` for the EXPERIMENTS.md record.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments.common import (
+    PAPER_SYSTEM_LARGE,
+    PAPER_SYSTEM_SMALL,
+    build_clinical_system,
+)
+
+RESULTS_PATH = pathlib.Path(__file__).with_name("results.txt")
+
+
+@pytest.fixture(scope="session")
+def system77():
+    """The paper's 77,511-equation clinical system (25,837 nodes)."""
+    return build_clinical_system(PAPER_SYSTEM_SMALL)
+
+
+@pytest.fixture(scope="session")
+def system253():
+    """The paper's 253,308-equation high-resolution system."""
+    return build_clinical_system(PAPER_SYSTEM_LARGE, shape=(128, 128, 96))
+
+
+@pytest.fixture(scope="session")
+def record_report():
+    """Print a report table and append it to benchmarks/results.txt."""
+    seen: set[str] = set()
+
+    def _record(report) -> None:
+        text = report.table()
+        print("\n" + text)
+        if report.exhibit not in seen:
+            seen.add(report.exhibit)
+            with RESULTS_PATH.open("a") as fh:
+                fh.write(text + "\n\n")
+
+    RESULTS_PATH.write_text("")
+    return _record

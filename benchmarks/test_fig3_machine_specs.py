@@ -1,0 +1,17 @@
+"""Figure 3 benchmark: regenerate the machine-specification tables.
+
+The exhibit itself is static hardware data; the benchmarked kernel is
+the spec-table generation (trivially fast, kept so every exhibit has a
+bench target).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig3
+
+
+def test_fig3_machine_spec_tables(benchmark, record_report):
+    reports = benchmark(fig3.run_all)
+    for report in reports:
+        record_report(report)
+    assert len(reports) == 3

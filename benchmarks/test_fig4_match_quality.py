@@ -1,0 +1,43 @@
+"""Figure 4 benchmark: match quality of the simulated deformation.
+
+Runs the full pipeline on the phantom case at evaluation resolution and
+regenerates the rigid vs biomechanical vs oracle comparison. The
+benchmarked kernel is the visualization resample (the paper's ~0.5 s
+step); the pipeline itself runs once in the fixture.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig4
+from repro.imaging.resample import invert_displacement_field, warp_volume
+
+
+@pytest.fixture(scope="module")
+def outcome():
+    return fig4.run(shape=(64, 64, 48), shift_mm=6.0, seed=11)
+
+
+def test_fig4_match_quality(outcome, record_report, benchmark):
+    record_report(outcome.report)
+    rows = {(r[0], r[1]): r[2] for r in outcome.report.rows}
+    zone = "deformed zone (>2mm)"
+    # Shape criteria: biomechanical beats rigid decisively and sits close
+    # to the oracle (ground-truth warp) floor.
+    assert rows[(zone, "biomechanical")] < rows[(zone, "rigid only")]
+    gap = rows[(zone, "biomechanical")] - rows[(zone, "oracle (true field)")]
+    span = rows[(zone, "rigid only")] - rows[(zone, "oracle (true field)")]
+    assert gap < 0.65 * span
+
+    # Benchmark the resample step (paper: ~0.5 s on year-2000 hardware).
+    case = outcome.case
+    result = outcome.result
+
+    def resample():
+        inverse = invert_displacement_field(
+            result.grid_displacement, case.preop_mri.spacing, iterations=5
+        )
+        return warp_volume(case.preop_mri, inverse)
+
+    benchmark(resample)

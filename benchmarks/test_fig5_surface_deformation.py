@@ -1,0 +1,54 @@
+"""Figure 5 benchmark: surface deformation magnitude distribution.
+
+Benchmarked kernel: the two-phase active-surface correspondence (the
+stage that produces the figure's per-vertex deformation data).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig4, fig5
+from repro.imaging.phantom import Tissue
+from repro.surface.correspondence import surface_correspondence
+
+
+@pytest.fixture(scope="module")
+def outcome():
+    return fig4.run(shape=(64, 64, 48), shift_mm=6.0, seed=11)
+
+
+def test_fig5_surface_deformation(outcome, record_report, benchmark):
+    report = fig5.run(outcome)
+    record_report(report)
+    rows = dict((r[0], r[1]) for r in report.rows)
+    assert rows["mean |u| within 35mm of craniotomy (mm)"] > 2 * rows["mean |u| elsewhere (mm)"]
+    assert rows["mean inward alignment of moving vertices"] > 0.7
+    assert rows["|u| max (mm)"] <= outcome.case.shift_mm * 1.5
+
+    # Benchmark the correspondence stage itself.
+    case = outcome.case
+    brain_labels = (
+        int(Tissue.BRAIN),
+        int(Tissue.VENTRICLE),
+        int(Tissue.FALX),
+        int(Tissue.TUMOR),
+    )
+    target = np.isin(
+        case.intraop_labels.data, list(brain_labels) + [int(Tissue.RESECTION)]
+    )
+    from repro.mesh.generator import mesh_labeled_volume
+    from repro.mesh.surface import extract_boundary_surface
+
+    surface = extract_boundary_surface(
+        mesh_labeled_volume(case.preop_labels, 6.0, brain_labels).mesh
+    )
+
+    benchmark.pedantic(
+        lambda: surface_correspondence(
+            surface, case.brain_mask(), target, case.preop_labels, iterations=100
+        ),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,41 @@
+"""Figure 6 benchmark: the intraoperative processing timeline.
+
+Benchmarked kernel: one full intraoperative processing round (all five
+stages) at evaluation resolution.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import IntraoperativePipeline
+from repro.experiments import fig6
+from repro.imaging.phantom import make_neurosurgery_case
+from repro.machines.spec import DEEP_FLOW
+
+
+def test_fig6_timeline(record_report, benchmark):
+    report = fig6.run(shape=(64, 64, 48), seed=12, machine=DEEP_FLOW, n_ranks=16)
+    record_report(report)
+    actions = [row[1] for row in report.rows]
+    for stage in (
+        "rigid registration",
+        "tissue classification",
+        "surface displacement",
+        "biomechanical simulation",
+        "visualization resample",
+    ):
+        assert stage in actions
+
+    case = make_neurosurgery_case(shape=(48, 48, 36), seed=12)
+    pipeline = IntraoperativePipeline(
+        PipelineConfig(mesh_cell_mm=6.0, rigid_max_iter=1, rigid_samples=4000)
+    )
+    preop = pipeline.prepare_preoperative(case.preop_mri, case.preop_labels)
+
+    benchmark.pedantic(
+        lambda: pipeline.process_scan(case.intraop_mri, preop),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,56 @@
+"""Figure 8 benchmarks: the same system on the two Sun architectures.
+
+(a) 20-CPU Ultra HPC 6000 SMP; (b) 2x4-CPU Ultra 80 Fast-Ethernet pair.
+Shape criterion: "scaling performance similar to that obtained on the
+Deep Flow cluster, despite the differences in architectures".
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig7, fig8
+from repro.machines.spec import ULTRA_HPC_6000
+from repro.parallel.simulation import simulate_parallel
+
+
+@pytest.fixture(scope="module")
+def smp_report(system77):
+    return fig8.run_smp(system77)
+
+
+@pytest.fixture(scope="module")
+def ultra80_report(system77):
+    return fig8.run_ultra80(system77)
+
+
+def test_fig8a_smp_scaling(system77, smp_report, record_report, benchmark):
+    record_report(smp_report)
+    rows = {r[0]: r for r in smp_report.rows}
+    cpus = sorted(rows)
+    for a, b in zip(cpus, cpus[1:]):
+        assert rows[b][1] < rows[a][1]  # assembly scales
+        assert rows[b][2] < rows[a][2]  # solve scales
+    # Clinically compatible at full machine width.
+    assert rows[20][1] + rows[20][2] < 25.0
+
+    benchmark.pedantic(
+        lambda: simulate_parallel(
+            system77.mesh, system77.bc, 20, machine=ULTRA_HPC_6000
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_fig8b_ultra80_scaling(system77, ultra80_report, record_report, benchmark):
+    record_report(ultra80_report)
+    rows = {r[0]: r for r in ultra80_report.rows}
+    assert rows[8][4] < rows[1][4]
+    # Similar scaling character to Deep Flow: compare speedups at P=8.
+    df = fig7.scaling_sweep(system77, fig7.DEEP_FLOW, (1, 8))
+    df_speedup = (df[0].assembly + df[0].solve) / (df[1].assembly + df[1].solve)
+    u80_speedup = (rows[1][1] + rows[1][2]) / (rows[8][1] + rows[8][2])
+    assert abs(df_speedup - u80_speedup) / df_speedup < 0.5
+
+    benchmark(lambda: ultra80_report.table())

@@ -1,0 +1,52 @@
+"""Supplementary benchmarks: robustness sweeps and solver convergence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import convergence, robustness
+from repro.experiments.common import build_clinical_system
+
+
+def test_shift_robustness(record_report, benchmark):
+    report = robustness.shift_sweep(shifts=(2.0, 4.0, 8.0))
+    record_report(report)
+    rows = report.rows
+    # Rigid error grows with the shift...
+    assert rows[-1][1] > rows[0][1] * 2
+    # ...while the biomechanical error grows much slower.
+    rigid_growth = rows[-1][1] - rows[0][1]
+    biomech_growth = rows[-1][2] - rows[0][2]
+    assert biomech_growth < 0.6 * rigid_growth
+    # And the biomechanical model beats rigid at every clinical shift
+    # (>= 4 mm; at 2 mm both sit at the discretization floor).
+    for row in rows[1:]:
+        assert row[2] < row[1]
+
+    benchmark(lambda: report.table())
+
+
+def test_noise_robustness(record_report, benchmark):
+    report = robustness.noise_sweep(sigmas=(2.0, 8.0))
+    record_report(report)
+    for row in report.rows:
+        assert row[1] > 0.85  # segmentation stays usable
+    # Error degrades gracefully (not catastrophically) with 4x noise.
+    assert report.rows[-1][2] < report.rows[0][2] * 3 + 0.5
+
+    benchmark(lambda: report.table())
+
+
+@pytest.fixture(scope="module")
+def medium_system():
+    return build_clinical_system(target_equations=30000, shape=(64, 64, 48))
+
+
+def test_convergence_history(medium_system, record_report, benchmark):
+    report = convergence.run(medium_system, cpu_counts=(1, 4, 16))
+    record_report(report)
+    totals = report.rows[-1]
+    assert totals[0] == "total iters"
+    assert totals[1] <= totals[3]  # P=16 needs at least as many as P=1
+
+    benchmark(lambda: report.table())

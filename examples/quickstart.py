@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Quickstart: register a synthetic neurosurgery case end to end.
+
+Builds a phantom patient (preoperative MRI + segmentation, then an
+intraoperative scan with brain shift and tumor resection), runs the full
+intraoperative pipeline — rigid MI registration, k-NN tissue
+classification, active-surface displacement detection, biomechanical FEM
+simulation, visualization resample — and reports the stage timeline and
+the match-quality improvement over rigid registration alone.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import IntraoperativePipeline, PipelineConfig
+from repro.imaging import make_neurosurgery_case
+from repro.machines import DEEP_FLOW
+
+
+def main() -> None:
+    print("Building the synthetic neurosurgery case (64x64x48 voxels)...")
+    case = make_neurosurgery_case(shape=(64, 64, 48), shift_mm=6.0, seed=0)
+
+    config = PipelineConfig(mesh_cell_mm=5.0, n_ranks=8)
+    pipeline = IntraoperativePipeline(config, machine=DEEP_FLOW)
+
+    print("Preparing the preoperative model (localization models + mesh)...")
+    preop = pipeline.prepare_preoperative(case.preop_mri, case.preop_labels)
+    print(
+        f"  mesh: {preop.mesher.mesh.n_nodes} nodes, "
+        f"{preop.mesher.mesh.n_elements} tetrahedra "
+        f"({preop.mesher.mesh.n_dof} equations)"
+    )
+
+    print("Processing the intraoperative scan...")
+    result = pipeline.process_scan(case.intraop_mri, preop)
+
+    print()
+    print(result.timeline.as_table("Intraoperative processing timeline (this machine)"))
+    print()
+    sim = result.simulation
+    print(
+        f"Biomechanical simulation on {DEEP_FLOW.name} with {config.n_ranks} CPUs "
+        f"(virtual 2000-era time): init {sim.initialization_seconds:.2f} s, "
+        f"assembly {sim.assembly_seconds:.2f} s, solve {sim.solve_seconds:.2f} s"
+    )
+    print()
+    print("Match quality against the intraoperative scan (brain region):")
+    print(f"  rigid registration only : RMS {result.match_rigid_rms:7.2f}   MI {result.match_rigid_mi:.3f}")
+    print(f"  biomechanical simulation: RMS {result.match_simulated_rms:7.2f}   MI {result.match_simulated_mi:.3f}")
+
+    err = np.linalg.norm(result.grid_displacement - case.true_forward_mm, axis=-1)
+    brain = case.brain_mask()
+    true = np.linalg.norm(case.true_forward_mm, axis=-1)
+    print()
+    print(
+        f"Displacement field error vs ground truth (brain): mean {err[brain].mean():.2f} mm, "
+        f"p95 {np.percentile(err[brain], 95):.2f} mm "
+        f"(imposed shift: mean {true[brain].mean():.2f} mm, max {true[brain].max():.2f} mm)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Regenerate the paper's visual figures as image files.
+
+Runs the pipeline on the phantom case at evaluation resolution and
+writes:
+
+* ``fig4a..d`` slice panels and their montage (PGM) — initial scan,
+  target scan, simulated deformation, difference magnitude;
+* ``fig5.ppm`` — the deformed brain surface rendered with deformation-
+  magnitude color coding and displacement segments (the paper's arrows);
+* the Fig. 6-style ASCII Gantt timeline to stdout.
+
+Run:  python examples/render_figures.py [--out figures/]
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro import IntraoperativePipeline, PipelineConfig
+from repro.imaging import make_neurosurgery_case
+from repro.viz.figures import figure4_panels, figure5_render
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", type=Path, default=Path("figures"))
+    parser.add_argument("--shape", type=int, nargs=3, default=[64, 64, 48])
+    parser.add_argument("--seed", type=int, default=11)
+    args = parser.parse_args()
+
+    print("Running the pipeline on the phantom case...")
+    case = make_neurosurgery_case(shape=tuple(args.shape), shift_mm=6.0, seed=args.seed)
+    pipeline = IntraoperativePipeline(PipelineConfig(mesh_cell_mm=5.0))
+    preop = pipeline.prepare_preoperative(case.preop_mri, case.preop_labels)
+    result = pipeline.process_scan(case.intraop_mri, preop)
+
+    paths = figure4_panels(case, result, args.out)
+    paths["fig5"] = figure5_render(preop.surface, result, args.out / "fig5.ppm")
+    print()
+    for name, path in sorted(paths.items()):
+        print(f"  wrote {name}: {path}")
+
+    print()
+    print(result.timeline.as_gantt(title="Figure 6: intraoperative timeline (this machine)"))
+    print()
+    print(
+        "View the panels with any PGM/PPM-capable viewer; fig4d (difference)\n"
+        "should be dark inside the brain except at the resection cavity —\n"
+        "the paper's 'very small intensity differences' criterion."
+    )
+
+
+if __name__ == "__main__":
+    main()

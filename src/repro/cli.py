@@ -1,0 +1,177 @@
+"""Command-line interface.
+
+Usage (after installation)::
+
+    python -m repro.cli pipeline --shape 64 64 48 --shift 6 --out results/
+    python -m repro.cli scaling --equations 77511 --machine deep_flow
+    python -m repro.cli experiments --fast
+    python -m repro.cli predict --shape 56 56 42
+
+Every subcommand drives the public API; the CLI exists so the pipeline
+can be exercised without writing Python.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import IntraoperativePipeline
+from repro.imaging.phantom import make_neurosurgery_case
+from repro.machines.spec import DEEP_FLOW, ULTRA80_CLUSTER, ULTRA_HPC_6000
+
+MACHINES = {
+    "deep_flow": DEEP_FLOW,
+    "ultra_hpc_6000": ULTRA_HPC_6000,
+    "ultra80": ULTRA80_CLUSTER,
+}
+
+
+def _add_shape(parser: argparse.ArgumentParser, default=(64, 64, 48)) -> None:
+    parser.add_argument(
+        "--shape", type=int, nargs=3, default=list(default), metavar=("NX", "NY", "NZ")
+    )
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def cmd_pipeline(args: argparse.Namespace) -> int:
+    """Run the full intraoperative pipeline on a phantom case."""
+    case = make_neurosurgery_case(
+        shape=tuple(args.shape), shift_mm=args.shift, seed=args.seed
+    )
+    machine = MACHINES[args.machine] if args.machine else None
+    config = PipelineConfig(mesh_cell_mm=args.cell, n_ranks=args.cpus)
+    pipeline = IntraoperativePipeline(config, machine=machine)
+    preop = pipeline.prepare_preoperative(case.preop_mri, case.preop_labels)
+    result = pipeline.process_scan(case.intraop_mri, preop)
+
+    print(result.timeline.as_table("Intraoperative processing timeline"))
+    print()
+    print(f"match RMS: rigid {result.match_rigid_rms:.2f} -> simulated {result.match_simulated_rms:.2f}")
+    err = np.linalg.norm(result.grid_displacement - case.true_forward_mm, axis=-1)
+    brain = case.brain_mask()
+    print(f"field error (brain): mean {err[brain].mean():.2f} mm, p95 {np.percentile(err[brain], 95):.2f} mm")
+    if machine is not None:
+        sim = result.simulation
+        print(
+            f"virtual biomech time on {machine.name} at {args.cpus} CPUs: "
+            f"{sim.total_seconds:.2f} s (init {sim.initialization_seconds:.2f} + "
+            f"assembly {sim.assembly_seconds:.2f} + solve {sim.solve_seconds:.2f})"
+        )
+    if args.out:
+        out = Path(args.out)
+        out.mkdir(parents=True, exist_ok=True)
+        from repro.viz.figures import figure4_panels, figure5_render
+
+        paths = figure4_panels(case, result, out)
+        paths["fig5"] = figure5_render(preop.surface, result, out / "fig5.ppm")
+        for name, path in paths.items():
+            print(f"wrote {name}: {path}")
+    return 0
+
+
+def cmd_scaling(args: argparse.Namespace) -> int:
+    """Regenerate a Fig. 7/8-style scaling table."""
+    from repro.experiments.common import build_clinical_system
+    from repro.experiments.fig7 import report_from_points, scaling_sweep
+
+    machine = MACHINES[args.machine]
+    system = build_clinical_system(
+        target_equations=args.equations, shape=(96, 96, 72), seed=args.seed
+    )
+    cpu_counts = tuple(args.cpus) if args.cpus else tuple(
+        sorted({1, 2, 4, 8, machine.max_cpus})
+    )
+    points = scaling_sweep(system, machine, cpu_counts)
+    report = report_from_points(
+        points, "Scaling", f"{system.n_dof} equations on {machine.name}"
+    )
+    print(report.table())
+    return 0
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    """Regenerate every paper exhibit and write EXPERIMENTS.md."""
+    from repro.experiments.runner import generate
+
+    path = generate(fast=args.fast, out_path=Path(args.out) if args.out else None)
+    print(f"wrote {path}")
+    return 0
+
+
+def cmd_predict(args: argparse.Namespace) -> int:
+    """Predict gravity-driven brain shift on a phantom."""
+    from repro.core.prediction import predict_gravity_shift
+    from repro.fem.material import BRAIN_HETEROGENEOUS, BRAIN_HOMOGENEOUS
+    from repro.mesh.generator import mesh_labeled_volume
+    from repro.imaging.phantom import Tissue
+
+    case = make_neurosurgery_case(shape=tuple(args.shape), seed=args.seed)
+    labels = (
+        int(Tissue.BRAIN),
+        int(Tissue.VENTRICLE),
+        int(Tissue.FALX),
+        int(Tissue.TUMOR),
+    )
+    mesher = mesh_labeled_volume(case.preop_labels, args.cell, labels)
+    gravity = -case.craniotomy_center / np.linalg.norm(case.craniotomy_center)
+    materials = BRAIN_HETEROGENEOUS if args.heterogeneous else BRAIN_HOMOGENEOUS
+    pred = predict_gravity_shift(
+        mesher.mesh, materials, gravity_direction=gravity, buoyancy_fraction=args.buoyancy
+    )
+    mags = np.linalg.norm(pred.displacement, axis=1)
+    print(
+        f"predicted sag: peak {pred.peak_mm:.2f} mm, p90 {np.percentile(mags, 90):.2f} mm "
+        f"({mesher.mesh.n_nodes} nodes, {'heterogeneous' if args.heterogeneous else 'homogeneous'} model)"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("pipeline", help=cmd_pipeline.__doc__)
+    _add_shape(p)
+    p.add_argument("--shift", type=float, default=6.0, help="peak brain shift (mm)")
+    p.add_argument("--cell", type=float, default=5.0, help="mesh cell size (mm)")
+    p.add_argument("--cpus", type=int, default=8)
+    p.add_argument("--machine", choices=sorted(MACHINES), default="deep_flow")
+    p.add_argument("--out", default=None, help="directory for figure panels")
+    p.set_defaults(func=cmd_pipeline)
+
+    p = sub.add_parser("scaling", help=cmd_scaling.__doc__)
+    p.add_argument("--equations", type=int, default=77511)
+    p.add_argument("--machine", choices=sorted(MACHINES), default="deep_flow")
+    p.add_argument("--cpus", type=int, nargs="*", default=None)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_scaling)
+
+    p = sub.add_parser("experiments", help=cmd_experiments.__doc__)
+    p.add_argument("--fast", action="store_true")
+    p.add_argument("--out", default=None)
+    p.set_defaults(func=cmd_experiments)
+
+    p = sub.add_parser("predict", help=cmd_predict.__doc__)
+    _add_shape(p, default=(56, 56, 42))
+    p.add_argument("--cell", type=float, default=5.5)
+    p.add_argument("--buoyancy", type=float, default=0.85)
+    p.add_argument("--heterogeneous", action="store_true")
+    p.set_defaults(func=cmd_predict)
+    return parser
+
+
+def main(argv=None) -> int:
+    """Entry point: parse arguments and dispatch to the subcommand."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

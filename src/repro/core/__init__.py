@@ -1,0 +1,32 @@
+"""The intraoperative registration pipeline — the paper's contribution.
+
+Orchestrates Figure 1 of the paper: preoperative preparation
+(segmentation -> localization models -> mesh), then per intraoperative
+scan: MI rigid registration, k-NN tissue classification, active-surface
+displacement detection, parallel biomechanical FEM simulation, and
+resampling of the preoperative data through the recovered volumetric
+deformation.
+"""
+
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import (
+    IntraoperativePipeline,
+    IntraoperativeResult,
+    PreoperativeModel,
+)
+from repro.core.prediction import ShiftPrediction, predict_gravity_shift, support_nodes
+from repro.core.session import SurgicalSession
+from repro.core.timeline import Timeline, TimelineEntry
+
+__all__ = [
+    "IntraoperativePipeline",
+    "IntraoperativeResult",
+    "PipelineConfig",
+    "PreoperativeModel",
+    "ShiftPrediction",
+    "SurgicalSession",
+    "Timeline",
+    "TimelineEntry",
+    "predict_gravity_shift",
+    "support_nodes",
+]

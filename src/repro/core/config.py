@@ -1,0 +1,97 @@
+"""Pipeline configuration.
+
+One dataclass gathers every tunable of the intraoperative pipeline with
+defaults matching the paper's clinical setup (homogeneous brain model,
+GMRES + block Jacobi, equal-node-count decomposition).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.fem.material import BRAIN_HOMOGENEOUS, MaterialMap
+from repro.imaging.phantom import Tissue
+from repro.util import ValidationError
+
+
+@dataclass
+class PipelineConfig:
+    """Settings for :class:`repro.core.IntraoperativePipeline`.
+
+    Parameters
+    ----------
+    brain_labels:
+        Tissue classes treated as brain (meshed and deformed).
+    segmentation_classes:
+        Classes the intraoperative k-NN distinguishes.
+    mesh_cell_mm:
+        Tetrahedral cell edge length; ``target_mesh_nodes`` overrides it
+        when set (the scaling experiments target the paper's 25,837
+        nodes / 77,511 equations).
+    materials:
+        FEM material map (paper default: homogeneous brain).
+    n_ranks:
+        Virtual CPU count for the parallel simulation (1 = serial path).
+    """
+
+    # Tissue model
+    brain_labels: tuple[int, ...] = (
+        int(Tissue.BRAIN),
+        int(Tissue.VENTRICLE),
+        int(Tissue.FALX),
+        int(Tissue.TUMOR),
+    )
+    intraop_brain_labels: tuple[int, ...] = (
+        int(Tissue.BRAIN),
+        int(Tissue.VENTRICLE),
+        int(Tissue.FALX),
+        int(Tissue.TUMOR),
+        int(Tissue.RESECTION),
+    )
+    segmentation_classes: tuple[int, ...] = (
+        int(Tissue.AIR),
+        int(Tissue.SKIN),
+        int(Tissue.SKULL),
+        int(Tissue.CSF),
+        int(Tissue.BRAIN),
+        int(Tissue.VENTRICLE),
+        int(Tissue.RESECTION),
+    )
+
+    # Rigid registration
+    rigid_levels: int = 2
+    rigid_max_iter: int = 3
+    rigid_samples: int = 12000
+    skip_rigid: bool = False
+
+    # Localization / classification
+    localization_cap_mm: float = 15.0
+    knn_k: int = 5
+    prototypes_per_class: int = 60
+
+    # Mesh
+    mesh_cell_mm: float = 5.0
+    target_mesh_nodes: int | None = None
+
+    # Active surface
+    surface_cap_mm: float = 20.0
+    surface_iterations: int = 250
+    surface_step: float = 0.35
+    surface_smoothing: float = 0.4
+
+    # FEM / solver
+    materials: MaterialMap = field(default_factory=lambda: BRAIN_HOMOGENEOUS)
+    solver_tol: float = 1e-7
+    gmres_restart: int = 30
+    n_ranks: int = 1
+    partitioner: str = "block"
+
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.brain_labels:
+            raise ValidationError("brain_labels must not be empty")
+        if self.mesh_cell_mm <= 0:
+            raise ValidationError("mesh_cell_mm must be > 0")
+        if self.n_ranks < 1:
+            raise ValidationError("n_ranks must be >= 1")

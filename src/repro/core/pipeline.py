@@ -1,0 +1,296 @@
+"""The intraoperative nonrigid registration pipeline.
+
+Implements the paper's Figure 1 schema end to end:
+
+* :meth:`IntraoperativePipeline.prepare_preoperative` — performed before
+  surgery, when time is plentiful: take the preoperative MRI and its
+  (manual/semi-automatic) segmentation, build the per-class saturated
+  distance localization models, generate the multi-material tetrahedral
+  brain mesh, and extract its boundary surface.
+
+* :meth:`IntraoperativePipeline.process_scan` — performed per
+  intraoperative acquisition, under operating-room time pressure: MI
+  rigid registration, prototype-based k-NN tissue classification,
+  two-phase active-surface displacement detection, (virtually parallel)
+  biomechanical FEM simulation, and resampling of the preoperative data
+  through the recovered volumetric deformation. Every stage's duration
+  is recorded in a :class:`~repro.core.timeline.Timeline` (Fig. 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import PipelineConfig
+from repro.core.timeline import Timeline
+from repro.fem.bc import DirichletBC
+from repro.imaging.metrics import mutual_information, rms_difference
+from repro.imaging.phantom import Tissue
+from repro.imaging.resample import invert_displacement_field, trilinear_sample, warp_volume
+from repro.imaging.volume import ImageVolume
+from repro.machines.spec import MachineSpec
+from repro.mesh.generator import GridTetraMesher, mesh_labeled_volume, mesh_with_target_nodes
+from repro.mesh.surface import TriangleSurface, extract_boundary_surface
+from repro.parallel.simulation import ParallelSimulation, simulate_parallel
+from repro.registration.rigid import RegistrationResult, register_rigid
+from repro.registration.transform import RigidTransform
+from repro.segmentation.atlas import LocalizationModel
+from repro.segmentation.knn import KNNClassifier
+from repro.segmentation.prototypes import PrototypeSet, select_prototypes
+from repro.surface.correspondence import CorrespondenceResult, surface_correspondence
+from repro.util import ValidationError
+
+
+@dataclass
+class PreoperativeModel:
+    """Everything prepared before surgery.
+
+    Attributes
+    ----------
+    mri / labels:
+        The preoperative acquisition and its segmentation (the
+        patient-specific atlas).
+    localization:
+        Saturated-distance localization models per tissue class.
+    mesher:
+        The tetrahedral brain mesh with its grid point-location index.
+    surface:
+        The brain boundary surface (links surface vertices to mesh
+        nodes for the boundary conditions).
+    brain_mask:
+        Boolean brain mask of the preoperative segmentation.
+    """
+
+    mri: ImageVolume
+    labels: ImageVolume
+    localization: LocalizationModel
+    mesher: GridTetraMesher
+    surface: TriangleSurface
+    brain_mask: np.ndarray
+
+
+@dataclass
+class IntraoperativeResult:
+    """Output of one intraoperative processing round.
+
+    Attributes
+    ----------
+    deformed_mri:
+        Preoperative MRI deformed onto the new brain configuration.
+    nodal_displacement:
+        ``(n_nodes, 3)`` FEM displacement at the mesh nodes (mm).
+    grid_displacement:
+        Dense forward displacement on the preop grid (mm).
+    segmentation:
+        Intraoperative k-NN tissue classification.
+    rigid:
+        Rigid registration result (``None`` when skipped).
+    correspondence:
+        Active-surface output (surface displacements).
+    simulation:
+        Parallel FEM simulation record (virtual times, solver stats).
+    timeline:
+        Per-stage wall-clock timings (Fig. 6).
+    match_rigid_rms / match_simulated_rms:
+        RMS intensity difference against the intraoperative scan inside
+        the brain region, before (rigid-only) and after the
+        biomechanical deformation — the paper's Fig. 4(d) comparison,
+        quantified.
+    """
+
+    deformed_mri: ImageVolume
+    nodal_displacement: np.ndarray
+    grid_displacement: np.ndarray
+    segmentation: ImageVolume
+    rigid: RegistrationResult | None
+    correspondence: CorrespondenceResult
+    simulation: ParallelSimulation
+    timeline: Timeline
+    prototypes: PrototypeSet
+    match_rigid_rms: float
+    match_simulated_rms: float
+    match_rigid_mi: float
+    match_simulated_mi: float
+
+
+@dataclass
+class IntraoperativePipeline:
+    """End-to-end implementation of the paper's registration pipeline."""
+
+    config: PipelineConfig = field(default_factory=PipelineConfig)
+    machine: MachineSpec | None = None
+
+    # -- preoperative ---------------------------------------------------------
+
+    def prepare_preoperative(
+        self, mri: ImageVolume, labels: ImageVolume
+    ) -> PreoperativeModel:
+        """Build the patient-specific model from the preoperative data."""
+        if not mri.same_grid_as(labels):
+            raise ValidationError("preoperative MRI and labels must share a grid")
+        cfg = self.config
+        localization = LocalizationModel.from_labels(
+            labels, cfg.segmentation_classes, cfg.localization_cap_mm
+        )
+        if cfg.target_mesh_nodes is not None:
+            mesher = mesh_with_target_nodes(
+                labels, cfg.target_mesh_nodes, cfg.brain_labels
+            )
+        else:
+            mesher = mesh_labeled_volume(labels, cfg.mesh_cell_mm, cfg.brain_labels)
+        surface = extract_boundary_surface(mesher.mesh)
+        brain_mask = np.isin(labels.data, cfg.brain_labels)
+        return PreoperativeModel(
+            mri=mri,
+            labels=labels,
+            localization=localization,
+            mesher=mesher,
+            surface=surface,
+            brain_mask=brain_mask,
+        )
+
+    # -- intraoperative ---------------------------------------------------------
+
+    def process_scan(
+        self,
+        intraop_mri: ImageVolume,
+        preop: PreoperativeModel,
+        prototypes: PrototypeSet | None = None,
+        reference_labels: ImageVolume | None = None,
+    ) -> IntraoperativeResult:
+        """Register the preoperative model onto a new intraoperative scan.
+
+        Parameters
+        ----------
+        intraop_mri:
+            The newly acquired scan.
+        preop:
+            Output of :meth:`prepare_preoperative`.
+        prototypes:
+            Prototype set from a previous scan of the same procedure
+            (their recorded locations are re-sampled on the new scan —
+            the paper's automatic statistical-model update). When
+            ``None``, prototypes are selected fresh using
+            ``reference_labels`` (defaults to the preoperative
+            segmentation, standing in for the clinician's five minutes
+            of interaction on the first scan).
+        """
+        cfg = self.config
+        timeline = Timeline()
+
+        # 1. Rigid registration (MI): map intraop points -> preop frame.
+        rigid_result: RegistrationResult | None = None
+        with timeline.stage("rigid registration"):
+            if cfg.skip_rigid:
+                transform = RigidTransform.identity()
+            else:
+                rigid_result = register_rigid(
+                    intraop_mri,
+                    preop.mri,
+                    levels=cfg.rigid_levels,
+                    max_iter=cfg.rigid_max_iter,
+                    max_samples=cfg.rigid_samples,
+                    seed=cfg.seed,
+                )
+                transform = rigid_result.transform
+
+        # 2. Tissue classification (k-NN over intensity + localization).
+        with timeline.stage("tissue classification"):
+            if prototypes is None:
+                ref = reference_labels if reference_labels is not None else preop.labels
+                prototypes = select_prototypes(
+                    intraop_mri,
+                    ref,
+                    preop.localization,
+                    classes=cfg.segmentation_classes,
+                    per_class=cfg.prototypes_per_class,
+                    transform=transform,
+                    seed=cfg.seed,
+                )
+            else:
+                prototypes = prototypes.update_features(
+                    intraop_mri, preop.localization, transform=transform
+                )
+            classifier = KNNClassifier(k=cfg.knn_k).fit_prototypes(prototypes)
+            segmentation = classifier.segment(
+                intraop_mri, preop.localization, transform=transform
+            )
+
+        # 3. Surface displacement (two-phase active surface). The target
+        #    brain mask is mapped onto the preoperative grid through the
+        #    rigid transform, so the pipeline supports intraoperative
+        #    grids that differ from the preoperative one (anisotropic
+        #    scanner matrices, patient repositioning).
+        with timeline.stage("surface displacement"):
+            preop_centers = preop.labels.voxel_centers()
+            rigid_inverse = transform.inverse()
+            seg_on_preop = trilinear_sample(
+                segmentation.astype(np.float64),
+                rigid_inverse.apply(preop_centers),
+                fill_value=float(Tissue.AIR),
+                nearest=True,
+            ).astype(np.int16)
+            target_mask = np.isin(seg_on_preop, cfg.intraop_brain_labels)
+            correspondence = surface_correspondence(
+                preop.surface,
+                preop.brain_mask,
+                target_mask,
+                preop.labels,
+                cap_mm=cfg.surface_cap_mm,
+                iterations=cfg.surface_iterations,
+                step_size=cfg.surface_step,
+                smoothing=cfg.surface_smoothing,
+            )
+
+        # 4. Biomechanical simulation of the volumetric deformation.
+        with timeline.stage("biomechanical simulation"):
+            bc = DirichletBC(preop.surface.mesh_nodes, correspondence.displacements)
+            simulation = simulate_parallel(
+                preop.mesher.mesh,
+                bc,
+                n_ranks=cfg.n_ranks,
+                machine=self.machine,
+                materials=cfg.materials,
+                partitioner=cfg.partitioner,
+                tol=cfg.solver_tol,
+                restart=cfg.gmres_restart,
+            )
+
+        # 5. Visualization resample: deform the preop MRI onto the new
+        #    configuration (the paper's ~0.5 s resampling step).
+        with timeline.stage("visualization resample"):
+            grid_disp = preop.mesher.displacement_on_grid(
+                simulation.displacement, preop.mri
+            )
+            inverse = invert_displacement_field(grid_disp, preop.mri.spacing)
+            deformed = warp_volume(preop.mri, inverse, fill_value=0.0)
+
+        # Match-quality metrics (Fig. 4): compare on the preoperative
+        # grid, with the intraoperative scan rigidly resampled onto it,
+        # restricted to the brain region of either configuration.
+        intraop_on_preop = trilinear_sample(
+            intraop_mri, rigid_inverse.apply(preop_centers), fill_value=0.0
+        )
+        region = target_mask | preop.brain_mask
+        rigid_rms = rms_difference(preop.mri.data, intraop_on_preop, mask=region)
+        sim_rms = rms_difference(deformed.data, intraop_on_preop, mask=region)
+        rigid_mi = mutual_information(preop.mri.data, intraop_on_preop, mask=region)
+        sim_mi = mutual_information(deformed.data, intraop_on_preop, mask=region)
+
+        return IntraoperativeResult(
+            deformed_mri=deformed,
+            nodal_displacement=simulation.displacement,
+            grid_displacement=grid_disp,
+            segmentation=segmentation,
+            rigid=rigid_result,
+            correspondence=correspondence,
+            simulation=simulation,
+            timeline=timeline,
+            prototypes=prototypes,
+            match_rigid_rms=rigid_rms,
+            match_simulated_rms=sim_rms,
+            match_rigid_mi=rigid_mi,
+            match_simulated_mi=sim_mi,
+        )

@@ -1,0 +1,113 @@
+"""Surgical session orchestration across multiple intraoperative scans.
+
+The paper's clinical workflow acquires several volumetric scans over a
+procedure, re-running the registration for each. :class:`SurgicalSession`
+owns the state that persists between scans: the preoperative model
+(built once, before surgery) and the prototype voxels (selected on the
+first scan, automatically re-used afterwards — "the spatial location of
+the prototype voxels is recorded and is used to update the statistical
+model automatically when further intraoperative images are acquired").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.pipeline import (
+    IntraoperativePipeline,
+    IntraoperativeResult,
+    PreoperativeModel,
+)
+from repro.imaging.volume import ImageVolume
+from repro.segmentation.prototypes import PrototypeSet
+from repro.util import ValidationError, format_table
+
+
+@dataclass
+class SurgicalSession:
+    """Stateful multi-scan session around one pipeline + preop model.
+
+    Attributes
+    ----------
+    pipeline:
+        The configured pipeline.
+    preop:
+        The preoperative model (mesh, localization, surface).
+    history:
+        Results of every processed scan, in order.
+    """
+
+    pipeline: IntraoperativePipeline
+    preop: PreoperativeModel
+    history: list[IntraoperativeResult] = field(default_factory=list)
+    _prototypes: PrototypeSet | None = field(default=None, repr=False)
+
+    @classmethod
+    def begin(
+        cls,
+        pipeline: IntraoperativePipeline,
+        preop_mri: ImageVolume,
+        preop_labels: ImageVolume,
+    ) -> "SurgicalSession":
+        """Prepare the preoperative model and open the session."""
+        preop = pipeline.prepare_preoperative(preop_mri, preop_labels)
+        return cls(pipeline=pipeline, preop=preop)
+
+    @property
+    def n_scans(self) -> int:
+        return len(self.history)
+
+    def process(
+        self,
+        intraop_mri: ImageVolume,
+        reference_labels: ImageVolume | None = None,
+    ) -> IntraoperativeResult:
+        """Register the preoperative model onto a new intraoperative scan.
+
+        The first scan selects prototypes (simulating the clinician's
+        interaction, optionally against ``reference_labels``); later
+        scans re-use the recorded prototype locations automatically.
+        """
+        result = self.pipeline.process_scan(
+            intraop_mri,
+            self.preop,
+            prototypes=self._prototypes,
+            reference_labels=reference_labels,
+        )
+        self._prototypes = result.prototypes
+        self.history.append(result)
+        return result
+
+    def latest(self) -> IntraoperativeResult:
+        if not self.history:
+            raise ValidationError("no scans processed yet")
+        return self.history[-1]
+
+    def summary_table(self) -> str:
+        """Per-scan summary of processing time and match quality."""
+        if not self.history:
+            return "(no scans processed)"
+        rows = []
+        for i, result in enumerate(self.history, start=1):
+            rows.append(
+                [
+                    i,
+                    result.timeline.total("intraoperative"),
+                    float(result.correspondence.magnitudes.max()),
+                    result.match_rigid_rms,
+                    result.match_simulated_rms,
+                    result.simulation.solver.iterations,
+                ]
+            )
+        return format_table(
+            [
+                "scan",
+                "processing (s)",
+                "surface |u| max (mm)",
+                "rigid RMS",
+                "simulated RMS",
+                "GMRES iters",
+            ],
+            rows,
+            title="Surgical session summary",
+        )

@@ -1,0 +1,82 @@
+"""Pipeline stage timeline (the paper's Figure 6).
+
+Records the ordered wall-clock cost of every image-processing action
+before and during surgery, so the experiments can print the same
+timeline the paper draws.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from repro.util import Timer, format_table
+
+
+@dataclass
+class TimelineEntry:
+    """One timed pipeline stage."""
+
+    stage: str
+    seconds: float
+    period: str  # "preoperative" | "intraoperative"
+
+
+@dataclass
+class Timeline:
+    """Ordered record of pipeline stage durations."""
+
+    entries: list[TimelineEntry] = field(default_factory=list)
+
+    @contextmanager
+    def stage(self, name: str, period: str = "intraoperative"):
+        """Time a stage and append it to the record."""
+        timer = Timer(name)
+        with timer:
+            yield
+        self.entries.append(TimelineEntry(name, timer.elapsed, period))
+
+    def add(self, name: str, seconds: float, period: str = "intraoperative") -> None:
+        self.entries.append(TimelineEntry(name, seconds, period))
+
+    def total(self, period: str | None = None) -> float:
+        return sum(
+            e.seconds for e in self.entries if period is None or e.period == period
+        )
+
+    def seconds_for(self, stage: str) -> float:
+        return sum(e.seconds for e in self.entries if e.stage == stage)
+
+    def as_table(self, title: str | None = None) -> str:
+        rows = [(e.period, e.stage, e.seconds) for e in self.entries]
+        rows.append(("intraoperative", "TOTAL (intraoperative)", self.total("intraoperative")))
+        return format_table(["period", "stage", "seconds"], rows, title=title)
+
+    def as_gantt(self, width: int = 50, title: str | None = None) -> str:
+        """ASCII Gantt chart of sequential stages (the paper's Fig. 6 form).
+
+        Each stage occupies a bar proportional to its duration, placed
+        after the preceding stages — the paper draws exactly this
+        "action vs time" staircase.
+        """
+        total = self.total()
+        if total <= 0 or not self.entries:
+            return "(empty timeline)"
+        name_width = max(len(e.stage) for e in self.entries)
+        lines = []
+        if title:
+            lines.append(title)
+        lines.append(f"{'stage'.ljust(name_width)} | 0{' ' * (width - 6)}{total:.1f}s")
+        lines.append(f"{'-' * name_width}-+-{'-' * width}")
+        elapsed = 0.0
+        for entry in self.entries:
+            start = int(round(elapsed / total * width))
+            length = max(1, int(round(entry.seconds / total * width)))
+            if start + length > width:
+                length = width - start
+            bar = " " * start + "#" * max(length, 1)
+            lines.append(
+                f"{entry.stage.ljust(name_width)} | {bar.ljust(width)} {entry.seconds:.2f}s"
+            )
+            elapsed += entry.seconds
+        return "\n".join(lines)

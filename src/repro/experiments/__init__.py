@@ -1,0 +1,30 @@
+"""Reproductions of every table and figure in the paper's evaluation.
+
+One module per exhibit:
+
+========  ==================================================================
+fig3      Deep Flow node specification table
+fig4      2-D slice match quality (rigid vs biomechanical), quantified
+fig5      3-D surface deformation magnitude distribution
+fig6      Intraoperative processing timeline
+fig7      Assembly/solve/total scaling, 77,511 equations, Deep Flow cluster
+fig8      Same system on the Ultra HPC 6000 SMP and the Ultra 80 pair
+fig9      253,308-equation system on the Ultra HPC 6000
+========  ==================================================================
+
+Each module exposes ``run(...) -> ExperimentReport``; the benchmark
+harness (``benchmarks/``) invokes them and records the regenerated
+series in ``EXPERIMENTS.md``.
+"""
+
+from repro.experiments.common import (
+    ExperimentReport,
+    build_clinical_system,
+    surface_boundary_conditions,
+)
+
+__all__ = [
+    "ExperimentReport",
+    "build_clinical_system",
+    "surface_boundary_conditions",
+]

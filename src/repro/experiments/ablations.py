@@ -1,0 +1,303 @@
+"""Ablation studies for the design choices the paper discusses.
+
+The paper's Discussion section proposes three improvements; each is
+implemented in this codebase and measured here:
+
+* **Imbalance-aware partitioning** — "A tetrahedral mesh with a more
+  regular connectivity pattern would allow better scaling in the matrix
+  assembly process. The parallel decomposition ... could be modified to
+  account for the distribution of known displacements" — compared via
+  :func:`partitioner_ablation`.
+* **Heterogeneous materials** — "Improved registration could result
+  from a more sophisticated model of the material properties of the
+  brain (such as more accurate modelling of the cerebral falx and the
+  lateral ventricles)" — compared via :func:`material_ablation`.
+* **Solver configuration** — GMRES restart length and preconditioner
+  choice (the paper fixes GMRES + block Jacobi; the ablation justifies
+  it) via :func:`solver_ablation`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.common import (
+    ClinicalSystem,
+    ExperimentReport,
+    build_clinical_system,
+)
+from repro.fem.bc import DirichletBC
+from repro.fem.material import BRAIN_HETEROGENEOUS, BRAIN_HOMOGENEOUS
+from repro.imaging.phantom import Tissue, make_neurosurgery_case
+from repro.machines.spec import DEEP_FLOW, MachineSpec
+from repro.mesh.generator import mesh_labeled_volume
+from repro.mesh.partition import partition_statistics
+from repro.parallel.simulation import PARTITIONERS, simulate_parallel
+from repro.surface.correspondence import surface_correspondence
+from repro.mesh.surface import extract_boundary_surface
+
+
+def partitioner_ablation(
+    system: ClinicalSystem | None = None,
+    n_ranks: int = 16,
+    machine: MachineSpec = DEEP_FLOW,
+) -> ExperimentReport:
+    """Compare decompositions on balance statistics and virtual times."""
+    if system is None:
+        system = build_clinical_system(target_equations=30000, shape=(64, 64, 48))
+    report = ExperimentReport(
+        exhibit="Ablation A",
+        title=f"Partitioners at P={n_ranks} on {machine.name} ({system.n_dof} eqs)",
+        headers=[
+            "partitioner",
+            "work balance",
+            "edge cut",
+            "assembly (s)",
+            "solve (s)",
+            "GMRES iters",
+        ],
+    )
+    for name, fn in PARTITIONERS.items():
+        part = fn(system.mesh, n_ranks)
+        stats = partition_statistics(system.mesh, part)
+        sim = simulate_parallel(
+            system.mesh, system.bc, n_ranks, machine=machine, partitioner=name
+        )
+        report.rows.append(
+            [
+                name,
+                stats["work_balance"],
+                stats["edge_cut_fraction"],
+                sim.assembly_seconds,
+                sim.solve_seconds,
+                sim.solver.iterations,
+            ]
+        )
+    report.notes.append(
+        "block = the paper's equal-node-count scheme; work_weighted implements its "
+        "proposed connectivity-aware fix (expect lower work imbalance and faster assembly)"
+    )
+    return report
+
+
+def material_ablation(
+    shape: tuple[int, int, int] = (64, 64, 48),
+    shift_mm: float = 6.0,
+    seed: int = 23,
+) -> ExperimentReport:
+    """Homogeneous vs heterogeneous brain model near the ventricles.
+
+    Reproduces the paper's observed limitation — "a small misregistration
+    of the lateral ventricles ... because our biomechanical model treats
+    the brain as a homogeneous material" — and measures the improvement
+    from the material model the paper proposes.
+    """
+    case = make_neurosurgery_case(shape=shape, shift_mm=shift_mm, seed=seed)
+    brain_labels = (
+        int(Tissue.BRAIN),
+        int(Tissue.VENTRICLE),
+        int(Tissue.FALX),
+        int(Tissue.TUMOR),
+    )
+    mesher = mesh_labeled_volume(case.preop_labels, 5.0, brain_labels)
+    surface = extract_boundary_surface(mesher.mesh)
+    target_mask = np.isin(
+        case.intraop_labels.data, list(brain_labels) + [int(Tissue.RESECTION)]
+    )
+    corr = surface_correspondence(
+        surface, case.brain_mask(), target_mask, case.preop_labels
+    )
+    bc = DirichletBC(surface.mesh_nodes, corr.displacements)
+
+    true_field = case.true_forward_mm
+    vent = case.preop_labels.data == int(Tissue.VENTRICLE)
+    brain = case.brain_mask()
+
+    report = ExperimentReport(
+        exhibit="Ablation B",
+        title="Homogeneous (paper's model) vs heterogeneous materials",
+        headers=[
+            "material model",
+            "brain err mean (mm)",
+            "ventricle err mean (mm)",
+            "ventricle err p95 (mm)",
+        ],
+    )
+    for name, materials in (
+        ("homogeneous", BRAIN_HOMOGENEOUS),
+        ("heterogeneous (falx+ventricle)", BRAIN_HETEROGENEOUS),
+    ):
+        sim = simulate_parallel(mesher.mesh, bc, 1, materials=materials, tol=1e-7)
+        grid = mesher.displacement_on_grid(sim.displacement, case.preop_labels)
+        err = np.linalg.norm(grid - true_field, axis=-1)
+        report.rows.append(
+            [
+                name,
+                float(err[brain].mean()),
+                float(err[vent].mean()),
+                float(np.percentile(err[vent], 95)),
+            ]
+        )
+    report.notes.append(
+        "the paper attributes ventricle misregistration to the homogeneous model; "
+        "the heterogeneous map is its proposed future-work fix"
+    )
+    return report
+
+
+def condensation_ablation(
+    system: ClinicalSystem | None = None,
+    n_updates: int = 5,
+) -> ExperimentReport:
+    """Full volumetric GMRES vs condensed surface FEM (Bro-Nielsen).
+
+    For linear elasto-statics the condensed model is *exact*, so the
+    comparison is purely about time structure: heavy preoperative
+    factorization + very fast intraoperative updates, versus the paper's
+    no-precomputation parallel volumetric solve. (The condensed factors
+    become stale whenever mesh/materials change — e.g. after resection —
+    which is the flexibility cost the paper's approach avoids.)
+    """
+    import time
+
+    import numpy as np
+
+    from repro.fem.condensed import CondensedSurfaceModel
+
+    if system is None:
+        system = build_clinical_system(target_equations=30000, shape=(64, 64, 48))
+    mesh = system.mesh
+    bc = system.bc
+
+    condensed = CondensedSurfaceModel(mesh, bc.node_ids)
+    t0 = time.perf_counter()
+    for _ in range(n_updates):
+        u_condensed = condensed.update_from_bc(bc)
+    per_update = (time.perf_counter() - t0) / n_updates
+
+    t0 = time.perf_counter()
+    sim = simulate_parallel(mesh, bc, 1, tol=1e-9)
+    volumetric_wall = time.perf_counter() - t0
+    max_diff = float(np.abs(u_condensed - sim.displacement).max())
+
+    report = ExperimentReport(
+        exhibit="Ablation D",
+        title=f"Condensed surface FEM vs volumetric solve ({system.n_dof} eqs)",
+        headers=["quantity", "value"],
+    )
+    report.rows.append(["condensed precompute (s, this machine)", condensed.precompute_seconds])
+    report.rows.append(["condensed factor nonzeros", condensed.factor_nnz])
+    report.rows.append(["condensed per-update (s)", per_update])
+    report.rows.append(["volumetric assembly+GMRES (s, this machine)", volumetric_wall])
+    report.rows.append(["update speedup", volumetric_wall / per_update])
+    report.rows.append(["max |u| difference (mm)", max_diff])
+    report.notes.append(
+        "identical solutions (linear statics); the condensed path trades a large "
+        "preoperative factorization and per-case rigidity for fast updates — the "
+        "Bro-Nielsen trade the paper chose parallel hardware over"
+    )
+    return report
+
+
+def incremental_ablation(
+    shape: tuple[int, int, int] = (56, 56, 42),
+    seed: int = 25,
+) -> ExperimentReport:
+    """Linear (paper) vs incremental geometry-updating simulation.
+
+    The paper's linear small-strain model is exact for linear boundary
+    data; for the measured 5-15 mm shifts the incremental model should
+    agree closely (validating the paper's linearity assumption), while
+    artificially doubled shifts begin to show geometric-nonlinearity
+    corrections.
+    """
+    from repro.fem.incremental import simulate_incremental
+
+    report = ExperimentReport(
+        exhibit="Ablation E",
+        title="Linear vs incremental (geometry-updating) simulation",
+        headers=[
+            "imposed shift (mm)",
+            "peak |u| linear (mm)",
+            "max |linear - incremental| (mm)",
+            "relative departure",
+        ],
+    )
+    for shift in (6.0, 12.0, 20.0):
+        case = make_neurosurgery_case(shape=shape, shift_mm=shift, seed=seed)
+        brain_labels = (
+            int(Tissue.BRAIN),
+            int(Tissue.VENTRICLE),
+            int(Tissue.FALX),
+            int(Tissue.TUMOR),
+        )
+        mesher = mesh_labeled_volume(case.preop_labels, 6.5, brain_labels)
+        surface = extract_boundary_surface(mesher.mesh)
+        target = np.isin(
+            case.intraop_labels.data, list(brain_labels) + [int(Tissue.RESECTION)]
+        )
+        corr = surface_correspondence(
+            surface, case.brain_mask(), target, case.preop_labels
+        )
+        bc = DirichletBC(surface.mesh_nodes, corr.displacements)
+        linear = simulate_incremental(mesher.mesh, bc, n_steps=1, tol=1e-8)
+        stepped = simulate_incremental(mesher.mesh, bc, n_steps=6, tol=1e-8)
+        peak = float(np.abs(linear.displacement).max())
+        departure = float(np.abs(linear.displacement - stepped.displacement).max())
+        report.rows.append([shift, peak, departure, departure / max(peak, 1e-12)])
+    report.notes.append(
+        "small relative departure at clinical shifts validates the paper's "
+        "small-strain linearity; departure grows with imposed shift"
+    )
+    return report
+
+
+def solver_ablation(
+    system: ClinicalSystem | None = None,
+    n_ranks: int = 8,
+) -> ExperimentReport:
+    """GMRES restart and preconditioner choices on the clinical system."""
+    if system is None:
+        system = build_clinical_system(target_equations=30000, shape=(64, 64, 48))
+    report = ExperimentReport(
+        exhibit="Ablation C",
+        title=f"Solver configuration at P={n_ranks} ({system.n_dof} eqs)",
+        headers=["configuration", "iterations", "converged", "virtual solve (s)"],
+    )
+    for restart in (10, 30, 60):
+        sim = simulate_parallel(
+            system.mesh, system.bc, n_ranks, machine=DEEP_FLOW, restart=restart
+        )
+        report.rows.append(
+            [
+                f"GMRES({restart}) + block Jacobi",
+                sim.solver.iterations,
+                sim.solver.converged,
+                sim.solve_seconds,
+            ]
+        )
+    # Overlapping Schwarz variants, fully telemetered (subdomain factors
+    # plus the per-application overlap halo exchange are charged).
+    for overlap in (1, 2):
+        sim = simulate_parallel(
+            system.mesh,
+            system.bc,
+            n_ranks,
+            machine=DEEP_FLOW,
+            preconditioner="ras",
+            ras_overlap=overlap,
+        )
+        report.rows.append(
+            [
+                f"GMRES(30) + RAS overlap={overlap}",
+                sim.solver.iterations,
+                sim.solver.converged,
+                sim.solve_seconds,
+            ]
+        )
+    report.notes.append("paper configuration: GMRES(30) with block Jacobi (PETSc defaults)")
+    report.notes.append(
+        "RAS rows: the overlapping-Schwarz upgrade — fewer iterations at the cost "
+        "of larger subdomain factors and an overlap halo per application"
+    )
+    return report

@@ -1,0 +1,109 @@
+"""Baseline comparison: biomechanical simulation vs image-based nonrigid.
+
+The paper's motivation for the biomechanical model over the authors'
+earlier image-based nonrigid registration: the image-based approach
+cannot "effectively model the different material properties" and is
+"not possible to use ... for quantitative prediction of brain
+deformation". With ground truth, the comparison is directly measurable:
+
+* **intensity match** — where image-based methods shine by construction;
+* **displacement-field error / landmark TRE** — where the biomechanical
+  model must win (intensity gradients vanish inside homogeneous brain
+  tissue, so demons forces carry no information there; the FEM
+  interpolates physically instead);
+* **regularity** — folding fraction of the map.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import IntraoperativePipeline
+from repro.experiments.common import ExperimentReport
+from repro.imaging.metrics import rms_difference
+from repro.imaging.phantom import make_neurosurgery_case
+from repro.imaging.resample import invert_displacement_field
+from repro.registration.nonrigid import register_demons, warp_through_demons
+from repro.validation import (
+    displacement_error_stats,
+    folding_fraction,
+    sample_landmarks,
+    target_registration_error,
+)
+
+
+def run(
+    shape: tuple[int, int, int] = (64, 64, 48),
+    shift_mm: float = 6.0,
+    seed: int = 33,
+    config: PipelineConfig | None = None,
+) -> ExperimentReport:
+    """Compare the two nonrigid approaches on one phantom case."""
+    case = make_neurosurgery_case(shape=shape, shift_mm=shift_mm, seed=seed)
+    brain = case.brain_mask()
+    spacing = case.preop_mri.spacing
+    landmarks = sample_landmarks(brain, case.preop_labels, count=80, seed=seed)
+
+    # --- biomechanical pipeline (the paper's method) -----------------------
+    cfg = config if config is not None else PipelineConfig(mesh_cell_mm=5.0, rigid_max_iter=1)
+    pipeline = IntraoperativePipeline(cfg)
+    preop = pipeline.prepare_preoperative(case.preop_mri, case.preop_labels)
+    result = pipeline.process_scan(case.intraop_mri, preop)
+    biomech_forward = result.grid_displacement
+    biomech_inverse = invert_displacement_field(biomech_forward, spacing)
+
+    # --- image-based baseline (demons) -------------------------------------
+    demons = register_demons(case.intraop_mri, case.preop_mri, step=2.0, smooth_sigma_mm=2.0)
+    demons_warped = warp_through_demons(case.preop_mri, demons)
+    # Demons yields the pull-back; approximate its forward field for TRE.
+    demons_forward = invert_displacement_field(demons.displacement_mm, spacing)
+
+    rows = []
+    specs = [
+        (
+            "rigid only",
+            case.preop_mri.data,
+            np.zeros_like(biomech_forward),
+            np.zeros_like(biomech_forward),
+        ),
+        ("biomechanical (paper)", result.deformed_mri.data, biomech_forward, biomech_inverse),
+        ("image-based (demons)", demons_warped.data, demons_forward, demons.displacement_mm),
+    ]
+    for name, image, forward, inverse in specs:
+        err = displacement_error_stats(forward, case.true_forward_mm, mask=brain)
+        tre = target_registration_error(
+            forward, case.true_forward_mm, case.preop_labels, landmarks
+        )
+        rows.append(
+            [
+                name,
+                rms_difference(image, case.intraop_mri.data, brain),
+                err["mean_mm"],
+                err["p95_mm"],
+                tre["mean_mm"],
+                folding_fraction(inverse, spacing, brain),
+            ]
+        )
+
+    report = ExperimentReport(
+        exhibit="Baseline",
+        title="Biomechanical simulation vs image-based nonrigid registration",
+        headers=[
+            "method",
+            "intensity RMS (brain)",
+            "field err mean (mm)",
+            "field err p95 (mm)",
+            "TRE mean (mm)",
+            "folding frac",
+        ],
+        notes=[
+            f"true deformation: mean {np.linalg.norm(case.true_forward_mm, axis=-1)[brain].mean():.2f} mm "
+            f"over the brain, peak {shift_mm:g} mm",
+            "expected shape: demons competitive on intensity match but weak on field "
+            "error/TRE (no intensity signal inside homogeneous tissue) — the paper's "
+            "argument for the biomechanical model",
+        ],
+    )
+    report.rows = rows
+    return report

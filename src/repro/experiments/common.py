@@ -1,0 +1,126 @@
+"""Shared infrastructure for the figure reproductions.
+
+The scaling experiments (Figs. 7-9) need the paper's clinical-size FEM
+systems: 77,511 equations (25,837 nodes) and 253,308 equations (84,436
+nodes). :func:`build_clinical_system` meshes the phantom brain to a
+target node count and derives the surface displacement boundary
+conditions; the distributed assembly/solve then runs on the *real*
+system while the machine model converts measured work into virtual
+wall-clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.fem.bc import DirichletBC
+from repro.imaging.phantom import NeurosurgeryCase, Tissue, make_neurosurgery_case
+from repro.imaging.resample import trilinear_sample
+from repro.imaging.volume import ImageVolume
+from repro.mesh.generator import GridTetraMesher, mesh_with_target_nodes
+from repro.mesh.surface import extract_boundary_surface
+from repro.util import format_table
+
+#: The paper's two system sizes (equations = 3 x nodes, before BC
+#: elimination).
+PAPER_SYSTEM_SMALL = 77511  # 25,837 nodes
+PAPER_SYSTEM_LARGE = 253308  # 84,436 nodes
+
+BRAIN_LABELS = (
+    int(Tissue.BRAIN),
+    int(Tissue.VENTRICLE),
+    int(Tissue.FALX),
+    int(Tissue.TUMOR),
+)
+
+
+@dataclass
+class ExperimentReport:
+    """A regenerated paper exhibit: rows plus context.
+
+    Attributes
+    ----------
+    exhibit:
+        Paper exhibit id, e.g. ``"Figure 7"``.
+    title:
+        What the exhibit shows.
+    headers / rows:
+        The regenerated series.
+    notes:
+        Free-form commentary (calibration, shape criteria, caveats).
+    """
+
+    exhibit: str
+    title: str
+    headers: list[str]
+    rows: list[list] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+    extra: list[str] = field(default_factory=list)
+
+    def table(self) -> str:
+        text = format_table(self.headers, self.rows, title=f"{self.exhibit}: {self.title}")
+        if self.notes:
+            text += "\n" + "\n".join(f"  note: {n}" for n in self.notes)
+        if self.extra:
+            text += "\n\n" + "\n\n".join(self.extra)
+        return text
+
+
+@dataclass
+class ClinicalSystem:
+    """A clinical-scale FEM system with its boundary conditions."""
+
+    case: NeurosurgeryCase
+    mesher: GridTetraMesher
+    bc: DirichletBC
+    n_dof: int
+
+    @property
+    def mesh(self):
+        return self.mesher.mesh
+
+
+def surface_boundary_conditions(
+    case: NeurosurgeryCase, mesher: GridTetraMesher
+) -> DirichletBC:
+    """Surface displacement BCs from the case's ground-truth field.
+
+    The scaling experiments need realistic boundary conditions (their
+    spatial distribution drives the solver imbalance) without paying for
+    a full active-surface run at every system size, so the ground-truth
+    brain-shift field is sampled at the mesh boundary nodes — the same
+    displacements the active surface recovers, without its sub-voxel
+    noise.
+    """
+    surface = extract_boundary_surface(mesher.mesh)
+    labels = case.preop_labels
+    components = [
+        trilinear_sample(
+            ImageVolume(
+                np.ascontiguousarray(case.true_forward_mm[..., axis]),
+                labels.spacing,
+                labels.origin,
+            ),
+            mesher.mesh.nodes[surface.mesh_nodes],
+        )
+        for axis in range(3)
+    ]
+    return DirichletBC(surface.mesh_nodes, np.stack(components, axis=-1))
+
+
+def build_clinical_system(
+    target_equations: int = PAPER_SYSTEM_SMALL,
+    shape: tuple[int, int, int] = (96, 96, 72),
+    shift_mm: float = 6.0,
+    seed: int = 0,
+) -> ClinicalSystem:
+    """Phantom + mesh + BCs matching one of the paper's system sizes."""
+    case = make_neurosurgery_case(shape=shape, shift_mm=shift_mm, seed=seed)
+    target_nodes = target_equations // 3
+    mesher = mesh_with_target_nodes(case.preop_labels, target_nodes, BRAIN_LABELS)
+    bc = surface_boundary_conditions(case, mesher)
+    return ClinicalSystem(
+        case=case, mesher=mesher, bc=bc, n_dof=mesher.mesh.n_dof
+    )

@@ -1,0 +1,47 @@
+"""Figure 3 (table): specification of the Deep Flow cluster nodes.
+
+The hardware itself is encoded in :data:`repro.machines.DEEP_FLOW`; this
+module regenerates the paper's table plus the derived model parameters
+(sustained rate, link model) the scaling experiments use.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentReport
+from repro.machines.spec import DEEP_FLOW, ULTRA80_CLUSTER, ULTRA_HPC_6000, MachineSpec
+
+
+def run(machine: MachineSpec = DEEP_FLOW) -> ExperimentReport:
+    """Regenerate the machine-specification table for an architecture."""
+    report = ExperimentReport(
+        exhibit="Figure 3",
+        title=f"Workstation specification — {machine.name}",
+        headers=["Item", "Description"],
+    )
+    for item, description in machine.description:
+        report.rows.append([item, description])
+    report.rows.append(["CPUs (paper config)", str(machine.max_cpus)])
+    report.rows.append(["CPUs per node", str(machine.cpus_per_node)])
+    report.rows.append(
+        ["Model: sustained rate", f"{machine.mflops_sustained:g} MFLOP/s per CPU (sparse FEM kernels)"]
+    )
+    report.rows.append(
+        [
+            "Model: inter-node link",
+            f"alpha={machine.inter_node.latency_s * 1e6:g} us, "
+            f"beta={machine.inter_node.bandwidth_bps / 1e6:g} MB/s",
+        ]
+    )
+    report.rows.append(
+        [
+            "Model: intra-node link",
+            f"alpha={machine.intra_node.latency_s * 1e6:g} us, "
+            f"beta={machine.intra_node.bandwidth_bps / 1e6:g} MB/s",
+        ]
+    )
+    return report
+
+
+def run_all() -> list[ExperimentReport]:
+    """Spec tables for all three architectures."""
+    return [run(m) for m in (DEEP_FLOW, ULTRA_HPC_6000, ULTRA80_CLUSTER)]

@@ -1,0 +1,116 @@
+"""Figure 4: match quality of the simulated deformation, quantified.
+
+The paper shows 2-D slices: the initial scan, the target scan, the
+simulated deformation of the initial scan, and the magnitude of the
+difference between simulation and target — arguing that "the quality of
+the match is significantly better than can be obtained through rigid
+registration alone", with residual differences at the MR noise floor.
+
+With the phantom we can report the same comparison as numbers: RMS and
+mean-absolute intensity differences against the target scan, for the
+rigid-only alignment vs the biomechanical simulation, over (a) the whole
+brain region, (b) the strongly deformed region (true shift > 2 mm, the
+paper's "sinking surface" zone), and (c) per-slice through the
+craniotomy — plus the displacement-field error against ground truth,
+which the paper could not measure on clinical data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import IntraoperativePipeline, IntraoperativeResult
+from repro.experiments.common import ExperimentReport
+from repro.imaging.metrics import mean_absolute_difference, rms_difference
+from repro.imaging.phantom import NeurosurgeryCase, make_neurosurgery_case
+from repro.imaging.resample import warp_volume
+
+
+@dataclass
+class Fig4Outcome:
+    """Report plus the raw pipeline artifacts (reused by Fig. 5/6)."""
+
+    report: ExperimentReport
+    case: NeurosurgeryCase
+    result: IntraoperativeResult
+
+
+def run(
+    shape: tuple[int, int, int] = (64, 64, 48),
+    shift_mm: float = 6.0,
+    seed: int = 11,
+    config: PipelineConfig | None = None,
+) -> Fig4Outcome:
+    """Run the full pipeline on a phantom case and quantify the match."""
+    case = make_neurosurgery_case(shape=shape, shift_mm=shift_mm, seed=seed)
+    cfg = config if config is not None else PipelineConfig(mesh_cell_mm=5.0, n_ranks=2)
+    pipeline = IntraoperativePipeline(cfg)
+    preop = pipeline.prepare_preoperative(case.preop_mri, case.preop_labels)
+    result = pipeline.process_scan(case.intraop_mri, preop)
+
+    target = case.intraop_mri.data
+    rigid_img = case.preop_mri.data  # rigid alignment is identity on the phantom grid
+    sim_img = result.deformed_mri.data
+    # Oracle: warp the preop scan through the ground-truth inverse field.
+    # Residual vs target = resection change + scan-to-scan MR noise, the
+    # irreducible floor the paper describes in its Fig. 4 caption.
+    oracle_img = warp_volume(case.preop_mri, case.true_inverse_mm).data
+
+    brain = case.brain_mask() | np.isin(
+        case.intraop_labels.data, cfg.intraop_brain_labels
+    )
+    true_mag = np.linalg.norm(case.true_forward_mm, axis=-1)
+    deformed_zone = brain & (true_mag > 2.0)
+
+    report = ExperimentReport(
+        exhibit="Figure 4",
+        title="Slice/volume match of simulated deformation vs rigid-only",
+        headers=["region", "alignment", "RMS diff", "MAD diff"],
+    )
+    for region_name, mask in (("brain", brain), ("deformed zone (>2mm)", deformed_zone)):
+        report.rows.append(
+            [region_name, "rigid only", rms_difference(rigid_img, target, mask), mean_absolute_difference(rigid_img, target, mask)]
+        )
+        report.rows.append(
+            [region_name, "biomechanical", rms_difference(sim_img, target, mask), mean_absolute_difference(sim_img, target, mask)]
+        )
+        report.rows.append(
+            [region_name, "oracle (true field)", rms_difference(oracle_img, target, mask), mean_absolute_difference(oracle_img, target, mask)]
+        )
+
+    # Per-slice comparison through the craniotomy (the paper's 2-D view).
+    k_slice = int(
+        np.clip(
+            round(case.preop_labels.world_to_index(case.craniotomy_center)[2]),
+            0,
+            shape[2] - 1,
+        )
+    )
+    for k in (k_slice - 4, k_slice - 2, k_slice):
+        if not 0 <= k < shape[2]:
+            continue
+        sl = np.zeros(shape, dtype=bool)
+        sl[:, :, k] = brain[:, :, k]
+        if not sl.any():
+            continue
+        report.rows.append(
+            [f"slice z={k}", "rigid only", rms_difference(rigid_img, target, sl), mean_absolute_difference(rigid_img, target, sl)]
+        )
+        report.rows.append(
+            [f"slice z={k}", "biomechanical", rms_difference(sim_img, target, sl), mean_absolute_difference(sim_img, target, sl)]
+        )
+
+    # Ground-truth displacement error (impossible on clinical data).
+    err = np.linalg.norm(result.grid_displacement - case.true_forward_mm, axis=-1)
+    report.notes.append(
+        f"displacement error vs ground truth in brain: mean {err[brain].mean():.2f} mm, "
+        f"p95 {np.percentile(err[brain], 95):.2f} mm (true shift mean {true_mag[brain].mean():.2f}, max {true_mag[brain].max():.2f} mm)"
+    )
+    report.notes.append(
+        "expected: biomechanical RMS well below rigid-only in the deformed zone; "
+        "residual approaches the scan-to-scan MR noise floor, as in the paper"
+    )
+    return Fig4Outcome(report=report, case=case, result=result)

@@ -1,0 +1,140 @@
+"""Figure 7: scaling of the 77,511-equation simulation on Deep Flow.
+
+"Timing results for assembling, solving, and the sum of initialization,
+assembling and solving time for a system of 77511 equations simulating
+the biomechanical deformation of the brain on a cluster of 16 Compaq
+Alpha 21164A 533MHz CPU-based workstations networked with Fast
+Ethernet."
+
+The distributed assembly and GMRES/block-Jacobi solve execute for real
+on a system of matching size; the Deep Flow machine model converts the
+measured per-rank work into virtual seconds. Shape criteria: both
+phases scale but sub-linearly (assembly limited by the connectivity
+imbalance, solve by the eliminated-boundary imbalance and communication)
+and the P=16 assembly+solve total lands under ~10 s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.common import (
+    ClinicalSystem,
+    ExperimentReport,
+    PAPER_SYSTEM_SMALL,
+    build_clinical_system,
+)
+from repro.machines.spec import DEEP_FLOW, MachineSpec
+from repro.parallel.simulation import ParallelSimulation, simulate_parallel
+
+DEFAULT_CPU_COUNTS = (1, 2, 4, 8, 12, 16)
+
+
+@dataclass
+class ScalingPoint:
+    """One CPU count's virtual timings."""
+
+    cpus: int
+    initialization: float
+    assembly: float
+    solve: float
+    iterations: int
+
+    @property
+    def total(self) -> float:
+        return self.initialization + self.assembly + self.solve
+
+
+def scaling_sweep(
+    system: ClinicalSystem,
+    machine: MachineSpec,
+    cpu_counts,
+    partitioner: str = "block",
+    tol: float = 1e-5,
+) -> list[ScalingPoint]:
+    """Run the distributed simulation at each CPU count."""
+    points = []
+    reference: ParallelSimulation | None = None
+    for cpus in cpu_counts:
+        sim = simulate_parallel(
+            system.mesh,
+            system.bc,
+            n_ranks=cpus,
+            machine=machine,
+            partitioner=partitioner,
+            tol=tol,
+        )
+        if reference is None:
+            reference = sim
+        else:
+            # All CPU counts must agree on the physics.
+            drift = float(np.abs(sim.displacement - reference.displacement).max())
+            scale = max(float(np.abs(reference.displacement).max()), 1e-12)
+            if drift > 1e-3 * scale:
+                raise AssertionError(
+                    f"distributed solution drifted at P={cpus}: {drift:.3e}"
+                )
+        points.append(
+            ScalingPoint(
+                cpus=cpus,
+                initialization=sim.initialization_seconds,
+                assembly=sim.assembly_seconds,
+                solve=sim.solve_seconds,
+                iterations=sim.solver.iterations,
+            )
+        )
+    return points
+
+
+def report_from_points(
+    points: list[ScalingPoint], exhibit: str, title: str
+) -> ExperimentReport:
+    """Format a scaling sweep as a paper-figure report table."""
+    report = ExperimentReport(
+        exhibit=exhibit,
+        title=title,
+        headers=[
+            "CPUs",
+            "assemble (s)",
+            "solve (s)",
+            "init (s)",
+            "sum (s)",
+            "GMRES iters",
+            "speedup (asm+solve)",
+        ],
+    )
+    base = points[0].assembly + points[0].solve
+    for p in points:
+        work = p.assembly + p.solve
+        report.rows.append(
+            [p.cpus, p.assembly, p.solve, p.initialization, p.total, p.iterations, base / work]
+        )
+    return report
+
+
+def run(
+    system: ClinicalSystem | None = None,
+    cpu_counts=DEFAULT_CPU_COUNTS,
+    partitioner: str = "block",
+) -> ExperimentReport:
+    """Regenerate Figure 7 on the Deep Flow model."""
+    if system is None:
+        system = build_clinical_system(PAPER_SYSTEM_SMALL)
+    points = scaling_sweep(system, DEEP_FLOW, cpu_counts, partitioner)
+    report = report_from_points(
+        points,
+        "Figure 7",
+        f"{system.n_dof} equations on {DEEP_FLOW.name}",
+    )
+    last = points[-1]
+    report.notes.append(
+        f"P={last.cpus}: assembly+solve = {last.assembly + last.solve:.1f} s "
+        "(paper: volumetric deformation simulated in less than ten seconds)"
+    )
+    report.notes.append(
+        "sub-linear scaling from (a) node-connectivity imbalance in assembly and "
+        "(b) boundary-condition elimination imbalance in the solve, as the paper reports"
+    )
+    return report

@@ -1,0 +1,63 @@
+"""Figure 8: the 77,511-equation system on the two Sun architectures.
+
+(a) the 20-CPU Sun Ultra HPC 6000 SMP, (b) two 4-CPU Sun Ultra 80
+servers networked with Fast Ethernet. The paper's point: "scaling
+performance similar to that obtained on the Deep Flow cluster, despite
+the differences in architectures" — the same distributed code exhibits
+the same shape on an SMP backplane and on a small hybrid cluster.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    ClinicalSystem,
+    ExperimentReport,
+    PAPER_SYSTEM_SMALL,
+    build_clinical_system,
+)
+from repro.experiments.fig7 import report_from_points, scaling_sweep
+from repro.machines.spec import ULTRA80_CLUSTER, ULTRA_HPC_6000
+
+SMP_CPU_COUNTS = (1, 2, 4, 8, 12, 16, 20)
+ULTRA80_CPU_COUNTS = (1, 2, 4, 6, 8)
+
+
+def run_smp(
+    system: ClinicalSystem | None = None, cpu_counts=SMP_CPU_COUNTS
+) -> ExperimentReport:
+    """Figure 8(a): Sun Ultra HPC 6000 with 20 x 250 MHz CPUs."""
+    if system is None:
+        system = build_clinical_system(PAPER_SYSTEM_SMALL)
+    points = scaling_sweep(system, ULTRA_HPC_6000, cpu_counts)
+    report = report_from_points(
+        points, "Figure 8a", f"{system.n_dof} equations on {ULTRA_HPC_6000.name}"
+    )
+    report.notes.append(
+        "SMP link latencies are ~20x lower than Fast Ethernet, so the solve "
+        "communication overhead is smaller; scaling character matches Deep Flow"
+    )
+    return report
+
+
+def run_ultra80(
+    system: ClinicalSystem | None = None, cpu_counts=ULTRA80_CPU_COUNTS
+) -> ExperimentReport:
+    """Figure 8(b): two 4-CPU Ultra 80 servers over Fast Ethernet."""
+    if system is None:
+        system = build_clinical_system(PAPER_SYSTEM_SMALL)
+    points = scaling_sweep(system, ULTRA80_CLUSTER, cpu_counts)
+    report = report_from_points(
+        points, "Figure 8b", f"{system.n_dof} equations on {ULTRA80_CLUSTER.name}"
+    )
+    report.notes.append(
+        "P<=4 stays inside one SMP node; P>4 crosses Fast Ethernet, adding the "
+        "cluster-style communication penalty to the same code"
+    )
+    return report
+
+
+def run(system: ClinicalSystem | None = None) -> list[ExperimentReport]:
+    """Regenerate both Figure 8 panels (SMP and Ultra 80 pair)."""
+    if system is None:
+        system = build_clinical_system(PAPER_SYSTEM_SMALL)
+    return [run_smp(system), run_ultra80(system)]

@@ -1,0 +1,41 @@
+"""Linear-elastic finite element model on tetrahedral meshes.
+
+Implements Equation (1) of the paper: the potential energy of a linear
+elastic continuum discretized with linear tetrahedral elements
+(Zienkiewicz & Taylor formulation), minimized subject to surface
+displacements imposed as boundary conditions. Element matrices are
+batched with ``einsum``; global assembly is sparse COO -> CSR.
+"""
+
+from repro.fem.assembly import assemble_load_vector, assemble_stiffness, element_stiffness_matrices
+from repro.fem.bc import DirichletBC, ReducedSystem, apply_dirichlet
+from repro.fem.condensed import CondensedSurfaceModel
+from repro.fem.incremental import IncrementalResult, simulate_incremental
+from repro.fem.element import shape_function_gradients, strain_displacement_matrices
+from repro.fem.material import (
+    BRAIN_HETEROGENEOUS,
+    BRAIN_HOMOGENEOUS,
+    LinearElasticMaterial,
+    MaterialMap,
+)
+from repro.fem.model import BiomechanicalModel, SimulationResult
+
+__all__ = [
+    "BRAIN_HETEROGENEOUS",
+    "BRAIN_HOMOGENEOUS",
+    "BiomechanicalModel",
+    "CondensedSurfaceModel",
+    "DirichletBC",
+    "IncrementalResult",
+    "LinearElasticMaterial",
+    "MaterialMap",
+    "ReducedSystem",
+    "SimulationResult",
+    "apply_dirichlet",
+    "assemble_load_vector",
+    "simulate_incremental",
+    "assemble_stiffness",
+    "element_stiffness_matrices",
+    "shape_function_gradients",
+    "strain_displacement_matrices",
+]

@@ -1,0 +1,105 @@
+"""Global assembly of the sparse stiffness system.
+
+Element stiffness matrices ``K_e = |V_e| B_e^T D_e B_e`` are computed in
+one einsum batch; the global matrix is accumulated in COO triplets and
+converted to CSR. DOF ordering is node-major (node ``n`` owns DOFs
+``3n, 3n+1, 3n+2``), which keeps each rank's rows contiguous under the
+node partitioners in :mod:`repro.mesh.partition`.
+
+:func:`assembly_work_per_node` exposes the per-node work counts that the
+machine model uses to reproduce the paper's assembly load imbalance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+from repro.fem.element import shape_function_gradients, strain_displacement_matrices
+from repro.fem.material import MaterialMap
+from repro.mesh.tetra import TetrahedralMesh
+from repro.util import ShapeError
+
+
+def element_stiffness_matrices(
+    mesh: TetrahedralMesh, materials: MaterialMap
+) -> np.ndarray:
+    """Batched 12x12 element stiffness matrices, shape ``(m, 12, 12)``."""
+    gradients, volumes = shape_function_gradients(mesh.element_coordinates())
+    B = strain_displacement_matrices(gradients)
+    D = materials.elasticity_for_elements(mesh.materials)
+    # K_e = |V| B^T D B
+    DB = np.einsum("mij,mjk->mik", D, B)
+    K = np.einsum("mji,mjk->mik", B, DB)
+    K *= np.abs(volumes)[:, None, None]
+    return K
+
+
+def element_dof_indices(mesh: TetrahedralMesh) -> np.ndarray:
+    """Global DOF indices per element, shape ``(m, 12)``, node-major."""
+    conn = mesh.elements
+    return (3 * conn[:, :, None] + np.arange(3)[None, None, :]).reshape(-1, 12)
+
+
+def assemble_stiffness(
+    mesh: TetrahedralMesh,
+    materials: MaterialMap,
+    element_matrices: np.ndarray | None = None,
+) -> sparse.csr_matrix:
+    """Assemble the global ``(3n, 3n)`` stiffness matrix in CSR form."""
+    Ke = (
+        element_stiffness_matrices(mesh, materials)
+        if element_matrices is None
+        else np.asarray(element_matrices, dtype=float)
+    )
+    if Ke.shape != (mesh.n_elements, 12, 12):
+        raise ShapeError(
+            f"element matrices must be ({mesh.n_elements}, 12, 12), got {Ke.shape}"
+        )
+    dofs = element_dof_indices(mesh)  # (m, 12)
+    rows = np.repeat(dofs, 12, axis=1).ravel()
+    cols = np.tile(dofs, (1, 12)).ravel()
+    data = Ke.reshape(-1)
+    n = mesh.n_dof
+    K = sparse.coo_matrix((data, (rows, cols)), shape=(n, n))
+    return K.tocsr()
+
+
+def assemble_load_vector(
+    mesh: TetrahedralMesh,
+    body_force: np.ndarray | None = None,
+) -> np.ndarray:
+    """Consistent load vector for a constant body force per element.
+
+    ``body_force`` is ``(3,)`` (uniform, e.g. gravity) or ``(m, 3)``
+    per element, in N/mm^3; each element distributes ``f |V| / 4`` to its
+    four nodes. Returns the ``(3n,)`` load vector (zero when no force is
+    given — the paper's formulation drives the system purely through
+    displacement boundary conditions).
+    """
+    f = np.zeros(mesh.n_dof)
+    if body_force is None:
+        return f
+    bf = np.asarray(body_force, dtype=float)
+    if bf.shape == (3,):
+        bf = np.broadcast_to(bf, (mesh.n_elements, 3))
+    if bf.shape != (mesh.n_elements, 3):
+        raise ShapeError(f"body_force must be (3,) or (m, 3), got {bf.shape}")
+    contrib = bf * (np.abs(mesh.element_volumes()) / 4.0)[:, None]  # (m, 3)
+    for node in range(4):
+        idx = 3 * mesh.elements[:, node]
+        for axis in range(3):
+            np.add.at(f, idx + axis, contrib[:, axis])
+    return f
+
+
+def assembly_work_per_node(mesh: TetrahedralMesh) -> np.ndarray:
+    """Work units each node contributes during assembly.
+
+    In a node-owner decomposition a rank computes the rows of its nodes,
+    i.e. one 3x12 block per (element, owned node) incidence — so per-node
+    work is the node-element connectivity count. "In our unstructured
+    grid different mesh nodes can have different connectivity, and hence
+    require a different amount of work."
+    """
+    return mesh.node_element_counts()

@@ -1,0 +1,118 @@
+"""Condensed surface FEM (the Bro-Nielsen "fast finite elements" idea).
+
+The paper's related work contrasts with Bro-Nielsen's surgery simulator
+[VBC'96], which "achieved speed by converting a volumetric finite
+element model into a model with only surface nodes ... at the cost of
+accuracy of the simulation" (and, for nonlinear/heterogeneous updates,
+flexibility). For *linear* elasto-statics with all boundary conditions
+on the surface, static condensation is exact:
+
+    K = [[K_ss, K_si], [K_is, K_ii]],   u_i = -K_ii^{-1} K_is u_s
+
+so the interior factorization can be computed **preoperatively** (when
+time is plentiful) and each intraoperative update reduces to one sparse
+triangular solve — very fast, but with a heavy precomputation whose
+factors must be redone whenever the mesh, the material map, or the set
+of driven nodes changes (e.g. after resection). The paper's choice is
+the opposite trade: keep the full volumetric model and use parallel
+hardware. The ablation benchmark quantifies both sides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy.sparse import linalg as spla
+
+from repro.fem.assembly import assemble_stiffness
+from repro.fem.bc import DirichletBC
+from repro.fem.material import BRAIN_HOMOGENEOUS, MaterialMap
+from repro.mesh.tetra import TetrahedralMesh
+from repro.util import ShapeError, Timer, ValidationError
+
+
+@dataclass
+class CondensedSurfaceModel:
+    """Precomputed interior factorization driven by surface displacements.
+
+    Parameters
+    ----------
+    mesh:
+        The volumetric brain mesh.
+    surface_nodes:
+        Node indices whose displacements will be prescribed (every
+        update must prescribe exactly these nodes).
+    materials:
+        Material map (fixed at precompute time — changing it requires a
+        new factorization, the flexibility cost of this approach).
+    """
+
+    mesh: TetrahedralMesh
+    surface_nodes: np.ndarray
+    materials: MaterialMap = field(default_factory=lambda: BRAIN_HOMOGENEOUS)
+    precompute_seconds: float = field(init=False, default=0.0)
+    factor_nnz: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        self.surface_nodes = np.asarray(self.surface_nodes, dtype=np.intp)
+        if self.surface_nodes.ndim != 1 or len(self.surface_nodes) == 0:
+            raise ValidationError("surface_nodes must be a non-empty 1-D index array")
+        if len(np.unique(self.surface_nodes)) != len(self.surface_nodes):
+            raise ValidationError("surface_nodes contains duplicates")
+        n = self.mesh.n_nodes
+        if self.surface_nodes.min() < 0 or self.surface_nodes.max() >= n:
+            raise ValidationError("surface node index out of range")
+
+        timer = Timer("condense")
+        with timer:
+            stiffness = assemble_stiffness(self.mesh, self.materials).tocsc()
+            surface_dofs = (
+                3 * self.surface_nodes[:, None] + np.arange(3)[None, :]
+            ).ravel()
+            is_surface = np.zeros(self.mesh.n_dof, dtype=bool)
+            is_surface[surface_dofs] = True
+            self._interior_dofs = np.flatnonzero(~is_surface)
+            self._surface_dofs = surface_dofs
+            if len(self._interior_dofs) == 0:
+                raise ValidationError("mesh has no interior nodes to condense")
+            k_ii = stiffness[self._interior_dofs, :][:, self._interior_dofs]
+            self._k_is = stiffness[self._interior_dofs, :][:, surface_dofs].tocsr()
+            self._lu = spla.splu(k_ii.tocsc())
+            self.factor_nnz = int(self._lu.L.nnz + self._lu.U.nnz)
+        self.precompute_seconds = timer.elapsed
+
+    @property
+    def n_interior_dofs(self) -> int:
+        return len(self._interior_dofs)
+
+    def update(self, surface_displacements: np.ndarray) -> np.ndarray:
+        """Full nodal displacement from prescribed surface displacements.
+
+        One sparse matvec + one triangular solve — the intraoperative
+        fast path. Returns ``(n_nodes, 3)``.
+        """
+        u_s = np.asarray(surface_displacements, dtype=float)
+        if u_s.shape != (len(self.surface_nodes), 3):
+            raise ShapeError(
+                f"surface_displacements must be ({len(self.surface_nodes)}, 3), got {u_s.shape}"
+            )
+        rhs = -(self._k_is @ u_s.ravel())
+        u_i = self._lu.solve(rhs)
+        full = np.empty(self.mesh.n_dof)
+        full[self._surface_dofs] = u_s.ravel()
+        full[self._interior_dofs] = u_i
+        return full.reshape(-1, 3)
+
+    def update_from_bc(self, bc: DirichletBC) -> np.ndarray:
+        """Update from a Dirichlet BC over exactly the condensed nodes."""
+        order = np.argsort(self.surface_nodes)
+        sorted_nodes = self.surface_nodes[order]
+        bc_order = np.argsort(bc.node_ids)
+        if not np.array_equal(np.asarray(bc.node_ids)[bc_order], sorted_nodes):
+            raise ValidationError(
+                "BC nodes must match the condensed surface node set exactly"
+            )
+        u_sorted = np.empty_like(bc.displacements)
+        u_sorted[order] = bc.displacements[bc_order]
+        return self.update(u_sorted)

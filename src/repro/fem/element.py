@@ -1,0 +1,92 @@
+"""Linear tetrahedral element matrices.
+
+For the four-node tetrahedron with linear interpolation the shape
+function of node ``i`` is ``N_i = (a_i + b_i x + c_i y + d_i z) / 6V``
+(Zienkiewicz & Taylor, 4th ed., pp. 91-92, as cited by the paper); its
+gradient is constant over the element, so strain is element-wise
+constant and the stiffness integral reduces to ``V * B^T D B``.
+
+All routines operate on batches of elements at once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util import ShapeError, ValidationError
+
+
+def shape_function_gradients(coords: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Constant shape-function gradients for batches of tetrahedra.
+
+    Parameters
+    ----------
+    coords:
+        ``(m, 4, 3)`` node coordinates per element.
+
+    Returns
+    -------
+    gradients:
+        ``(m, 4, 3)`` array with ``gradients[e, i]`` = grad N_i.
+    volumes:
+        ``(m,)`` signed element volumes.
+    """
+    coords = np.asarray(coords, dtype=float)
+    if coords.ndim != 3 or coords.shape[1:] != (4, 3):
+        raise ShapeError(f"coords must be (m, 4, 3), got {coords.shape}")
+    m = coords.shape[0]
+    # Rows of [1 x y z] per node; N = M^{-1} applied to nodal values gives
+    # the polynomial coefficients (a, b, c, d)/6V per shape function.
+    mats = np.concatenate([np.ones((m, 4, 1)), coords], axis=2)  # (m, 4, 4)
+    det = np.linalg.det(mats)
+    if np.any(np.abs(det) < 1e-30):
+        raise ValidationError("degenerate tetrahedron (zero volume) in batch")
+    inv = np.linalg.inv(mats)  # (m, 4, 4): inv[:, :, i] are coeffs of N_i
+    # N_i(x) = inv[0, i] + inv[1, i]*x + inv[2, i]*y + inv[3, i]*z
+    gradients = np.transpose(inv[:, 1:4, :], (0, 2, 1))  # (m, 4, 3)
+    volumes = det / 6.0
+    return gradients, volumes
+
+
+def strain_displacement_matrices(gradients: np.ndarray) -> np.ndarray:
+    """Voigt strain-displacement matrices B, shape ``(m, 6, 12)``.
+
+    DOF ordering per element is node-major: ``(u1x, u1y, u1z, u2x, ...)``.
+    Strain ordering is ``(e_xx, e_yy, e_zz, g_xy, g_yz, g_zx)`` with
+    engineering shear strains.
+    """
+    g = np.asarray(gradients, dtype=float)
+    if g.ndim != 3 or g.shape[1:] != (4, 3):
+        raise ShapeError(f"gradients must be (m, 4, 3), got {g.shape}")
+    m = g.shape[0]
+    B = np.zeros((m, 6, 12))
+    for node in range(4):
+        bx, by, bz = g[:, node, 0], g[:, node, 1], g[:, node, 2]
+        col = 3 * node
+        B[:, 0, col + 0] = bx
+        B[:, 1, col + 1] = by
+        B[:, 2, col + 2] = bz
+        B[:, 3, col + 0] = by
+        B[:, 3, col + 1] = bx
+        B[:, 4, col + 1] = bz
+        B[:, 4, col + 2] = by
+        B[:, 5, col + 0] = bz
+        B[:, 5, col + 2] = bx
+    return B
+
+
+def element_strains(gradients: np.ndarray, nodal_displacements: np.ndarray) -> np.ndarray:
+    """Constant Voigt strain per element from nodal displacements.
+
+    ``nodal_displacements`` is ``(m, 4, 3)`` (per element, per node).
+    """
+    B = strain_displacement_matrices(gradients)
+    u = np.asarray(nodal_displacements, dtype=float).reshape(-1, 12)
+    if u.shape[0] != B.shape[0]:
+        raise ShapeError("element count mismatch between gradients and displacements")
+    return np.einsum("mij,mj->mi", B, u)
+
+
+def element_stress(strains: np.ndarray, elasticity: np.ndarray) -> np.ndarray:
+    """Voigt stress per element: ``sigma = D epsilon``."""
+    return np.einsum("mij,mj->mi", elasticity, strains)

@@ -1,0 +1,137 @@
+"""Isotropic linear-elastic material models.
+
+The constitutive relation is ``sigma = D epsilon`` with the standard
+isotropic elasticity matrix in Voigt notation
+``(e_xx, e_yy, e_zz, g_xy, g_yz, g_zx)``. The paper's clinical model
+treats the brain as a single homogeneous linear-elastic material and
+explicitly notes that the cerebral falx (stiff membrane) and the CSF in
+the lateral ventricles "are not well approximated by this homogeneous
+model"; the heterogeneous map below implements the improvement the
+paper lists as future work.
+
+Values follow the soft-tissue literature the paper's school of work
+uses (Ferrant et al.): brain E ≈ 3 kPa, nearly incompressible; the falx
+is two orders of magnitude stiffer; ventricular CSF is much softer and
+highly compressible as a surrogate for fluid drainage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.imaging.phantom import Tissue
+from repro.util import ValidationError
+
+
+@dataclass(frozen=True)
+class LinearElasticMaterial:
+    """An isotropic linear elastic material.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier.
+    young_modulus:
+        Young's modulus E in pascals.
+    poisson_ratio:
+        Poisson's ratio nu, in (-1, 0.5) exclusive.
+    """
+
+    name: str
+    young_modulus: float
+    poisson_ratio: float
+
+    def __post_init__(self) -> None:
+        if not self.young_modulus > 0:
+            raise ValidationError(f"{self.name}: young_modulus must be > 0")
+        if not -1.0 < self.poisson_ratio < 0.5:
+            raise ValidationError(
+                f"{self.name}: poisson_ratio must be in (-1, 0.5), got {self.poisson_ratio}"
+            )
+
+    @property
+    def lame_lambda(self) -> float:
+        e, nu = self.young_modulus, self.poisson_ratio
+        return e * nu / ((1.0 + nu) * (1.0 - 2.0 * nu))
+
+    @property
+    def lame_mu(self) -> float:
+        return self.young_modulus / (2.0 * (1.0 + self.poisson_ratio))
+
+    def elasticity_matrix(self) -> np.ndarray:
+        """The 6x6 Voigt elasticity matrix D."""
+        lam, mu = self.lame_lambda, self.lame_mu
+        d = np.zeros((6, 6))
+        d[:3, :3] = lam
+        d[np.arange(3), np.arange(3)] = lam + 2.0 * mu
+        d[np.arange(3, 6), np.arange(3, 6)] = mu
+        return d
+
+
+#: Soft tissue parameters (pascals).
+BRAIN_TISSUE = LinearElasticMaterial("brain", 3.0e3, 0.45)
+FALX_TISSUE = LinearElasticMaterial("falx", 2.0e5, 0.35)
+VENTRICLE_CSF = LinearElasticMaterial("ventricle-csf", 3.0e2, 0.10)
+TUMOR_TISSUE = LinearElasticMaterial("tumor", 9.0e3, 0.45)
+
+
+@dataclass(frozen=True)
+class MaterialMap:
+    """Tissue label -> material assignment for a mesh.
+
+    Parameters
+    ----------
+    materials:
+        Mapping from integer tissue label to material.
+    default:
+        Material used for labels missing from the mapping (``None`` makes
+        a missing label an error).
+    """
+
+    materials: tuple[tuple[int, LinearElasticMaterial], ...]
+    default: LinearElasticMaterial | None = None
+
+    @classmethod
+    def from_dict(
+        cls,
+        mapping: dict[int, LinearElasticMaterial],
+        default: LinearElasticMaterial | None = None,
+    ) -> "MaterialMap":
+        return cls(tuple(sorted(mapping.items())), default)
+
+    def lookup(self, label: int) -> LinearElasticMaterial:
+        for key, material in self.materials:
+            if key == label:
+                return material
+        if self.default is not None:
+            return self.default
+        raise ValidationError(f"no material assigned for tissue label {label}")
+
+    def elasticity_for_elements(self, labels: np.ndarray) -> np.ndarray:
+        """Per-element D matrices, shape ``(m, 6, 6)``.
+
+        Distinct labels share a single D instance via broadcasting-friendly
+        gathering, so the cost is one 6x6 per unique label.
+        """
+        labels = np.asarray(labels)
+        unique = np.unique(labels)
+        stack = np.stack([self.lookup(int(u)).elasticity_matrix() for u in unique])
+        index = np.searchsorted(unique, labels)
+        return stack[index]
+
+
+#: The paper's clinical model: every meshed tissue is homogeneous brain.
+BRAIN_HOMOGENEOUS = MaterialMap((), default=BRAIN_TISSUE)
+
+#: The paper's proposed improvement: distinct falx and ventricle materials.
+BRAIN_HETEROGENEOUS = MaterialMap.from_dict(
+    {
+        int(Tissue.BRAIN): BRAIN_TISSUE,
+        int(Tissue.FALX): FALX_TISSUE,
+        int(Tissue.VENTRICLE): VENTRICLE_CSF,
+        int(Tissue.TUMOR): TUMOR_TISSUE,
+    },
+    default=BRAIN_TISSUE,
+)

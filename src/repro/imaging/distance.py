@@ -1,0 +1,162 @@
+"""Euclidean distance transforms.
+
+The paper converts every preoperative tissue-class segmentation into a
+*spatially varying localization model* by computing a **saturated distance
+transform** (Ragnemalm's Euclidean DT, clipped at a saturation radius).
+Those models become extra channels for the intraoperative k-NN
+classification.
+
+Two implementations are provided:
+
+* :func:`euclidean_distance_transform` — the exact transform, via the
+  Felzenszwalb–Huttenlocher separable lower-envelope algorithm applied
+  axis by axis.
+* :func:`saturated_distance_transform` — the transform the pipeline
+  actually uses. Because distances are clipped at a saturation radius
+  ``cap``, the lower envelope only needs to consider parabola centres
+  within ``cap`` voxels, which turns each axis pass into a fully
+  vectorized windowed minimum (exact within the cap, by construction).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util import ValidationError, check_positive, check_volume_like
+
+_INF = np.float64(np.inf)
+
+
+def _envelope_1d(f: np.ndarray) -> np.ndarray:
+    """Felzenszwalb–Huttenlocher 1-D squared-distance lower envelope.
+
+    Computes ``d[i] = min_j (f[j] + (i - j)**2)`` for one line.
+    """
+    n = f.shape[0]
+    d = np.empty(n)
+    v = np.empty(n, dtype=np.intp)  # locations of parabolas in envelope
+    z = np.empty(n + 1)  # boundaries between parabolas
+    k = 0
+    v[0] = 0
+    z[0] = -_INF
+    z[1] = _INF
+    for q in range(1, n):
+        if f[q] == _INF:
+            continue
+        if f[v[0]] == _INF:
+            # First finite parabola seen on this line.
+            v[0] = q
+            continue
+        s = ((f[q] + q * q) - (f[v[k]] + v[k] * v[k])) / (2 * q - 2 * v[k])
+        while s <= z[k]:
+            k -= 1
+            s = ((f[q] + q * q) - (f[v[k]] + v[k] * v[k])) / (2 * q - 2 * v[k])
+        k += 1
+        v[k] = q
+        z[k] = s
+        z[k + 1] = _INF
+    k = 0
+    for q in range(n):
+        while z[k + 1] < q:
+            k += 1
+        d[q] = (q - v[k]) ** 2 + f[v[k]] if f[v[k]] != _INF else _INF
+    return d
+
+
+def _transform_axis_exact(f: np.ndarray, axis: int) -> np.ndarray:
+    """Apply the 1-D envelope transform along one axis of a volume."""
+    moved = np.moveaxis(f, axis, -1)
+    flat = moved.reshape(-1, moved.shape[-1])
+    out = np.empty_like(flat)
+    for i in range(flat.shape[0]):
+        line = flat[i]
+        if np.all(line == _INF):
+            out[i] = _INF
+        else:
+            out[i] = _envelope_1d(line)
+    return np.moveaxis(out.reshape(moved.shape), -1, axis)
+
+
+def euclidean_distance_transform(mask: np.ndarray, spacing: tuple[float, float, float] | None = None) -> np.ndarray:
+    """Exact Euclidean distance (in voxels, or mm if ``spacing``) to the mask.
+
+    Parameters
+    ----------
+    mask:
+        Boolean volume; ``True`` voxels are the feature set (distance 0).
+    spacing:
+        Optional per-axis voxel size. When given, distances are physical.
+        Anisotropy is handled by scaling each axis pass.
+
+    Returns
+    -------
+    Distance volume (``inf`` everywhere if the mask is empty).
+    """
+    mask = check_volume_like(np.asarray(mask, dtype=bool), "mask")
+    sp = (1.0, 1.0, 1.0) if spacing is None else spacing
+    f = np.where(mask, 0.0, _INF)
+    for axis in range(3):
+        # Scale to voxel units of this axis, transform, scale back: the
+        # envelope works on integer-lattice parabolas.
+        scale = sp[axis] ** 2
+        f = _transform_axis_exact(f / scale, axis) * scale
+    return np.sqrt(f)
+
+
+def _windowed_min_axis(f: np.ndarray, axis: int, cap_vox: int, scale2: float) -> np.ndarray:
+    """Vectorized ``min_j (f[j] + scale2*(i-j)^2)`` for ``|i-j| <= cap_vox``."""
+    moved = np.moveaxis(f, axis, -1)
+    out = moved.copy()
+    n = moved.shape[-1]
+    for offset in range(1, min(cap_vox, n - 1) + 1):
+        penalty = scale2 * offset * offset
+        # shift +offset: candidate source at j = i - offset
+        np.minimum(out[..., offset:], moved[..., :-offset] + penalty, out=out[..., offset:])
+        # shift -offset: candidate source at j = i + offset
+        np.minimum(out[..., :-offset], moved[..., offset:] + penalty, out=out[..., :-offset])
+    return np.moveaxis(out, -1, axis)
+
+
+def saturated_distance_transform(
+    mask: np.ndarray,
+    cap: float,
+    spacing: tuple[float, float, float] | None = None,
+) -> np.ndarray:
+    """Euclidean distance to the mask, saturated (clipped) at ``cap``.
+
+    This is the localization-model transform of the paper: beyond the
+    saturation radius the model is flat, which both regularizes the k-NN
+    feature space and (here) permits an exact windowed-minimum
+    implementation that is fully vectorized.
+
+    Within the cap the result equals the exact Euclidean distance; at and
+    beyond the cap it equals ``cap``.
+    """
+    mask = check_volume_like(np.asarray(mask, dtype=bool), "mask")
+    check_positive(cap, "cap")
+    sp = (1.0, 1.0, 1.0) if spacing is None else spacing
+    cap2 = cap * cap
+    f = np.where(mask, 0.0, cap2)
+    for axis in range(3):
+        cap_vox = int(np.ceil(cap / sp[axis]))
+        f = _windowed_min_axis(f, axis, cap_vox, sp[axis] ** 2)
+        np.minimum(f, cap2, out=f)
+    return np.sqrt(f)
+
+
+def signed_distance(
+    mask: np.ndarray,
+    cap: float,
+    spacing: tuple[float, float, float] | None = None,
+) -> np.ndarray:
+    """Signed saturated distance: negative inside the mask, positive outside.
+
+    Used by the phantom and the active surface as a smooth implicit
+    representation of an object boundary.
+    """
+    mask = np.asarray(mask, dtype=bool)
+    if not mask.any() or mask.all():
+        raise ValidationError("signed_distance requires a mask with both inside and outside voxels")
+    outside = saturated_distance_transform(mask, cap, spacing)
+    inside = saturated_distance_transform(~mask, cap, spacing)
+    return outside - inside

@@ -1,0 +1,80 @@
+"""Persistence for volumes and meshes (compressed NPZ containers).
+
+A downstream user needs to move data between sessions (preoperative
+models are prepared hours before surgery). Volumes and meshes are
+stored as compressed ``.npz`` archives carrying their geometry metadata,
+with format versioning for forward compatibility.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.imaging.volume import ImageVolume
+from repro.mesh.tetra import TetrahedralMesh
+from repro.util import ValidationError
+
+_VOLUME_FORMAT = 1
+_MESH_FORMAT = 1
+
+
+def save_volume(path: str | Path, volume: ImageVolume) -> Path:
+    """Save an :class:`ImageVolume` to a compressed ``.npz`` file."""
+    path = Path(path)
+    np.savez_compressed(
+        path,
+        format=np.int64(_VOLUME_FORMAT),
+        kind=np.bytes_(b"volume"),
+        data=volume.data,
+        spacing=np.asarray(volume.spacing, dtype=float),
+        origin=np.asarray(volume.origin, dtype=float),
+    )
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_volume(path: str | Path) -> ImageVolume:
+    """Load an :class:`ImageVolume` saved by :func:`save_volume`."""
+    with np.load(path) as archive:
+        _check(archive, b"volume", _VOLUME_FORMAT)
+        return ImageVolume(
+            archive["data"],
+            tuple(archive["spacing"].tolist()),
+            tuple(archive["origin"].tolist()),
+        )
+
+
+def save_mesh(path: str | Path, mesh: TetrahedralMesh) -> Path:
+    """Save a :class:`TetrahedralMesh` to a compressed ``.npz`` file."""
+    path = Path(path)
+    np.savez_compressed(
+        path,
+        format=np.int64(_MESH_FORMAT),
+        kind=np.bytes_(b"mesh"),
+        nodes=mesh.nodes,
+        elements=mesh.elements,
+        materials=mesh.materials,
+    )
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_mesh(path: str | Path) -> TetrahedralMesh:
+    """Load a :class:`TetrahedralMesh` saved by :func:`save_mesh`."""
+    with np.load(path) as archive:
+        _check(archive, b"mesh", _MESH_FORMAT)
+        return TetrahedralMesh(
+            archive["nodes"], archive["elements"], archive["materials"]
+        )
+
+
+def _check(archive, kind: bytes, expected_format: int) -> None:
+    if "kind" not in archive or bytes(archive["kind"]) != kind:
+        raise ValidationError(
+            f"file is not a repro {kind.decode()} archive"
+        )
+    version = int(archive["format"])
+    if version > expected_format:
+        raise ValidationError(
+            f"archive format {version} is newer than supported ({expected_format})"
+        )

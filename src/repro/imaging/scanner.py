@@ -1,0 +1,107 @@
+"""Intraoperative MR acquisition model.
+
+The paper's scanner (GE Signa SP, 0.5 T open configuration) acquires
+256x256x60 volumes with anisotropic voxels (thick slices). This module
+turns a "ground truth" phantom volume into such an acquisition:
+resampling onto the scanner matrix/field of view, slice-profile blur
+along the slice axis, a fresh coil bias field, and Rician noise — so
+pipeline experiments can run against scanner-realistic grids, including
+the paper's actual 4e6-voxel resample workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.imaging.filters import gaussian_smooth
+from repro.imaging.noise import add_rician_noise, bias_field
+from repro.imaging.resample import resample_volume
+from repro.imaging.volume import ImageVolume
+from repro.util import ValidationError, default_rng
+from repro.util.rng import SeedLike
+
+
+@dataclass(frozen=True)
+class ScannerProtocol:
+    """An acquisition protocol (matrix, field of view, artefact levels).
+
+    Parameters
+    ----------
+    matrix:
+        Acquisition matrix (voxels per axis). The paper's intraoperative
+        protocol is 256 x 256 x 60.
+    fov_mm:
+        Field of view; ``None`` adopts the source volume's physical
+        extent (centred).
+    slice_blur_mm:
+        Gaussian slice-profile blur applied along the last axis.
+    noise_sigma:
+        Rician channel noise, in source intensity units.
+    bias_amplitude:
+        Multiplicative coil-shading amplitude.
+    """
+
+    matrix: tuple[int, int, int] = (256, 256, 60)
+    fov_mm: tuple[float, float, float] | None = None
+    slice_blur_mm: float = 2.0
+    noise_sigma: float = 4.0
+    bias_amplitude: float = 0.05
+
+    def __post_init__(self) -> None:
+        if any(n < 2 for n in self.matrix):
+            raise ValidationError(f"matrix axes must be >= 2, got {self.matrix}")
+
+
+#: The paper's intraoperative acquisition (256x256x60, thick slices).
+INTRAOP_05T = ScannerProtocol()
+
+
+def acquire(
+    source: ImageVolume,
+    protocol: ScannerProtocol = INTRAOP_05T,
+    seed: SeedLike = None,
+) -> ImageVolume:
+    """Simulate acquiring ``source`` with the given protocol.
+
+    Returns a volume on the scanner grid with slice blur, bias and noise
+    applied. The scanner grid is centred on the source volume.
+    """
+    rng = default_rng(seed)
+    extent = (
+        np.asarray(protocol.fov_mm, dtype=float)
+        if protocol.fov_mm is not None
+        else source.physical_extent
+    )
+    matrix = np.asarray(protocol.matrix)
+    spacing = extent / matrix
+    source_center = np.asarray(source.origin) + source.physical_extent / 2.0 - np.asarray(source.spacing) / 2.0
+    origin = source_center - extent / 2.0 + spacing / 2.0
+    grid = ImageVolume.zeros(
+        tuple(int(n) for n in matrix),
+        tuple(float(s) for s in spacing),
+        tuple(float(o) for o in origin),
+    )
+    image = resample_volume(source, grid, fill_value=0.0)
+    if protocol.slice_blur_mm > 0:
+        # Blur only along the slice axis: temporarily inflate in-plane
+        # spacing so the world-space kernel is negligible there.
+        blurred = _blur_slice_axis(image, protocol.slice_blur_mm)
+        image = blurred
+    if protocol.bias_amplitude > 0:
+        image = image.copy(
+            image.data * bias_field(image.shape, protocol.bias_amplitude, rng)
+        )
+    if protocol.noise_sigma > 0:
+        image = add_rician_noise(image, protocol.noise_sigma, rng)
+    return image
+
+
+def _blur_slice_axis(volume: ImageVolume, sigma_mm: float) -> ImageVolume:
+    """Gaussian blur along the z (slice) axis only."""
+    fake = ImageVolume(
+        volume.data, (1e6, 1e6, volume.spacing[2]), volume.origin
+    )
+    out = gaussian_smooth(fake, sigma_mm)
+    return ImageVolume(out.data, volume.spacing, volume.origin)

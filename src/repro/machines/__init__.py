@@ -1,0 +1,32 @@
+"""Performance models of the paper's three parallel architectures.
+
+The paper measures scaling on hardware we cannot run (a 16-node Alpha
+21164A Fast-Ethernet cluster, a 20-CPU Sun Ultra HPC 6000 SMP, and a
+2x4-CPU Sun Ultra 80 Fast-Ethernet cluster). The substitution (see
+DESIGN.md) keeps the *algorithms and data real* — work and communication
+are counted during actual executions of the distributed assembly and
+solve on the real 77k/253k-equation systems — and models only the final
+map from (flops, messages, bytes) to seconds, using per-architecture
+sustained compute rates and an alpha-beta (latency-bandwidth) network
+model with distinct intra-node and inter-node links.
+"""
+
+from repro.machines.cost import NullTelemetry, PhaseReport, VirtualCluster
+from repro.machines.spec import (
+    DEEP_FLOW,
+    ULTRA80_CLUSTER,
+    ULTRA_HPC_6000,
+    LinkSpec,
+    MachineSpec,
+)
+
+__all__ = [
+    "DEEP_FLOW",
+    "LinkSpec",
+    "MachineSpec",
+    "NullTelemetry",
+    "PhaseReport",
+    "ULTRA80_CLUSTER",
+    "ULTRA_HPC_6000",
+    "VirtualCluster",
+]

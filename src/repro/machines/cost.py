@@ -1,0 +1,205 @@
+"""Virtual-time accounting for simulated SPMD executions.
+
+A :class:`VirtualCluster` keeps one clock per rank. The distributed
+algorithms in :mod:`repro.parallel` report every unit of work they
+perform (flops per rank, halo bytes, collectives); the cluster advances
+the clocks through the machine model, so load imbalance — the paper's
+central scaling limiter — emerges directly from the measured per-rank
+work distribution rather than from an analytic formula.
+
+Phases (named via :meth:`VirtualCluster.phase`) accumulate elapsed
+virtual time separately so the experiments can report assembly / solve /
+initialization exactly like the paper's figures.
+"""
+
+from __future__ import annotations
+
+import math
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.machines.spec import MachineSpec
+from repro.util import ValidationError
+
+
+class NullTelemetry:
+    """No-op telemetry: lets the distributed code run without accounting."""
+
+    def compute(self, rank: int, flops: float) -> None:
+        pass
+
+    def compute_all(self, flops_per_rank) -> None:
+        pass
+
+    def allreduce(self, nbytes: float) -> None:
+        pass
+
+    def broadcast(self, nbytes: float) -> None:
+        pass
+
+    def scatter(self, total_bytes: float) -> None:
+        pass
+
+    def point_to_point(self, src: int, dst: int, nbytes: float) -> None:
+        pass
+
+    def halo_exchange(self, pair_bytes) -> None:
+        pass
+
+    def barrier(self) -> None:
+        pass
+
+    @contextmanager
+    def phase(self, name: str):
+        yield
+
+
+@dataclass
+class PhaseReport:
+    """Elapsed virtual seconds of one named phase."""
+
+    name: str
+    seconds: float
+
+
+class VirtualCluster(NullTelemetry):
+    """Machine-model telemetry with one virtual clock per rank.
+
+    Parameters
+    ----------
+    spec:
+        The architecture model.
+    n_ranks:
+        Number of CPUs in use (<= ``spec.max_cpus``).
+    """
+
+    def __init__(self, spec: MachineSpec, n_ranks: int):
+        if n_ranks < 1:
+            raise ValidationError(f"n_ranks must be >= 1, got {n_ranks}")
+        if n_ranks > spec.max_cpus:
+            raise ValidationError(
+                f"{spec.name} has {spec.max_cpus} CPUs; requested {n_ranks}"
+            )
+        self.spec = spec
+        self.n_ranks = n_ranks
+        self.clocks = np.zeros(n_ranks)
+        self.phases: list[PhaseReport] = []
+        self.flops_total = 0.0
+        self.bytes_total = 0.0
+        self.messages_total = 0
+
+    # -- primitive events ---------------------------------------------------
+
+    def compute(self, rank: int, flops: float) -> None:
+        """Rank-local computation of ``flops`` floating point operations."""
+        self.clocks[rank] += flops / self.spec.flops_rate
+        self.flops_total += flops
+
+    def compute_all(self, flops_per_rank) -> None:
+        """Simultaneous local computation on every rank."""
+        f = np.asarray(flops_per_rank, dtype=float)
+        if f.shape != (self.n_ranks,):
+            raise ValidationError(
+                f"flops_per_rank must be ({self.n_ranks},), got {f.shape}"
+            )
+        self.clocks += f / self.spec.flops_rate
+        self.flops_total += float(f.sum())
+
+    def allreduce(self, nbytes: float) -> None:
+        """Synchronizing reduction: recursive-doubling tree over the worst link."""
+        if self.n_ranks == 1:
+            return
+        link = self.spec.collective_link(self.n_ranks)
+        rounds = math.ceil(math.log2(self.n_ranks))
+        cost = rounds * link.message_time(nbytes)
+        self.clocks[:] = self.clocks.max() + cost
+        self.bytes_total += nbytes * self.n_ranks * rounds
+        self.messages_total += self.n_ranks * rounds
+
+    def broadcast(self, nbytes: float) -> None:
+        """Root broadcast modeled as a binomial tree (synchronizing)."""
+        if self.n_ranks == 1:
+            return
+        link = self.spec.collective_link(self.n_ranks)
+        rounds = math.ceil(math.log2(self.n_ranks))
+        cost = rounds * link.message_time(nbytes)
+        self.clocks[:] = self.clocks.max() + cost
+        self.bytes_total += nbytes * (self.n_ranks - 1)
+        self.messages_total += self.n_ranks - 1
+
+    def scatter(self, total_bytes: float) -> None:
+        """Root scatters ``total_bytes`` in equal shares (scatterv).
+
+        The root serializes ``n_ranks - 1`` sends of one share each;
+        everyone proceeds when the root finishes (synchronizing).
+        """
+        if self.n_ranks == 1:
+            return
+        link = self.spec.collective_link(self.n_ranks)
+        share = total_bytes / self.n_ranks
+        cost = (self.n_ranks - 1) * link.message_time(share)
+        self.clocks[:] = self.clocks.max() + cost
+        self.bytes_total += share * (self.n_ranks - 1)
+        self.messages_total += self.n_ranks - 1
+
+    def point_to_point(self, src: int, dst: int, nbytes: float) -> None:
+        """One message; the receiver waits for the sender."""
+        link = self.spec.link(src, dst)
+        arrive = self.clocks[src] + link.message_time(nbytes)
+        self.clocks[src] += link.latency_s  # sender-side overhead
+        self.clocks[dst] = max(self.clocks[dst], arrive)
+        self.bytes_total += nbytes
+        self.messages_total += 1
+
+    def halo_exchange(self, pair_bytes) -> None:
+        """Neighbourhood exchange: ``pair_bytes[(src, dst)] = nbytes``.
+
+        Each rank serializes its own sends/receives; messages on distinct
+        ranks overlap. Receivers cannot proceed before the matching send
+        has been issued, which is captured by a final pairwise max.
+        """
+        sends: dict[int, float] = {}
+        recvs: dict[int, float] = {}
+        for (src, dst), nbytes in pair_bytes.items():
+            if src == dst:
+                continue
+            link = self.spec.link(src, dst)
+            t = link.message_time(nbytes)
+            sends[src] = sends.get(src, 0.0) + t
+            recvs[dst] = recvs.get(dst, 0.0) + t
+            self.bytes_total += nbytes
+            self.messages_total += 1
+        start = self.clocks.copy()
+        for rank, t in sends.items():
+            self.clocks[rank] = max(self.clocks[rank], start[rank] + t)
+        for rank, t in recvs.items():
+            self.clocks[rank] = max(self.clocks[rank], start[rank] + t)
+        # A receive completes no earlier than its own senders finish sending.
+        for (src, dst), nbytes in pair_bytes.items():
+            if src == dst:
+                continue
+            self.clocks[dst] = max(self.clocks[dst], start[src] + sends[src])
+
+    def barrier(self) -> None:
+        self.clocks[:] = self.clocks.max()
+
+    # -- reporting ------------------------------------------------------------
+
+    @property
+    def elapsed(self) -> float:
+        """Virtual wall-clock so far (slowest rank)."""
+        return float(self.clocks.max())
+
+    @contextmanager
+    def phase(self, name: str):
+        """Record the elapsed virtual time of a named phase."""
+        start = self.elapsed
+        yield
+        self.barrier()
+        self.phases.append(PhaseReport(name, self.elapsed - start))
+
+    def phase_seconds(self, name: str) -> float:
+        """Total virtual seconds across all phases with this name."""
+        return float(sum(p.seconds for p in self.phases if p.name == name))

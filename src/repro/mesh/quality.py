@@ -1,0 +1,58 @@
+"""Tetrahedral element quality metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mesh.tetra import TetrahedralMesh
+
+_EDGE_PAIRS = [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]
+
+
+def edge_lengths(mesh: TetrahedralMesh) -> np.ndarray:
+    """Edge lengths per element, shape ``(m, 6)``."""
+    x = mesh.element_coordinates()
+    return np.stack(
+        [np.linalg.norm(x[:, b] - x[:, a], axis=1) for a, b in _EDGE_PAIRS], axis=1
+    )
+
+
+def aspect_ratios(mesh: TetrahedralMesh) -> np.ndarray:
+    """Longest edge / inradius-equivalent, normalized so 1.0 is regular.
+
+    Uses the common metric ``L_max / (2 sqrt(6) r)`` where ``r`` is the
+    inscribed-sphere radius; equals 1 for the regular tetrahedron and
+    grows for slivers.
+    """
+    lengths = edge_lengths(mesh)
+    lmax = lengths.max(axis=1)
+    vols = np.abs(mesh.element_volumes())
+    # Inradius r = 3V / (total face area).
+    x = mesh.element_coordinates()
+    from repro.mesh.tetra import TET_FACES
+
+    areas = np.zeros(mesh.n_elements)
+    for face in TET_FACES:
+        p = x[:, face]
+        areas += 0.5 * np.linalg.norm(
+            np.cross(p[:, 1] - p[:, 0], p[:, 2] - p[:, 0]), axis=1
+        )
+    r = 3.0 * vols / areas
+    return lmax / (2.0 * np.sqrt(6.0) * r)
+
+
+def quality_report(mesh: TetrahedralMesh) -> dict[str, float]:
+    """Summary statistics of mesh quality for diagnostics and tests."""
+    ratios = aspect_ratios(mesh)
+    vols = mesh.element_volumes()
+    counts = mesh.node_element_counts()
+    return {
+        "n_nodes": float(mesh.n_nodes),
+        "n_elements": float(mesh.n_elements),
+        "total_volume_mm3": float(np.abs(vols).sum()),
+        "min_volume_mm3": float(np.abs(vols).min()),
+        "worst_aspect": float(ratios.max()),
+        "mean_aspect": float(ratios.mean()),
+        "max_node_degree": float(counts.max()),
+        "mean_node_degree": float(counts.mean()),
+    }

@@ -1,0 +1,119 @@
+"""Triangulated boundary surfaces extracted from the volumetric mesh.
+
+"Boundary surfaces of objects represented in the mesh can be extracted
+from the mesh as triangulated surfaces, which is convenient for running
+an active surface algorithm."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.mesh.tetra import TetrahedralMesh
+from repro.util import MeshError, ShapeError
+
+
+@dataclass
+class TriangleSurface:
+    """A triangulated surface with outward-oriented faces.
+
+    Attributes
+    ----------
+    vertices:
+        ``(v, 3)`` world coordinates.
+    triangles:
+        ``(t, 3)`` vertex index triples, counter-clockwise seen from
+        outside.
+    mesh_nodes:
+        Optional ``(v,)`` map from surface vertex to the originating
+        volumetric-mesh node index — this is the link that lets
+        active-surface displacements become FEM boundary conditions.
+    """
+
+    vertices: np.ndarray
+    triangles: np.ndarray
+    mesh_nodes: np.ndarray | None = None
+    _vertex_normals: np.ndarray | None = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        self.vertices = np.asarray(self.vertices, dtype=np.float64)
+        self.triangles = np.asarray(self.triangles, dtype=np.intp)
+        if self.vertices.ndim != 2 or self.vertices.shape[1] != 3:
+            raise ShapeError(f"vertices must be (v, 3), got {self.vertices.shape}")
+        if self.triangles.ndim != 2 or self.triangles.shape[1] != 3:
+            raise ShapeError(f"triangles must be (t, 3), got {self.triangles.shape}")
+        if len(self.triangles) and self.triangles.max() >= len(self.vertices):
+            raise MeshError("triangle refers to a vertex index out of range")
+
+    @property
+    def n_vertices(self) -> int:
+        return len(self.vertices)
+
+    @property
+    def n_triangles(self) -> int:
+        return len(self.triangles)
+
+    def triangle_normals(self, vertices: np.ndarray | None = None) -> np.ndarray:
+        """Unit outward normals per triangle (for given vertex positions)."""
+        v = self.vertices if vertices is None else np.asarray(vertices, dtype=float)
+        p = v[self.triangles]
+        n = np.cross(p[:, 1] - p[:, 0], p[:, 2] - p[:, 0])
+        norms = np.linalg.norm(n, axis=1, keepdims=True)
+        norms[norms == 0] = 1.0
+        return n / norms
+
+    def vertex_normals(self, vertices: np.ndarray | None = None) -> np.ndarray:
+        """Area-weighted unit vertex normals (for given vertex positions)."""
+        v = self.vertices if vertices is None else np.asarray(vertices, dtype=float)
+        p = v[self.triangles]
+        face_n = np.cross(p[:, 1] - p[:, 0], p[:, 2] - p[:, 0])  # area-weighted
+        out = np.zeros_like(v)
+        for corner in range(3):
+            np.add.at(out, self.triangles[:, corner], face_n)
+        norms = np.linalg.norm(out, axis=1, keepdims=True)
+        norms[norms == 0] = 1.0
+        return out / norms
+
+    def vertex_adjacency(self) -> list[np.ndarray]:
+        """Adjacent vertex index arrays per vertex (surface edges)."""
+        edges = set()
+        for a_col, b_col in ((0, 1), (1, 2), (2, 0)):
+            a = self.triangles[:, a_col]
+            b = self.triangles[:, b_col]
+            lo, hi = np.minimum(a, b), np.maximum(a, b)
+            edges.update(zip(lo.tolist(), hi.tolist()))
+        adj: list[list[int]] = [[] for _ in range(self.n_vertices)]
+        for a, b in edges:
+            adj[a].append(b)
+            adj[b].append(a)
+        return [np.array(sorted(x), dtype=np.intp) for x in adj]
+
+    def area(self, vertices: np.ndarray | None = None) -> float:
+        v = self.vertices if vertices is None else np.asarray(vertices, dtype=float)
+        p = v[self.triangles]
+        n = np.cross(p[:, 1] - p[:, 0], p[:, 2] - p[:, 0])
+        return float(0.5 * np.linalg.norm(n, axis=1).sum())
+
+
+def extract_boundary_surface(
+    mesh: TetrahedralMesh, materials: tuple[int, ...] | None = None
+) -> TriangleSurface:
+    """Extract the outward-oriented boundary of a material region.
+
+    The surface vertices are a compacted copy of the boundary mesh nodes;
+    :attr:`TriangleSurface.mesh_nodes` records the original node indices
+    so surface displacements can be imposed on the volumetric model.
+    """
+    faces, _owners = mesh.boundary_faces(materials)
+    if len(faces) == 0:
+        raise MeshError("selected materials have no boundary faces")
+    used = np.unique(faces)
+    new_index = np.full(mesh.n_nodes, -1, dtype=np.intp)
+    new_index[used] = np.arange(len(used))
+    return TriangleSurface(
+        vertices=mesh.nodes[used],
+        triangles=new_index[faces],
+        mesh_nodes=used,
+    )

@@ -1,0 +1,204 @@
+"""Tetrahedral mesh container.
+
+Nodes live in world (mm) coordinates; elements are 4-tuples of node
+indices with positive orientation (positive signed volume); every
+element carries an integer material label (the tissue class of the
+segmentation cell it came from), which is how "different biomechanical
+properties and parameters can easily be assigned to the different cells
+or objects composing the mesh".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.util import MeshError, ShapeError
+
+#: The four faces of a tetrahedron, as local vertex index triples,
+#: oriented so the face normal points out of the element.
+TET_FACES = np.array([[1, 2, 3], [0, 3, 2], [0, 1, 3], [0, 2, 1]], dtype=np.intp)
+
+
+@dataclass
+class TetrahedralMesh:
+    """An unstructured tetrahedral mesh with per-element material labels.
+
+    Attributes
+    ----------
+    nodes:
+        ``(n_nodes, 3)`` world coordinates (mm).
+    elements:
+        ``(n_elements, 4)`` node indices, positively oriented.
+    materials:
+        ``(n_elements,)`` integer tissue label per element.
+    """
+
+    nodes: np.ndarray
+    elements: np.ndarray
+    materials: np.ndarray
+    _volumes: np.ndarray | None = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        self.nodes = np.asarray(self.nodes, dtype=np.float64)
+        self.elements = np.asarray(self.elements, dtype=np.intp)
+        self.materials = np.asarray(self.materials)
+        if self.nodes.ndim != 2 or self.nodes.shape[1] != 3:
+            raise ShapeError(f"nodes must be (n, 3), got {self.nodes.shape}")
+        if self.elements.ndim != 2 or self.elements.shape[1] != 4:
+            raise ShapeError(f"elements must be (m, 4), got {self.elements.shape}")
+        if self.materials.shape != (len(self.elements),):
+            raise ShapeError(
+                f"materials must be (m,) = ({len(self.elements)},), got {self.materials.shape}"
+            )
+        if len(self.elements) and (
+            self.elements.min() < 0 or self.elements.max() >= len(self.nodes)
+        ):
+            raise MeshError("element refers to a node index out of range")
+
+    # -- basic quantities ---------------------------------------------------
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def n_elements(self) -> int:
+        return len(self.elements)
+
+    @property
+    def n_dof(self) -> int:
+        """Number of displacement unknowns (3 per node) before BCs."""
+        return 3 * self.n_nodes
+
+    def element_coordinates(self) -> np.ndarray:
+        """Node coordinates per element, shape ``(m, 4, 3)``."""
+        return self.nodes[self.elements]
+
+    def element_volumes(self, refresh: bool = False) -> np.ndarray:
+        """Signed volumes of every element (cached)."""
+        if self._volumes is None or refresh:
+            x = self.element_coordinates()
+            a = x[:, 1] - x[:, 0]
+            b = x[:, 2] - x[:, 0]
+            c = x[:, 3] - x[:, 0]
+            self._volumes = np.einsum("ij,ij->i", a, np.cross(b, c)) / 6.0
+        return self._volumes
+
+    def total_volume(self) -> float:
+        return float(np.abs(self.element_volumes()).sum())
+
+    def element_centroids(self) -> np.ndarray:
+        return self.element_coordinates().mean(axis=1)
+
+    # -- connectivity --------------------------------------------------------
+
+    def node_element_counts(self) -> np.ndarray:
+        """Number of elements touching each node — the paper's source of
+        assembly load imbalance ("different mesh nodes can have different
+        connectivity, and hence require a different amount of work")."""
+        counts = np.zeros(self.n_nodes, dtype=np.int64)
+        np.add.at(counts, self.elements.ravel(), 1)
+        return counts
+
+    def node_adjacency(self) -> "list[np.ndarray]":
+        """Adjacent node lists (mesh edges), as an array per node."""
+        edges = set()
+        pairs = [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]
+        for i, j in pairs:
+            a = self.elements[:, i]
+            b = self.elements[:, j]
+            lo = np.minimum(a, b)
+            hi = np.maximum(a, b)
+            edges.update(zip(lo.tolist(), hi.tolist()))
+        adj: list[list[int]] = [[] for _ in range(self.n_nodes)]
+        for a, b in edges:
+            adj[a].append(b)
+            adj[b].append(a)
+        return [np.array(sorted(x), dtype=np.intp) for x in adj]
+
+    def edge_array(self) -> np.ndarray:
+        """Unique undirected edges as an ``(e, 2)`` array."""
+        pairs = [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]
+        stacked = np.concatenate(
+            [
+                np.stack(
+                    [
+                        np.minimum(self.elements[:, i], self.elements[:, j]),
+                        np.maximum(self.elements[:, i], self.elements[:, j]),
+                    ],
+                    axis=1,
+                )
+                for i, j in pairs
+            ]
+        )
+        return np.unique(stacked, axis=0)
+
+    def boundary_faces(self, materials: tuple[int, ...] | None = None) -> tuple[np.ndarray, np.ndarray]:
+        """Faces belonging to exactly one element of the selected material set.
+
+        Parameters
+        ----------
+        materials:
+            Restrict to elements with these labels (default: all).
+
+        Returns
+        -------
+        faces:
+            ``(f, 3)`` node-index triples oriented outward.
+        owners:
+            ``(f,)`` owning element index per face.
+        """
+        if materials is None:
+            keep = np.arange(self.n_elements)
+        else:
+            keep = np.flatnonzero(np.isin(self.materials, materials))
+        elems = self.elements[keep]
+        faces = elems[:, TET_FACES]  # (m, 4, 3)
+        flat = faces.reshape(-1, 3)
+        owners = np.repeat(keep, 4)
+        key = np.sort(flat, axis=1)
+        order = np.lexsort((key[:, 2], key[:, 1], key[:, 0]))
+        key_sorted = key[order]
+        # A face is boundary iff its sorted key appears exactly once.
+        same_next = np.zeros(len(key_sorted), dtype=bool)
+        if len(key_sorted) > 1:
+            same_next[:-1] = np.all(key_sorted[:-1] == key_sorted[1:], axis=1)
+        same_prev = np.zeros(len(key_sorted), dtype=bool)
+        same_prev[1:] = same_next[:-1]
+        unique = ~(same_next | same_prev)
+        picked = order[unique]
+        return flat[picked], owners[picked]
+
+    # -- editing --------------------------------------------------------------
+
+    def compact(self) -> tuple["TetrahedralMesh", np.ndarray]:
+        """Drop unused nodes; returns (new mesh, old->new node index map)."""
+        used = np.zeros(self.n_nodes, dtype=bool)
+        used[self.elements.ravel()] = True
+        new_index = np.full(self.n_nodes, -1, dtype=np.intp)
+        new_index[used] = np.arange(used.sum())
+        mesh = TetrahedralMesh(
+            self.nodes[used], new_index[self.elements], self.materials.copy()
+        )
+        return mesh, new_index
+
+    def with_materials(self, materials: np.ndarray) -> "TetrahedralMesh":
+        return TetrahedralMesh(self.nodes, self.elements, materials)
+
+    def select_materials(self, materials: tuple[int, ...]) -> "TetrahedralMesh":
+        """Submesh of the elements carrying the given labels (compacted)."""
+        keep = np.isin(self.materials, materials)
+        sub = TetrahedralMesh(self.nodes, self.elements[keep], self.materials[keep])
+        mesh, _ = sub.compact()
+        return mesh
+
+    def validate(self) -> None:
+        """Raise :class:`MeshError` if any element is degenerate/inverted."""
+        vols = self.element_volumes(refresh=True)
+        if len(vols) == 0:
+            raise MeshError("mesh has no elements")
+        if np.any(vols <= 0):
+            bad = int(np.count_nonzero(vols <= 0))
+            raise MeshError(f"{bad} elements are inverted or degenerate")

@@ -1,0 +1,176 @@
+"""High-level parallel biomechanical simulation entry point.
+
+This is the function the scaling experiments (Figs. 7-9) call: run the
+complete distributed assembly + solve of a brain deformation system at a
+given CPU count, optionally attached to a machine model, and report
+the per-phase virtual times alongside the (numerically real) solution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fem.bc import DirichletBC
+from repro.fem.material import BRAIN_HOMOGENEOUS, MaterialMap
+from repro.machines.cost import NullTelemetry, VirtualCluster
+from repro.machines.spec import MachineSpec
+from repro.mesh.partition import (
+    partition_block,
+    partition_coordinate_bisection,
+    partition_greedy_graph,
+    partition_work_weighted,
+)
+from repro.mesh.tetra import TetrahedralMesh
+from repro.parallel.assembly import DistributedSystem, build_distributed_system
+from repro.parallel.decomposition import Decomposition
+from repro.parallel.solver import DistributedBlockJacobi, DistributedRAS, distributed_gmres
+from repro.solver.gmres import GMRESResult
+from repro.util import ValidationError
+
+#: Rank-0 setup work per mesh entity during initialization (mesh load,
+#: index construction). Initialization "can be overlapped with earlier
+#: image processing" per the paper; it is reported separately.
+INIT_FLOPS_PER_ENTITY = 5.0e2
+
+PARTITIONERS = {
+    "block": partition_block,
+    "work_weighted": partition_work_weighted,
+    "coordinate_bisection": partition_coordinate_bisection,
+    "greedy_graph": partition_greedy_graph,
+}
+
+
+@dataclass
+class ParallelSimulation:
+    """Result of a (virtual-)parallel biomechanical simulation.
+
+    Attributes
+    ----------
+    displacement:
+        ``(n_nodes, 3)`` nodal displacements, original mesh numbering.
+    solver:
+        GMRES convergence record.
+    n_equations:
+        Free unknowns actually solved for.
+    n_dof_total:
+        3 x n_nodes (the paper's headline equation count).
+    initialization_seconds / assembly_seconds / solve_seconds:
+        Virtual phase times (zero when no machine model is attached).
+    cluster:
+        The telemetry object (``VirtualCluster`` or ``NullTelemetry``).
+    system:
+        The distributed system (exposes partition bookkeeping).
+    """
+
+    displacement: np.ndarray
+    solver: GMRESResult
+    n_equations: int
+    n_dof_total: int
+    initialization_seconds: float
+    assembly_seconds: float
+    solve_seconds: float
+    cluster: NullTelemetry
+    system: DistributedSystem
+
+    @property
+    def total_seconds(self) -> float:
+        """Initialization + assembly + solve (the paper's 'sum' curve)."""
+        return self.initialization_seconds + self.assembly_seconds + self.solve_seconds
+
+
+def mesh_payload_bytes(mesh: TetrahedralMesh) -> float:
+    """Bytes of mesh data scattered from the root during initialization."""
+    return float(mesh.nodes.nbytes + mesh.elements.nbytes + mesh.materials.nbytes)
+
+
+def simulate_parallel(
+    mesh: TetrahedralMesh,
+    bc: DirichletBC,
+    n_ranks: int,
+    machine: MachineSpec | None = None,
+    materials: MaterialMap = BRAIN_HOMOGENEOUS,
+    partitioner: str = "block",
+    tol: float = 1e-5,
+    restart: int = 30,
+    max_iter: int = 3000,
+    factorization: str = "ilu",
+    preconditioner: str = "block_jacobi",
+    ras_overlap: int = 1,
+) -> ParallelSimulation:
+    """Run the distributed biomechanical simulation at ``n_ranks`` CPUs.
+
+    Parameters
+    ----------
+    mesh:
+        Brain mesh in its original numbering.
+    bc:
+        Surface displacements (original node numbering).
+    machine:
+        Attach a :class:`MachineSpec` to obtain virtual phase times on
+        one of the paper's architectures; ``None`` runs without
+        accounting (e.g. for numerical-equivalence tests).
+    partitioner:
+        One of ``block`` (paper's equal-node-count scheme),
+        ``work_weighted``, ``coordinate_bisection``, ``greedy_graph``.
+    preconditioner:
+        ``"block_jacobi"`` (paper configuration) or ``"ras"``
+        (restricted additive Schwarz with ``ras_overlap`` layers).
+    """
+    if partitioner not in PARTITIONERS:
+        raise ValidationError(
+            f"unknown partitioner {partitioner!r}; options: {sorted(PARTITIONERS)}"
+        )
+    if preconditioner not in ("block_jacobi", "ras"):
+        raise ValidationError(f"unknown preconditioner {preconditioner!r}")
+    part = PARTITIONERS[partitioner](mesh, n_ranks)
+    decomposition = Decomposition.from_partition(mesh, part, n_ranks)
+    telemetry = (
+        VirtualCluster(machine, n_ranks) if machine is not None else NullTelemetry()
+    )
+
+    with telemetry.phase("initialization"):
+        telemetry.compute(
+            0, INIT_FLOPS_PER_ENTITY * (mesh.n_nodes + mesh.n_elements)
+        )
+        telemetry.scatter(mesh_payload_bytes(mesh))
+
+    bc_new = DirichletBC(decomposition.old_to_new[bc.node_ids], bc.displacements)
+    system = build_distributed_system(decomposition, materials, bc_new, telemetry)
+
+    with telemetry.phase("solve"):
+        if preconditioner == "ras":
+            pre = DistributedRAS(system.matrix, telemetry, overlap=ras_overlap)
+        else:
+            pre = DistributedBlockJacobi(
+                system.matrix, telemetry, factorization=factorization
+            )
+        result = distributed_gmres(
+            system.matrix,
+            system.rhs,
+            preconditioner=pre,
+            tol=tol,
+            restart=restart,
+            max_iter=max_iter,
+            telemetry=telemetry,
+        )
+
+    if isinstance(telemetry, VirtualCluster):
+        init_s = telemetry.phase_seconds("initialization")
+        asm_s = telemetry.phase_seconds("assembly")
+        solve_s = telemetry.phase_seconds("solve")
+    else:
+        init_s = asm_s = solve_s = 0.0
+
+    return ParallelSimulation(
+        displacement=system.displacement_original_order(result.x),
+        solver=result,
+        n_equations=system.n_free,
+        n_dof_total=mesh.n_dof,
+        initialization_seconds=init_s,
+        assembly_seconds=asm_s,
+        solve_seconds=solve_s,
+        cluster=telemetry,
+        system=system,
+    )

@@ -1,0 +1,20 @@
+"""Rigid registration by maximization of mutual information.
+
+The paper aligns every intraoperative scan to the preoperative data with
+the Wells/Viola MI rigid registration method before any nonrigid work.
+This subpackage implements 6-DOF rigid transforms, an MI cost on a voxel
+subsample, and a multiresolution Powell-style optimizer.
+"""
+
+from repro.registration.pyramid import downsample, pyramid
+from repro.registration.rigid import RegistrationResult, register_rigid, resample_moving
+from repro.registration.transform import RigidTransform
+
+__all__ = [
+    "RegistrationResult",
+    "RigidTransform",
+    "downsample",
+    "pyramid",
+    "register_rigid",
+    "resample_moving",
+]

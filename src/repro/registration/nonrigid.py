@@ -1,0 +1,188 @@
+"""Image-based nonrigid registration baseline (Thirion demons).
+
+The paper positions its biomechanical simulation against the authors'
+earlier *image-based* nonrigid registration [refs 22-23]: "our previous
+approach does not constitute an accurate biomechanical simulation of
+the deformation, and hence it is not possible to effectively model the
+different material properties of different structures in the head, and
+it is not possible to use such an approach for quantitative prediction
+of brain deformation."
+
+To reproduce that comparison, this module implements a standard
+intensity-driven nonrigid method of the same family: multiresolution
+demons forces with Gaussian (elastic-like) regularization of the
+displacement field. It matches intensities aggressively — including in
+regions where no physical correspondence exists (the resection cavity)
+— which is exactly the failure mode the paper's argument rests on; the
+baseline experiment quantifies it via field error and folding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.imaging.filters import gaussian_smooth, image_gradient
+from repro.imaging.resample import trilinear_sample
+from repro.imaging.volume import ImageVolume
+from repro.registration.pyramid import downsample
+from repro.util import ValidationError
+
+
+@dataclass
+class DemonsResult:
+    """Outcome of :func:`register_demons`.
+
+    Attributes
+    ----------
+    displacement_mm:
+        Pull-back displacement on the fixed grid:
+        ``moving(x + u(x)) ~ fixed(x)`` (comparable to the phantom's
+        ``true_inverse_mm``).
+    iterations:
+        Total iterations across pyramid levels.
+    final_rms:
+        RMS intensity difference between the warped moving image and
+        the fixed image at convergence.
+    history:
+        RMS intensity difference after each iteration (finest level).
+    """
+
+    displacement_mm: np.ndarray
+    iterations: int
+    final_rms: float
+    history: list[float]
+
+
+def _normalize(volume: ImageVolume) -> ImageVolume:
+    data = volume.data.astype(float)
+    lo, hi = float(data.min()), float(data.max())
+    if hi <= lo:
+        return volume.copy(np.zeros_like(data))
+    return volume.copy((data - lo) / (hi - lo))
+
+
+def _warp_moving(moving: ImageVolume, grid_points: np.ndarray, u: np.ndarray) -> np.ndarray:
+    return trilinear_sample(moving, grid_points + u, fill_value=0.0)
+
+
+def _smooth_field(u: np.ndarray, reference: ImageVolume, sigma_mm: float) -> np.ndarray:
+    out = np.empty_like(u)
+    for axis in range(3):
+        out[..., axis] = gaussian_smooth(
+            reference.copy(np.ascontiguousarray(u[..., axis])), sigma_mm
+        ).data
+    return out
+
+
+def _upsample_field(u_coarse: np.ndarray, coarse: ImageVolume, fine: ImageVolume) -> np.ndarray:
+    pts = fine.voxel_centers()
+    comps = [
+        trilinear_sample(
+            coarse.copy(np.ascontiguousarray(u_coarse[..., axis])), pts, fill_value=0.0
+        )
+        for axis in range(3)
+    ]
+    return np.stack(comps, axis=-1)
+
+
+def register_demons(
+    fixed: ImageVolume,
+    moving: ImageVolume,
+    levels: int = 2,
+    iterations_per_level: int = 80,
+    smooth_sigma_mm: float = 3.0,
+    image_sigma_mm: float = 1.5,
+    step: float = 1.0,
+    epsilon: float = 1e-2,
+    tolerance: float = 1e-5,
+    min_iterations: int = 10,
+) -> DemonsResult:
+    """Multiresolution demons registration of ``moving`` onto ``fixed``.
+
+    Parameters
+    ----------
+    fixed / moving:
+        Same-grid volumes (apply the rigid alignment first).
+    levels:
+        Pyramid depth; level grids halve per level.
+    smooth_sigma_mm:
+        Gaussian regularization of the displacement field applied every
+        iteration (the "elasticity" of the image-based method).
+    image_sigma_mm:
+        Pre-smoothing of both images before force computation (noise
+        suppression; 0 disables).
+    step:
+        Force scaling.
+    epsilon:
+        Stabilizer added to the demons denominator (in normalized
+        intensity units squared).
+    tolerance:
+        Stop a level when the RMS intensity difference improves by less
+        than this between iterations.
+    """
+    if levels < 1:
+        raise ValidationError(f"levels must be >= 1, got {levels}")
+    if iterations_per_level < 1:
+        raise ValidationError("iterations_per_level must be >= 1")
+    if not fixed.same_grid_as(moving):
+        raise ValidationError("fixed and moving must share a grid (rigidly align first)")
+
+    fixed_n = _normalize(fixed)
+    moving_n = _normalize(moving)
+    if image_sigma_mm > 0:
+        fixed_n = gaussian_smooth(fixed_n, image_sigma_mm)
+        moving_n = gaussian_smooth(moving_n, image_sigma_mm)
+
+    # Build coarse-to-fine level volumes.
+    fixed_levels = [fixed_n]
+    moving_levels = [moving_n]
+    for _ in range(levels - 1):
+        fixed_levels.append(downsample(fixed_levels[-1], 2))
+        moving_levels.append(downsample(moving_levels[-1], 2))
+    fixed_levels.reverse()
+    moving_levels.reverse()
+
+    u: np.ndarray | None = None
+    total_iterations = 0
+    history: list[float] = []
+    for level, (f_level, m_level) in enumerate(zip(fixed_levels, moving_levels)):
+        grid = f_level.voxel_centers()
+        if u is None:
+            u = np.zeros((*f_level.shape, 3))
+        else:
+            u = _upsample_field(u, fixed_levels[level - 1], f_level)
+        grad = image_gradient(f_level)  # d(intensity)/d(mm)
+        grad_sq = np.sum(grad * grad, axis=-1)
+        f_data = f_level.data
+        prev_rms = np.inf
+        level_history: list[float] = []
+        for _ in range(iterations_per_level):
+            warped = _warp_moving(m_level, grid, u)
+            diff = warped - f_data
+            rms = float(np.sqrt(np.mean(diff**2)))
+            level_history.append(rms)
+            total_iterations += 1
+            if prev_rms - rms < tolerance and len(level_history) > min_iterations:
+                break
+            prev_rms = min(prev_rms, rms)
+            denom = grad_sq + diff * diff + epsilon
+            update = -step * (diff / denom)[..., None] * grad
+            u = _smooth_field(u + update, f_level, smooth_sigma_mm)
+        history = level_history
+
+    warped = _warp_moving(moving_n, fixed_n.voxel_centers(), u)
+    final_rms = float(np.sqrt(np.mean((warped - fixed_n.data) ** 2)))
+    return DemonsResult(
+        displacement_mm=u,
+        iterations=total_iterations,
+        final_rms=final_rms,
+        history=history,
+    )
+
+
+def warp_through_demons(moving: ImageVolume, result: DemonsResult) -> ImageVolume:
+    """Warp the (original-intensity) moving image through a demons field."""
+    pts = moving.voxel_centers() + result.displacement_mm
+    return moving.copy(trilinear_sample(moving, pts, fill_value=0.0))

@@ -1,0 +1,27 @@
+"""Intraoperative tissue classification.
+
+Implements the paper's segmentation stack: each preoperative tissue
+class becomes a *spatially varying localization model* (saturated
+distance transform), which joins the intraoperative intensities as
+channels of a multichannel feature space; prototype voxels picked once
+(≈5 min of user interaction in the paper, simulated here from ground
+truth) define the statistical model; and a vectorized k-NN classifier
+labels every voxel of each new intraoperative scan.
+"""
+
+from repro.segmentation.atlas import LocalizationModel
+from repro.segmentation.knn import KNNClassifier
+from repro.segmentation.prototypes import PrototypeSet, select_prototypes
+from repro.segmentation.preoperative import AtlasSegmentation, segment_preoperative
+from repro.segmentation.quality import confusion_matrix, dice_per_class
+
+__all__ = [
+    "AtlasSegmentation",
+    "KNNClassifier",
+    "LocalizationModel",
+    "PrototypeSet",
+    "confusion_matrix",
+    "dice_per_class",
+    "segment_preoperative",
+    "select_prototypes",
+]

@@ -1,0 +1,116 @@
+"""Prototype voxel selection and automatic re-use.
+
+In the paper, a clinician marks groups of prototypical voxels on the
+*first* intraoperative scan (< 5 minutes of interaction); the spatial
+locations are recorded so that the statistical model updates itself
+automatically for every later scan — the intensities at the recorded
+locations are simply re-read from the new (rigidly aligned) image. Here
+the clinician is simulated by sampling prototype locations from the
+ground-truth segmentation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.imaging.resample import trilinear_sample
+from repro.imaging.volume import ImageVolume
+from repro.segmentation.atlas import LocalizationModel
+from repro.util import ValidationError, default_rng
+from repro.util.rng import SeedLike
+
+
+@dataclass
+class PrototypeSet:
+    """Recorded prototype voxels: world locations, class labels, features.
+
+    Attributes
+    ----------
+    points_world:
+        ``(n, 3)`` prototype locations in the intraoperative frame.
+    labels:
+        ``(n,)`` tissue class of each prototype.
+    features:
+        ``(n, c)`` feature vectors (intensity + localization channels)
+        last sampled for these prototypes.
+    """
+
+    points_world: np.ndarray
+    labels: np.ndarray
+    features: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+    def update_features(
+        self,
+        image: ImageVolume,
+        localization: LocalizationModel,
+        transform=None,
+    ) -> "PrototypeSet":
+        """Re-sample the feature vectors for a newly acquired scan.
+
+        This is the paper's automatic model update: the prototype
+        *locations* persist; only the intensity (and, through the rigid
+        transform, localization) values are refreshed.
+        """
+        features = build_features(
+            image, localization, self.points_world, transform=transform
+        )
+        return PrototypeSet(self.points_world, self.labels, features)
+
+
+def build_features(
+    image: ImageVolume,
+    localization: LocalizationModel,
+    points_world: np.ndarray,
+    transform=None,
+) -> np.ndarray:
+    """Feature vectors at world points: [intensity, d_class0, d_class1, ...].
+
+    ``transform`` (if given) maps intraoperative points into the
+    preoperative frame for the localization channels, exactly as the
+    rigid registration output is used in the paper.
+    """
+    intensity = trilinear_sample(image, points_world, fill_value=0.0)
+    loc = localization.sample_at(points_world, transform=transform)
+    return np.concatenate([intensity[..., None], loc], axis=-1)
+
+
+def select_prototypes(
+    image: ImageVolume,
+    reference_labels: ImageVolume,
+    localization: LocalizationModel,
+    classes: tuple[int, ...] | None = None,
+    per_class: int = 60,
+    transform=None,
+    seed: SeedLike = 0,
+) -> PrototypeSet:
+    """Simulate the clinician's prototype selection on the first scan.
+
+    Samples ``per_class`` voxels uniformly from each class of
+    ``reference_labels`` (skipping classes with no voxels), records their
+    world locations, and builds their feature vectors.
+    """
+    if per_class < 1:
+        raise ValidationError(f"per_class must be >= 1, got {per_class}")
+    rng = default_rng(seed)
+    wanted = classes if classes is not None else localization.classes
+    points = []
+    labels = []
+    for cls_value in wanted:
+        idx = np.argwhere(reference_labels.data == cls_value)
+        if len(idx) == 0:
+            continue
+        take = min(per_class, len(idx))
+        pick = idx[rng.choice(len(idx), size=take, replace=False)]
+        points.append(reference_labels.index_to_world(pick.astype(float)))
+        labels.append(np.full(take, cls_value, dtype=np.intp))
+    if not points:
+        raise ValidationError("no prototypes could be selected: classes absent from labels")
+    pts = np.concatenate(points, axis=0)
+    labs = np.concatenate(labels, axis=0)
+    feats = build_features(image, localization, pts, transform=transform)
+    return PrototypeSet(pts, labs, feats)

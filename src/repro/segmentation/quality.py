@@ -1,0 +1,39 @@
+"""Segmentation quality metrics (Dice overlap, confusion matrix)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.imaging.metrics import dice_coefficient
+from repro.util import ShapeError
+
+
+def dice_per_class(
+    predicted: np.ndarray, truth: np.ndarray, classes: tuple[int, ...] | None = None
+) -> dict[int, float]:
+    """Dice coefficient for each class label present in the truth."""
+    predicted = np.asarray(predicted)
+    truth = np.asarray(truth)
+    if predicted.shape != truth.shape:
+        raise ShapeError(f"shapes differ: {predicted.shape} vs {truth.shape}")
+    wanted = classes if classes is not None else tuple(int(c) for c in np.unique(truth))
+    return {
+        int(c): dice_coefficient(predicted == c, truth == c) for c in wanted
+    }
+
+
+def confusion_matrix(
+    predicted: np.ndarray, truth: np.ndarray, classes: tuple[int, ...]
+) -> np.ndarray:
+    """Confusion counts, rows = truth class, columns = predicted class."""
+    predicted = np.asarray(predicted).ravel()
+    truth = np.asarray(truth).ravel()
+    if predicted.shape != truth.shape:
+        raise ShapeError("shapes differ")
+    n = len(classes)
+    matrix = np.zeros((n, n), dtype=np.int64)
+    for i, true_class in enumerate(classes):
+        mask = truth == true_class
+        for j, pred_class in enumerate(classes):
+            matrix[i, j] = np.count_nonzero(predicted[mask] == pred_class)
+    return matrix

@@ -1,0 +1,32 @@
+"""Iterative Krylov solvers and preconditioners.
+
+The paper solves the assembled elasticity system with PETSc's GMRES and
+block-Jacobi preconditioning; this subpackage re-implements both from
+scratch (restarted GMRES via Arnoldi + Givens rotations, block-Jacobi
+with per-block sparse LU), plus conjugate gradients as an SPD
+cross-check, against a minimal operator interface that both serial CSR
+matrices and the distributed row-block operators satisfy.
+"""
+
+from repro.solver.cg import conjugate_gradient
+from repro.solver.gmres import GMRESResult, gmres
+from repro.solver.operator import AsOperator, LinearOperator, MatrixOperator
+from repro.solver.schwarz import RestrictedAdditiveSchwarz
+from repro.solver.preconditioner import (
+    BlockJacobiPreconditioner,
+    IdentityPreconditioner,
+    JacobiPreconditioner,
+)
+
+__all__ = [
+    "AsOperator",
+    "BlockJacobiPreconditioner",
+    "GMRESResult",
+    "IdentityPreconditioner",
+    "JacobiPreconditioner",
+    "LinearOperator",
+    "MatrixOperator",
+    "RestrictedAdditiveSchwarz",
+    "conjugate_gradient",
+    "gmres",
+]

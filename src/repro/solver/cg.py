@@ -1,0 +1,79 @@
+"""Preconditioned conjugate gradients.
+
+The reduced elasticity system is symmetric positive definite, so CG is a
+natural cross-check (and ablation comparator) for the paper's GMRES
+choice.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.solver.gmres import GMRESResult
+from repro.solver.operator import AsOperator
+from repro.solver.preconditioner import IdentityPreconditioner
+from repro.util import ConvergenceError, ShapeError, ValidationError
+
+
+def conjugate_gradient(
+    operator,
+    b: np.ndarray,
+    x0: np.ndarray | None = None,
+    preconditioner=None,
+    tol: float = 1e-8,
+    max_iter: int = 5000,
+    raise_on_fail: bool = False,
+) -> GMRESResult:
+    """Solve SPD ``A x = b`` with preconditioned CG.
+
+    Returns the same result record type as :func:`repro.solver.gmres` so
+    callers can switch solvers freely; ``restarts`` is always 0.
+    """
+    A = AsOperator(operator)
+    n = A.shape[0]
+    b = np.asarray(b, dtype=float).ravel()
+    if b.shape != (n,):
+        raise ShapeError(f"b must be ({n},), got {b.shape}")
+    if tol <= 0:
+        raise ValidationError(f"tol must be > 0, got {tol}")
+    M = preconditioner if preconditioner is not None else IdentityPreconditioner(n)
+    x = np.zeros(n) if x0 is None else np.asarray(x0, dtype=float).copy()
+
+    r = b - A.matvec(x)
+    z = M.solve(r)
+    p = z.copy()
+    rz = float(np.dot(r, z))
+    b_norm = float(np.linalg.norm(b))
+    if b_norm == 0.0:
+        return GMRESResult(np.zeros(n), True, 0, 0, 0.0, [0.0])
+    target = tol * b_norm
+    history = [float(np.linalg.norm(r))]
+
+    for it in range(1, max_iter + 1):
+        Ap = A.matvec(p)
+        pAp = float(np.dot(p, Ap))
+        if pAp <= 0:
+            raise ConvergenceError(
+                "CG encountered a non-positive curvature direction: operator is not SPD",
+                iterations=it,
+                residual=history[-1],
+            )
+        alpha = rz / pAp
+        x += alpha * p
+        r -= alpha * Ap
+        rn = float(np.linalg.norm(r))
+        history.append(rn)
+        if rn <= target:
+            return GMRESResult(x, True, it, 0, rn, history)
+        z = M.solve(r)
+        rz_new = float(np.dot(r, z))
+        p = z + (rz_new / rz) * p
+        rz = rz_new
+
+    if raise_on_fail:
+        raise ConvergenceError(
+            f"CG failed to reach tol={tol} in {max_iter} iterations",
+            iterations=max_iter,
+            residual=history[-1],
+        )
+    return GMRESResult(x, False, max_iter, 0, history[-1], history)

@@ -1,0 +1,105 @@
+"""Restricted additive Schwarz (RAS) preconditioner with overlap.
+
+Block Jacobi is the zero-overlap member of the Schwarz family: each
+rank solves its own diagonal block and discards all coupling. Extending
+every block by a few layers of matrix-graph neighbours and restricting
+the solution back to the owned rows (RAS) recovers much of the
+discarded coupling at modest extra factorization cost — the natural
+upgrade path the paper's PETSc configuration offered (``-pc_asm``), and
+the solver-side counterpart of its "improve the decomposition" future
+work. The solver ablation quantifies the iteration savings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+from scipy.sparse import linalg as spla
+
+from repro.util import ShapeError, ValidationError
+
+
+class RestrictedAdditiveSchwarz:
+    """RAS preconditioner over contiguous owned row ranges.
+
+    Parameters
+    ----------
+    matrix:
+        Square sparse matrix.
+    block_ranges:
+        Half-open owned row ranges tiling ``[0, n)`` (one per rank).
+    overlap:
+        Number of matrix-graph adjacency layers each subdomain is grown
+        by. ``0`` reduces to block Jacobi (with exact block LU).
+    factorization:
+        ``"lu"`` (exact subdomain solves) or ``"ilu"``.
+    """
+
+    def __init__(
+        self,
+        matrix: sparse.spmatrix,
+        block_ranges,
+        overlap: int = 1,
+        factorization: str = "lu",
+        drop_tol: float = 1e-4,
+        fill_factor: float = 3.0,
+    ):
+        n = matrix.shape[0]
+        if matrix.shape[0] != matrix.shape[1]:
+            raise ShapeError(f"matrix must be square, got {matrix.shape}")
+        if overlap < 0:
+            raise ValidationError(f"overlap must be >= 0, got {overlap}")
+        if factorization not in ("lu", "ilu"):
+            raise ValidationError(f"unknown factorization {factorization!r}")
+        ranges = [(int(a), int(b)) for a, b in block_ranges]
+        expected = 0
+        for a, b in ranges:
+            if a != expected or b <= a:
+                raise ValidationError("block ranges must tile [0, n) contiguously")
+            expected = b
+        if expected != n:
+            raise ValidationError(f"ranges cover [0, {expected}); matrix has {n} rows")
+
+        csr = matrix.tocsr()
+        self.shape = matrix.shape
+        self._owned = ranges
+        self._subdomains: list[np.ndarray] = []
+        self._factors = []
+        self._own_positions: list[np.ndarray] = []
+        for a, b in ranges:
+            indices = np.arange(a, b, dtype=np.intp)
+            grown = indices
+            for _ in range(overlap):
+                # One adjacency layer: all columns referenced by the rows.
+                sub_rows = csr[grown, :]
+                grown = np.unique(
+                    np.concatenate([grown, sub_rows.indices.astype(np.intp)])
+                )
+            self._subdomains.append(grown)
+            block = csr[grown, :][:, grown].tocsc()
+            if factorization == "lu":
+                self._factors.append(spla.splu(block))
+            else:
+                self._factors.append(
+                    spla.spilu(block, drop_tol=drop_tol, fill_factor=fill_factor)
+                )
+            # Positions within the subdomain vector that are owned rows.
+            self._own_positions.append(np.searchsorted(grown, indices))
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self._owned)
+
+    def subdomain_sizes(self) -> list[int]:
+        return [len(s) for s in self._subdomains]
+
+    def solve(self, r: np.ndarray) -> np.ndarray:
+        """Apply RAS: extended-subdomain solves, restricted to owned rows."""
+        r = np.asarray(r, dtype=float)
+        out = np.empty_like(r)
+        for (a, b), subdomain, factor, own in zip(
+            self._owned, self._subdomains, self._factors, self._own_positions
+        ):
+            local = factor.solve(r[subdomain])
+            out[a:b] = local[own]
+        return out

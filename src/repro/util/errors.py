@@ -1,0 +1,41 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised intentionally by the library derives from
+:class:`ReproError`, so callers can catch library failures without
+accidentally swallowing programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed validation (wrong value, range, or type)."""
+
+
+class ShapeError(ValidationError):
+    """An array argument has an incompatible shape."""
+
+
+class MeshError(ReproError):
+    """A mesh is structurally invalid (orphan nodes, inverted elements...)."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative algorithm failed to converge within its budget.
+
+    Attributes
+    ----------
+    iterations:
+        Number of iterations performed before giving up.
+    residual:
+        Final residual (algorithm specific norm), if known.
+    """
+
+    def __init__(self, message: str, iterations: int = -1, residual: float = float("nan")):
+        super().__init__(message)
+        self.iterations = iterations
+        self.residual = residual

@@ -1,0 +1,28 @@
+"""Seeded random-number generation helpers.
+
+All stochastic code in the library accepts either an integer seed, an
+existing :class:`numpy.random.Generator`, or ``None``; :func:`default_rng`
+normalizes those into a generator so that experiments are reproducible
+end-to-end from a single seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+SeedLike = int | np.random.Generator | None
+
+
+def default_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` from a seed-like value.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` for nondeterministic entropy, an ``int`` for a fixed
+        seed, or an existing generator (returned unchanged so that a
+        caller can thread one generator through a whole pipeline).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)

@@ -1,0 +1,58 @@
+"""Plain-text table formatting for experiment output.
+
+The benchmark harness regenerates the paper's tables and figure series as
+text tables (there is no plotting dependency in this environment), so a
+single shared formatter keeps all experiment output uniform.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+def _cell(value: object, precision: int) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value == 0:
+            return "0"
+        if abs(value) >= 10**6 or abs(value) < 10**-4:
+            return f"{value:.{precision}e}"
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+    precision: int = 4,
+) -> str:
+    """Render rows as an aligned, pipe-separated text table.
+
+    Parameters
+    ----------
+    headers:
+        Column names.
+    rows:
+        Iterable of row sequences; floats are formatted to ``precision``
+        significant digits, everything else with ``str``.
+    title:
+        Optional table caption printed above the header.
+    """
+    text_rows = [[_cell(v, precision) for v in row] for row in rows]
+    for i, row in enumerate(text_rows):
+        if len(row) != len(headers):
+            raise ValueError(f"row {i} has {len(row)} cells, expected {len(headers)}")
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for j, cell in enumerate(row):
+            widths[j] = max(widths[j], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,60 @@
+"""Wall-clock timing utilities.
+
+Real measurements (on this machine) and *virtual* time accounting (for
+the year-2000 machine models in :mod:`repro.machines`) share the same
+:class:`Timer` record type so experiment code can treat them uniformly.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+class WallClock:
+    """Monotonic wall-clock source, injectable for testing."""
+
+    def now(self) -> float:
+        """Return the current time in seconds (monotonic)."""
+        return time.perf_counter()
+
+
+@dataclass
+class Timer:
+    """Accumulating named timer.
+
+    A timer can be started and stopped repeatedly; :attr:`elapsed`
+    accumulates across start/stop cycles. It can also be used as a
+    context manager::
+
+        t = Timer("assembly")
+        with t:
+            assemble()
+        print(t.elapsed)
+    """
+
+    name: str
+    clock: WallClock = field(default_factory=WallClock, repr=False)
+    elapsed: float = 0.0
+    starts: int = 0
+    _started_at: float | None = field(default=None, repr=False)
+
+    def start(self) -> "Timer":
+        if self._started_at is not None:
+            raise RuntimeError(f"timer {self.name!r} already running")
+        self._started_at = self.clock.now()
+        self.starts += 1
+        return self
+
+    def stop(self) -> float:
+        if self._started_at is None:
+            raise RuntimeError(f"timer {self.name!r} not running")
+        self.elapsed += self.clock.now() - self._started_at
+        self._started_at = None
+        return self.elapsed
+
+    def __enter__(self) -> "Timer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

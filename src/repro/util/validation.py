@@ -1,0 +1,56 @@
+"""Argument-validation helpers.
+
+These helpers raise the library's :class:`~repro.util.errors.ValidationError`
+hierarchy with messages that name the offending argument, so failures deep
+inside the pipeline are attributable.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.util.errors import ShapeError, ValidationError
+
+
+def check_shape(array: np.ndarray, shape: Sequence[int | None], name: str = "array") -> np.ndarray:
+    """Validate an array's shape; ``None`` entries are wildcards.
+
+    Returns the array unchanged so the call can be used inline.
+    """
+    arr = np.asarray(array)
+    if arr.ndim != len(shape):
+        raise ShapeError(f"{name}: expected {len(shape)} dimensions, got {arr.ndim} (shape {arr.shape})")
+    for axis, want in enumerate(shape):
+        if want is not None and arr.shape[axis] != want:
+            raise ShapeError(f"{name}: expected shape {tuple(shape)}, got {arr.shape}")
+    return arr
+
+
+def check_volume_like(array: np.ndarray, name: str = "volume") -> np.ndarray:
+    """Validate that an array is a non-empty 3-D volume."""
+    arr = np.asarray(array)
+    if arr.ndim != 3:
+        raise ShapeError(f"{name}: expected a 3-D volume, got {arr.ndim}-D shape {arr.shape}")
+    if arr.size == 0:
+        raise ValidationError(f"{name}: volume is empty")
+    return arr
+
+
+def check_positive(value: float, name: str = "value", strict: bool = True) -> float:
+    """Validate that a scalar is positive (strictly by default)."""
+    if strict and not value > 0:
+        raise ValidationError(f"{name}: must be > 0, got {value!r}")
+    if not strict and not value >= 0:
+        raise ValidationError(f"{name}: must be >= 0, got {value!r}")
+    return value
+
+
+def check_finite(array: np.ndarray, name: str = "array") -> np.ndarray:
+    """Validate that all entries of an array are finite."""
+    arr = np.asarray(array)
+    if not np.all(np.isfinite(arr)):
+        bad = int(np.count_nonzero(~np.isfinite(arr)))
+        raise ValidationError(f"{name}: contains {bad} non-finite entries")
+    return arr

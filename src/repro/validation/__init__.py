@@ -1,0 +1,32 @@
+"""Quantitative validation of recovered deformation fields.
+
+The paper validates visually (Figs. 4-5) because clinical ground truth
+does not exist; with the phantom's exact fields this subpackage provides
+the quantitative counterparts a downstream user needs:
+
+* target registration error at landmark points (:func:`target_registration_error`),
+* surface-to-surface distances (:func:`hausdorff_distance`, :func:`mean_surface_distance`),
+* deformation regularity via the Jacobian determinant of the map
+  (:func:`jacobian_determinant`, :func:`folding_fraction`) — a folded
+  (non-invertible) field is anatomically impossible no matter how well
+  intensities match, which is how the biomechanical model's advantage
+  over purely image-driven registration is demonstrated.
+"""
+
+from repro.validation.deformation import (
+    displacement_error_stats,
+    folding_fraction,
+    jacobian_determinant,
+)
+from repro.validation.landmarks import sample_landmarks, target_registration_error
+from repro.validation.surfaces import hausdorff_distance, mean_surface_distance
+
+__all__ = [
+    "displacement_error_stats",
+    "folding_fraction",
+    "hausdorff_distance",
+    "jacobian_determinant",
+    "mean_surface_distance",
+    "sample_landmarks",
+    "target_registration_error",
+]

@@ -1,0 +1,75 @@
+"""Dense deformation-field diagnostics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util import ShapeError, check_volume_like
+
+
+def jacobian_determinant(
+    displacement_mm: np.ndarray, spacing: tuple[float, float, float]
+) -> np.ndarray:
+    """Determinant of the Jacobian of ``x -> x + u(x)`` per voxel.
+
+    Values near 1 mean locally volume-preserving; <= 0 means the map
+    folds (is not locally invertible). Central differences in world
+    units; the result has the field's spatial shape.
+    """
+    disp = np.asarray(displacement_mm, dtype=float)
+    if disp.ndim != 4 or disp.shape[-1] != 3:
+        raise ShapeError(f"displacement must be (nx, ny, nz, 3), got {disp.shape}")
+    grads = np.empty((*disp.shape[:3], 3, 3))
+    for comp in range(3):
+        gx, gy, gz = np.gradient(disp[..., comp], *spacing, edge_order=1)
+        grads[..., comp, 0] = gx
+        grads[..., comp, 1] = gy
+        grads[..., comp, 2] = gz
+    jac = grads + np.eye(3)
+    return np.linalg.det(jac)
+
+
+def folding_fraction(
+    displacement_mm: np.ndarray,
+    spacing: tuple[float, float, float],
+    mask: np.ndarray | None = None,
+) -> float:
+    """Fraction of voxels where the deformation folds (det J <= 0)."""
+    det = jacobian_determinant(displacement_mm, spacing)
+    if mask is not None:
+        mask = check_volume_like(mask, "mask").astype(bool)
+        det = det[mask]
+    if det.size == 0:
+        return 0.0
+    return float(np.mean(det <= 0.0))
+
+
+def displacement_error_stats(
+    recovered_mm: np.ndarray,
+    truth_mm: np.ndarray,
+    mask: np.ndarray | None = None,
+) -> dict[str, float]:
+    """Error statistics between two displacement fields (mm).
+
+    Returns mean / RMS / p95 / max error magnitude, plus the truth's
+    mean magnitude for context.
+    """
+    a = np.asarray(recovered_mm, dtype=float)
+    b = np.asarray(truth_mm, dtype=float)
+    if a.shape != b.shape:
+        raise ShapeError(f"field shapes differ: {a.shape} vs {b.shape}")
+    err = np.linalg.norm(a - b, axis=-1)
+    mag = np.linalg.norm(b, axis=-1)
+    if mask is not None:
+        mask = np.asarray(mask, dtype=bool)
+        err = err[mask]
+        mag = mag[mask]
+    if err.size == 0:
+        raise ShapeError("no voxels selected")
+    return {
+        "mean_mm": float(err.mean()),
+        "rms_mm": float(np.sqrt(np.mean(err**2))),
+        "p95_mm": float(np.percentile(err, 95)),
+        "max_mm": float(err.max()),
+        "truth_mean_mm": float(mag.mean()),
+    }

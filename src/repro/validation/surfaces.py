@@ -1,0 +1,48 @@
+"""Surface-to-surface distance measures (Hausdorff, mean)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util import ShapeError, ValidationError
+
+
+def _pairwise_min_distance(a: np.ndarray, b: np.ndarray, chunk: int = 2048) -> np.ndarray:
+    """For each point of ``a``, distance to the nearest point of ``b``."""
+    out = np.empty(len(a))
+    for start in range(0, len(a), chunk):
+        block = a[start : start + chunk]
+        d2 = (
+            np.sum(block * block, axis=1)[:, None]
+            - 2.0 * block @ b.T
+            + np.sum(b * b, axis=1)[None, :]
+        )
+        out[start : start + chunk] = np.sqrt(np.maximum(d2.min(axis=1), 0.0))
+    return out
+
+
+def _check_points(points: np.ndarray, name: str) -> np.ndarray:
+    pts = np.asarray(points, dtype=float)
+    if pts.ndim != 2 or pts.shape[1] != 3:
+        raise ShapeError(f"{name} must be (n, 3), got {pts.shape}")
+    if len(pts) == 0:
+        raise ValidationError(f"{name} is empty")
+    return pts
+
+
+def hausdorff_distance(points_a: np.ndarray, points_b: np.ndarray) -> float:
+    """Symmetric Hausdorff distance between two point sets (mm)."""
+    a = _check_points(points_a, "points_a")
+    b = _check_points(points_b, "points_b")
+    return float(
+        max(_pairwise_min_distance(a, b).max(), _pairwise_min_distance(b, a).max())
+    )
+
+
+def mean_surface_distance(points_a: np.ndarray, points_b: np.ndarray) -> float:
+    """Symmetric mean nearest-neighbour distance between point sets (mm)."""
+    a = _check_points(points_a, "points_a")
+    b = _check_points(points_b, "points_b")
+    return float(
+        0.5 * (_pairwise_min_distance(a, b).mean() + _pairwise_min_distance(b, a).mean())
+    )

@@ -1,0 +1,38 @@
+"""Dependency-free visualization substrate.
+
+The paper's results are presented through an intraoperative
+visualization system (2-D slice comparisons in Fig. 4, a shaded 3-D
+surface color-coded by deformation magnitude with displacement arrows
+in Fig. 5). No plotting library is available in this environment, so
+this subpackage implements the needed pieces directly on NumPy:
+
+* window/level slice extraction and montages (:mod:`repro.viz.slices`),
+* linear colormaps (:mod:`repro.viz.colormap`),
+* an orthographic z-buffer triangle rasterizer with Lambert shading and
+  3-D line overlays (:mod:`repro.viz.render`),
+* portable PPM/PGM image output (:mod:`repro.viz.ppm`).
+
+``repro.viz.figures`` composes them into the paper's actual panels.
+"""
+
+from repro.viz.colormap import Colormap, DEFORMATION_CMAP, GRAYSCALE_CMAP
+from repro.viz.figures import figure4_panels, figure5_render
+from repro.viz.ppm import write_pgm, write_ppm
+from repro.viz.render import SurfaceRenderer, look_rotation
+from repro.viz.slices import difference_panel, montage, slice_image, window_level
+
+__all__ = [
+    "Colormap",
+    "DEFORMATION_CMAP",
+    "GRAYSCALE_CMAP",
+    "SurfaceRenderer",
+    "difference_panel",
+    "figure4_panels",
+    "figure5_render",
+    "look_rotation",
+    "montage",
+    "slice_image",
+    "window_level",
+    "write_pgm",
+    "write_ppm",
+]

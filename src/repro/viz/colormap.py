@@ -1,0 +1,68 @@
+"""Piecewise-linear colormaps."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util import ShapeError, ValidationError
+
+
+@dataclass(frozen=True)
+class Colormap:
+    """A piecewise-linear RGB colormap.
+
+    Parameters
+    ----------
+    stops:
+        ``(k,)`` increasing positions in [0, 1].
+    colors:
+        ``(k, 3)`` RGB values in [0, 1] at each stop.
+    """
+
+    stops: tuple[float, ...]
+    colors: tuple[tuple[float, float, float], ...]
+
+    def __post_init__(self) -> None:
+        if len(self.stops) != len(self.colors) or len(self.stops) < 2:
+            raise ValidationError("need >= 2 matching stops and colors")
+        if list(self.stops) != sorted(self.stops):
+            raise ValidationError("stops must be increasing")
+        if self.stops[0] != 0.0 or self.stops[-1] != 1.0:
+            raise ValidationError("stops must span [0, 1]")
+
+    def __call__(
+        self, values: np.ndarray, vmin: float = 0.0, vmax: float = 1.0
+    ) -> np.ndarray:
+        """Map values to uint8 RGB; shape ``(..., 3)``."""
+        if vmax <= vmin:
+            raise ValidationError(f"vmax must exceed vmin, got [{vmin}, {vmax}]")
+        x = np.clip((np.asarray(values, dtype=float) - vmin) / (vmax - vmin), 0.0, 1.0)
+        stops = np.asarray(self.stops)
+        colors = np.asarray(self.colors)
+        idx = np.clip(np.searchsorted(stops, x, side="right") - 1, 0, len(stops) - 2)
+        left = stops[idx]
+        width = stops[idx + 1] - left
+        frac = np.where(width > 0, (x - left) / np.where(width > 0, width, 1.0), 0.0)
+        rgb = colors[idx] + frac[..., None] * (colors[idx + 1] - colors[idx])
+        return np.clip(rgb * 255.0, 0, 255).astype(np.uint8)
+
+
+#: Plain grayscale.
+GRAYSCALE_CMAP = Colormap((0.0, 1.0), ((0.0, 0.0, 0.0), (1.0, 1.0, 1.0)))
+
+#: Blue -> cyan -> yellow -> red, the classic deformation-magnitude map
+#: (Fig. 5 color codes |u| over the deformed surface).
+DEFORMATION_CMAP = Colormap(
+    (0.0, 0.33, 0.66, 1.0),
+    ((0.1, 0.15, 0.8), (0.1, 0.8, 0.9), (0.95, 0.9, 0.2), (0.85, 0.1, 0.1)),
+)
+
+
+def grayscale_to_rgb(image_u8: np.ndarray) -> np.ndarray:
+    """Promote a (h, w) uint8 grayscale image to (h, w, 3) RGB."""
+    img = np.asarray(image_u8)
+    if img.ndim != 2:
+        raise ShapeError(f"expected (h, w), got {img.shape}")
+    return np.repeat(img[..., None], 3, axis=-1)

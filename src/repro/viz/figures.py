@@ -1,0 +1,97 @@
+"""Compose the paper's actual figure panels from pipeline outputs.
+
+:func:`figure4_panels` writes the four Fig. 4 sub-images (initial scan
+slice, target slice, simulated-deformation slice, difference magnitude);
+:func:`figure5_render` writes the Fig. 5 surface rendering (deformed
+brain surface color-coded by deformation magnitude, displacement
+segments as arrows).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.pipeline import IntraoperativeResult
+from repro.imaging.phantom import NeurosurgeryCase
+from repro.viz.colormap import DEFORMATION_CMAP
+from repro.viz.ppm import write_pgm, write_ppm
+from repro.viz.render import SurfaceRenderer
+from repro.viz.slices import difference_panel, montage, slice_image
+
+
+def figure4_panels(
+    case: NeurosurgeryCase,
+    result: IntraoperativeResult,
+    out_dir: str | Path,
+    slice_index: int | None = None,
+) -> dict[str, Path]:
+    """Write the Fig. 4 panels; returns name -> path.
+
+    The slice defaults to the one through the craniotomy centre, where
+    the surface sinking is most visible.
+    """
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    if slice_index is None:
+        k = int(round(case.preop_labels.world_to_index(case.craniotomy_center)[2]))
+        slice_index = int(np.clip(k - 2, 0, case.preop_mri.shape[2] - 1))
+
+    paths = {}
+    panels = []
+    for name, image in (
+        ("fig4a_initial", slice_image(case.preop_mri, slice_index)),
+        ("fig4b_target", slice_image(case.intraop_mri, slice_index)),
+        ("fig4c_simulated", slice_image(result.deformed_mri, slice_index)),
+        (
+            "fig4d_difference",
+            difference_panel(result.deformed_mri, case.intraop_mri, slice_index),
+        ),
+    ):
+        paths[name] = write_pgm(out / f"{name}.pgm", image)
+        panels.append(image)
+    paths["fig4_montage"] = write_pgm(out / "fig4_montage.pgm", montage(panels, columns=2))
+    return paths
+
+
+def figure5_render(
+    surface,
+    result: IntraoperativeResult,
+    out_path: str | Path,
+    width: int = 560,
+    height: int = 560,
+    arrow_stride: int = 25,
+) -> Path:
+    """Write the Fig. 5 rendering (PPM).
+
+    Parameters
+    ----------
+    surface:
+        The preoperative brain surface the pipeline used
+        (``preop.surface`` from
+        :meth:`~repro.core.pipeline.IntraoperativePipeline.prepare_preoperative`).
+    result:
+        The intraoperative processing result holding the surface
+        correspondence.
+
+    The deformed surface is colored by displacement magnitude; every
+    ``arrow_stride``-th surface vertex gets a segment from its initial
+    to its final position (the paper's blue arrows).
+    """
+    corr = result.correspondence
+    deformed = corr.tracked.positions
+    mags = corr.magnitudes
+    segments = np.stack(
+        [corr.snapped.positions[::arrow_stride], deformed[::arrow_stride]], axis=1
+    )
+    renderer = SurfaceRenderer(width=width, height=height)
+    image = renderer.render(
+        surface,
+        vertex_positions=deformed,
+        vertex_values=mags,
+        colormap=DEFORMATION_CMAP,
+        vmin=0.0,
+        segments=segments,
+    )
+    return write_ppm(out_path, image)

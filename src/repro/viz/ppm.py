@@ -1,0 +1,48 @@
+"""Binary PPM/PGM image writers (no external imaging dependency)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.util import ShapeError
+
+
+def write_pgm(path: str | Path, image: np.ndarray) -> Path:
+    """Write a (h, w) uint8 array as a binary PGM (P5) file."""
+    img = np.asarray(image)
+    if img.ndim != 2:
+        raise ShapeError(f"PGM needs (h, w), got {img.shape}")
+    img = img.astype(np.uint8)
+    path = Path(path)
+    with path.open("wb") as fh:
+        fh.write(f"P5\n{img.shape[1]} {img.shape[0]}\n255\n".encode())
+        fh.write(img.tobytes())
+    return path
+
+
+def write_ppm(path: str | Path, image: np.ndarray) -> Path:
+    """Write a (h, w, 3) uint8 array as a binary PPM (P6) file."""
+    img = np.asarray(image)
+    if img.ndim != 3 or img.shape[2] != 3:
+        raise ShapeError(f"PPM needs (h, w, 3), got {img.shape}")
+    img = img.astype(np.uint8)
+    path = Path(path)
+    with path.open("wb") as fh:
+        fh.write(f"P6\n{img.shape[1]} {img.shape[0]}\n255\n".encode())
+        fh.write(img.tobytes())
+    return path
+
+
+def read_ppm(path: str | Path) -> np.ndarray:
+    """Read back a binary PPM/PGM written by this module (for tests)."""
+    raw = Path(path).read_bytes()
+    parts = raw.split(b"\n", 3)
+    magic, dims, _maxval, data = parts[0], parts[1], parts[2], parts[3]
+    w, h = (int(t) for t in dims.split())
+    if magic == b"P5":
+        return np.frombuffer(data, dtype=np.uint8, count=h * w).reshape(h, w)
+    if magic == b"P6":
+        return np.frombuffer(data, dtype=np.uint8, count=h * w * 3).reshape(h, w, 3)
+    raise ShapeError(f"unsupported magic {magic!r}")

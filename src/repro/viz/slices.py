@@ -1,0 +1,97 @@
+"""Slice extraction, window/level, montages, difference panels.
+
+These produce the Fig. 4-style 2-D comparisons: a slice of the initial
+scan, the target scan, the simulated deformation, and the magnitude of
+the difference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.imaging.volume import ImageVolume
+from repro.util import ShapeError, ValidationError
+
+_AXES = {"sagittal": 0, "coronal": 1, "axial": 2}
+
+
+def window_level(
+    data: np.ndarray, window: float | None = None, level: float | None = None
+) -> np.ndarray:
+    """Map intensities to uint8 with a radiology window/level.
+
+    Defaults to the 1st-99th percentile range of the data.
+    """
+    arr = np.asarray(data, dtype=float)
+    if window is None or level is None:
+        lo, hi = np.percentile(arr, [1.0, 99.0])
+        if hi <= lo:
+            lo, hi = float(arr.min()), float(arr.max() + 1e-9)
+    else:
+        if window <= 0:
+            raise ValidationError(f"window must be > 0, got {window}")
+        lo, hi = level - window / 2.0, level + window / 2.0
+    scaled = np.clip((arr - lo) / (hi - lo), 0.0, 1.0)
+    return (scaled * 255.0).astype(np.uint8)
+
+
+def slice_image(
+    volume: ImageVolume,
+    index: int,
+    orientation: str = "axial",
+    window: float | None = None,
+    level: float | None = None,
+) -> np.ndarray:
+    """Extract one slice as a window/levelled uint8 image."""
+    if orientation not in _AXES:
+        raise ValidationError(f"orientation must be one of {sorted(_AXES)}")
+    axis = _AXES[orientation]
+    if not 0 <= index < volume.shape[axis]:
+        raise ValidationError(
+            f"slice index {index} out of range for axis {axis} (size {volume.shape[axis]})"
+        )
+    plane = np.take(volume.data, index, axis=axis)
+    return window_level(plane, window, level)
+
+
+def difference_panel(
+    a: ImageVolume,
+    b: ImageVolume,
+    index: int,
+    orientation: str = "axial",
+) -> np.ndarray:
+    """|a - b| slice as uint8 (the paper's Fig. 4d panel).
+
+    Both volumes are compared on a shared window so the panel is
+    interpretable as absolute intensity difference.
+    """
+    if a.shape != b.shape:
+        raise ShapeError(f"volume shapes differ: {a.shape} vs {b.shape}")
+    axis = _AXES[orientation]
+    pa = np.take(a.data, index, axis=axis).astype(float)
+    pb = np.take(b.data, index, axis=axis).astype(float)
+    return window_level(np.abs(pa - pb), window=None, level=None)
+
+
+def montage(panels: list[np.ndarray], columns: int = 2, pad: int = 4) -> np.ndarray:
+    """Tile same-shape uint8 panels (grayscale or RGB) into one image."""
+    if not panels:
+        raise ValidationError("montage needs at least one panel")
+    shapes = {p.shape for p in panels}
+    if len(shapes) != 1:
+        raise ShapeError(f"panels must share a shape, got {shapes}")
+    panel = panels[0]
+    rgb = panel.ndim == 3
+    h, w = panel.shape[:2]
+    rows = (len(panels) + columns - 1) // columns
+    out_shape = (
+        rows * h + (rows + 1) * pad,
+        columns * w + (columns + 1) * pad,
+    ) + ((3,) if rgb else ())
+    out = np.zeros(out_shape, dtype=np.uint8)
+    for i, p in enumerate(panels):
+        r, c = divmod(i, columns)
+        y = pad + r * (h + pad)
+        x = pad + c * (w + pad)
+        out[y : y + h, x : x + w] = p
+    return out

@@ -1,0 +1,75 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_pipeline_defaults(self):
+        args = build_parser().parse_args(["pipeline"])
+        assert args.shape == [64, 64, 48]
+        assert args.machine == "deep_flow"
+
+    def test_scaling_args(self):
+        args = build_parser().parse_args(
+            ["scaling", "--equations", "1000", "--machine", "ultra80", "--cpus", "1", "2"]
+        )
+        assert args.equations == 1000
+        assert args.cpus == [1, 2]
+
+    def test_unknown_machine_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["pipeline", "--machine", "cray"])
+
+
+class TestCommands:
+    def test_pipeline_small(self, capsys, tmp_path):
+        rc = main(
+            [
+                "pipeline",
+                "--shape", "32", "32", "24",
+                "--cell", "8",
+                "--cpus", "2",
+                "--seed", "3",
+                "--out", str(tmp_path),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "biomechanical simulation" in out
+        assert "match RMS" in out
+        assert (tmp_path / "fig4_montage.pgm").exists()
+        assert (tmp_path / "fig5.ppm").exists()
+
+    def test_scaling_small(self, capsys):
+        rc = main(
+            [
+                "scaling",
+                "--equations", "4000",
+                "--machine", "ultra80",
+                "--cpus", "1", "4",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Ultra 80" in out
+        assert "CPUs" in out
+
+    def test_predict_small(self, capsys):
+        rc = main(["predict", "--shape", "32", "32", "24", "--cell", "8"])
+        assert rc == 0
+        assert "predicted sag" in capsys.readouterr().out
+
+    def test_predict_heterogeneous(self, capsys):
+        rc = main(
+            ["predict", "--shape", "32", "32", "24", "--cell", "8", "--heterogeneous"]
+        )
+        assert rc == 0
+        assert "heterogeneous" in capsys.readouterr().out

@@ -1,0 +1,134 @@
+"""Tests for timeline, config, and the end-to-end pipeline integration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import IntraoperativePipeline
+from repro.core.timeline import Timeline
+from repro.imaging.phantom import Tissue, make_neurosurgery_case
+from repro.machines.spec import DEEP_FLOW
+from repro.util import ValidationError
+
+
+class TestTimeline:
+    def test_stage_records_duration(self):
+        tl = Timeline()
+        with tl.stage("work"):
+            pass
+        assert len(tl.entries) == 1
+        assert tl.entries[0].seconds >= 0
+
+    def test_totals_by_period(self):
+        tl = Timeline()
+        tl.add("a", 1.0, "preoperative")
+        tl.add("b", 2.0, "intraoperative")
+        tl.add("c", 3.0, "intraoperative")
+        assert tl.total() == 6.0
+        assert tl.total("intraoperative") == 5.0
+        assert tl.seconds_for("b") == 2.0
+
+    def test_as_table_contains_stages(self):
+        tl = Timeline()
+        tl.add("rigid registration", 0.5)
+        text = tl.as_table("T")
+        assert "rigid registration" in text
+        assert "TOTAL" in text
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        cfg = PipelineConfig()
+        assert cfg.n_ranks == 1
+        assert int(Tissue.BRAIN) in cfg.brain_labels
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            PipelineConfig(brain_labels=())
+        with pytest.raises(ValidationError):
+            PipelineConfig(mesh_cell_mm=0.0)
+        with pytest.raises(ValidationError):
+            PipelineConfig(n_ranks=0)
+
+
+@pytest.fixture(scope="module")
+def pipeline_run():
+    case = make_neurosurgery_case(shape=(48, 48, 36), shift_mm=6.0, seed=17)
+    cfg = PipelineConfig(mesh_cell_mm=6.0, n_ranks=2, rigid_max_iter=2, rigid_samples=6000)
+    pipeline = IntraoperativePipeline(cfg, machine=DEEP_FLOW)
+    preop = pipeline.prepare_preoperative(case.preop_mri, case.preop_labels)
+    result = pipeline.process_scan(case.intraop_mri, preop)
+    return case, cfg, preop, result
+
+
+class TestPipelineIntegration:
+    def test_biomechanical_beats_rigid(self, pipeline_run):
+        _, _, _, result = pipeline_run
+        assert result.match_simulated_rms < result.match_rigid_rms
+        assert result.match_simulated_mi > result.match_rigid_mi
+
+    def test_recovers_most_of_the_deformation(self, pipeline_run):
+        case, _, _, result = pipeline_run
+        brain = case.brain_mask()
+        err = np.linalg.norm(result.grid_displacement - case.true_forward_mm, axis=-1)[brain]
+        true = np.linalg.norm(case.true_forward_mm, axis=-1)[brain]
+        assert err.mean() < 0.5 * true.max()
+        assert err.mean() < true.mean() + 0.3
+
+    def test_timeline_has_all_paper_stages(self, pipeline_run):
+        _, _, _, result = pipeline_run
+        stages = [e.stage for e in result.timeline.entries]
+        assert stages == [
+            "rigid registration",
+            "tissue classification",
+            "surface displacement",
+            "biomechanical simulation",
+            "visualization resample",
+        ]
+
+    def test_virtual_machine_times_recorded(self, pipeline_run):
+        _, _, _, result = pipeline_run
+        assert result.simulation.total_seconds > 0
+
+    def test_segmentation_brain_overlaps_truth(self, pipeline_run):
+        case, cfg, _, result = pipeline_run
+        from repro.imaging.metrics import dice_coefficient
+
+        pred = np.isin(result.segmentation.data, cfg.intraop_brain_labels)
+        truth = np.isin(
+            case.intraop_labels.data,
+            list(cfg.brain_labels) + [int(Tissue.RESECTION)],
+        )
+        assert dice_coefficient(pred, truth) > 0.9
+
+    def test_deformed_mri_shares_grid(self, pipeline_run):
+        case, _, _, result = pipeline_run
+        assert result.deformed_mri.same_grid_as(case.preop_mri)
+
+    def test_prototype_reuse_across_scans(self, pipeline_run):
+        """Second scan reuses recorded prototypes (paper's model update)."""
+        case, cfg, preop, result = pipeline_run
+        pipeline = IntraoperativePipeline(cfg, machine=None)
+        second = pipeline.process_scan(
+            case.intraop_mri, preop, prototypes=result.prototypes
+        )
+        assert np.array_equal(
+            second.prototypes.points_world, result.prototypes.points_world
+        )
+        assert second.match_simulated_rms < second.match_rigid_rms
+
+    def test_grid_mismatch_rejected(self, pipeline_run):
+        case, cfg, _, _ = pipeline_run
+        pipeline = IntraoperativePipeline(cfg)
+        bad = make_neurosurgery_case(shape=(24, 24, 18), seed=1)
+        with pytest.raises(ValidationError):
+            pipeline.prepare_preoperative(case.preop_mri, bad.preop_labels)
+
+    def test_target_mesh_nodes_config(self):
+        case = make_neurosurgery_case(shape=(32, 32, 24), seed=3)
+        cfg = PipelineConfig(target_mesh_nodes=1500, rigid_max_iter=1, surface_iterations=50)
+        pipeline = IntraoperativePipeline(cfg)
+        preop = pipeline.prepare_preoperative(case.preop_mri, case.preop_labels)
+        assert abs(preop.mesher.mesh.n_nodes - 1500) / 1500 < 0.2

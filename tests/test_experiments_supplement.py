@@ -1,0 +1,34 @@
+"""Unit tests for the supplementary-exhibit helpers (no pipeline runs)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.convergence import ascii_semilog
+
+
+class TestAsciiSemilog:
+    def test_renders_grid_with_legend(self):
+        histories = {
+            1: list(np.geomspace(1.0, 1e-6, 40)),
+            16: list(np.geomspace(1.0, 1e-6, 70)),
+        }
+        text = ascii_semilog(histories, width=40, height=8)
+        lines = text.splitlines()
+        assert lines[0].startswith("log10(residual)")
+        assert len(lines) == 1 + 8 + 1
+        assert "1=P1" in lines[-1]
+        assert "2=P16" in lines[-1]
+        body = "\n".join(lines[1:-1])
+        assert "1" in body and "2" in body
+
+    def test_handles_empty(self):
+        assert ascii_semilog({}) == "(no data)"
+
+    def test_ignores_nonpositive_residuals(self):
+        text = ascii_semilog({2: [1.0, 0.0, 0.5]}, width=20, height=5)
+        assert "log10" in text
+
+    def test_flat_history(self):
+        text = ascii_semilog({4: [1.0, 1.0, 1.0]}, width=20, height=5)
+        assert "legend" in text

@@ -1,0 +1,206 @@
+"""Tests for global assembly, boundary conditions, and the model facade."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.fem.assembly import (
+    assemble_load_vector,
+    assemble_stiffness,
+    assembly_work_per_node,
+    element_dof_indices,
+    element_stiffness_matrices,
+)
+from repro.fem.bc import DirichletBC, apply_dirichlet, eliminated_per_node
+from repro.fem.material import BRAIN_HOMOGENEOUS
+from repro.fem.model import BiomechanicalModel
+from repro.mesh.surface import extract_boundary_surface
+from repro.util import ShapeError, ValidationError
+
+
+@pytest.fixture(scope="module")
+def assembled(brain_mesh_module):
+    K = assemble_stiffness(brain_mesh_module, BRAIN_HOMOGENEOUS)
+    return brain_mesh_module, K
+
+
+@pytest.fixture(scope="module")
+def brain_mesh_module():
+    from repro.imaging.phantom import make_neurosurgery_case
+    from repro.mesh.generator import mesh_labeled_volume
+    from tests.conftest import BRAIN_LABELS
+
+    case = make_neurosurgery_case(shape=(32, 32, 24), shift_mm=5.0, seed=42)
+    return mesh_labeled_volume(case.preop_labels, 10.0, BRAIN_LABELS).mesh
+
+
+class TestElementStiffness:
+    def test_symmetric(self, brain_mesh_module):
+        Ke = element_stiffness_matrices(brain_mesh_module, BRAIN_HOMOGENEOUS)
+        assert np.allclose(Ke, np.transpose(Ke, (0, 2, 1)))
+
+    def test_positive_semidefinite_with_six_zero_modes(self, brain_mesh_module):
+        Ke = element_stiffness_matrices(brain_mesh_module, BRAIN_HOMOGENEOUS)[0]
+        eigs = np.linalg.eigvalsh(Ke)
+        assert np.sum(np.abs(eigs) < 1e-6 * eigs.max()) == 6  # rigid modes
+        assert np.all(eigs > -1e-6 * eigs.max())
+
+    def test_dof_indices_node_major(self, brain_mesh_module):
+        dofs = element_dof_indices(brain_mesh_module)
+        conn = brain_mesh_module.elements
+        assert dofs.shape == (brain_mesh_module.n_elements, 12)
+        assert np.all(dofs[:, 0] == 3 * conn[:, 0])
+        assert np.all(dofs[:, 5] == 3 * conn[:, 1] + 2)
+
+
+class TestGlobalAssembly:
+    def test_symmetric(self, assembled):
+        _, K = assembled
+        assert abs(K - K.T).max() < 1e-9 * abs(K).max()
+
+    def test_rigid_body_null_space(self, assembled):
+        mesh, K = assembled
+        translation = np.tile([1.0, -2.0, 0.5], mesh.n_nodes)
+        assert np.abs(K @ translation).max() < 1e-8 * abs(K).max()
+        w = np.array([0.1, 0.2, -0.3])
+        rotation = np.cross(np.broadcast_to(w, (mesh.n_nodes, 3)), mesh.nodes).ravel()
+        assert np.abs(K @ rotation).max() < 1e-6 * abs(K).max() * np.abs(rotation).max()
+
+    def test_positive_semidefinite_sample(self, assembled):
+        _, K = assembled
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            x = rng.normal(size=K.shape[0])
+            assert x @ (K @ x) > -1e-9 * abs(K).max()
+
+    def test_node_permutation_invariance(self, brain_mesh_module):
+        """Energy is invariant under node renumbering."""
+        from repro.mesh.tetra import TetrahedralMesh
+
+        mesh = brain_mesh_module
+        rng = np.random.default_rng(3)
+        perm = rng.permutation(mesh.n_nodes)
+        inv = np.empty_like(perm)
+        inv[perm] = np.arange(mesh.n_nodes)
+        permuted = TetrahedralMesh(mesh.nodes[perm], inv[mesh.elements], mesh.materials)
+        K1 = assemble_stiffness(mesh, BRAIN_HOMOGENEOUS)
+        K2 = assemble_stiffness(permuted, BRAIN_HOMOGENEOUS)
+        u = rng.normal(size=(mesh.n_nodes, 3))
+        e1 = u.ravel() @ (K1 @ u.ravel())
+        u2 = u[perm]
+        e2 = u2.ravel() @ (K2 @ u2.ravel())
+        assert e1 == pytest.approx(e2, rel=1e-9)
+
+    def test_work_per_node_is_connectivity(self, brain_mesh_module):
+        assert np.array_equal(
+            assembly_work_per_node(brain_mesh_module),
+            brain_mesh_module.node_element_counts(),
+        )
+
+
+class TestLoadVector:
+    def test_zero_without_force(self, brain_mesh_module):
+        f = assemble_load_vector(brain_mesh_module)
+        assert np.all(f == 0)
+
+    def test_uniform_force_total(self, brain_mesh_module):
+        f = assemble_load_vector(brain_mesh_module, np.array([0.0, 0.0, -1.0]))
+        total_z = f[2::3].sum()
+        assert total_z == pytest.approx(-brain_mesh_module.total_volume(), rel=1e-9)
+
+    def test_rejects_bad_shape(self, brain_mesh_module):
+        with pytest.raises(ShapeError):
+            assemble_load_vector(brain_mesh_module, np.zeros((2, 3)))
+
+
+class TestDirichlet:
+    def test_reduced_size(self, assembled):
+        mesh, K = assembled
+        bc = DirichletBC(np.array([0, 1, 2]), np.zeros((3, 3)))
+        reduced = apply_dirichlet(K, np.zeros(mesh.n_dof), bc)
+        assert reduced.n_free == mesh.n_dof - 9
+        assert reduced.matrix.shape == (reduced.n_free, reduced.n_free)
+
+    def test_expand_restores_fixed_values(self, assembled):
+        mesh, K = assembled
+        values = np.arange(6.0).reshape(2, 3)
+        bc = DirichletBC(np.array([3, 5]), values)
+        reduced = apply_dirichlet(K, np.zeros(mesh.n_dof), bc)
+        full = reduced.expand(np.zeros(reduced.n_free))
+        assert np.allclose(full.reshape(-1, 3)[3], values[0])
+        assert np.allclose(full.reshape(-1, 3)[5], values[1])
+
+    def test_prescribed_solution_is_recovered_exactly(self, assembled):
+        """Impose a linear field on the boundary; solving the reduced
+        system must reproduce it everywhere (patch test)."""
+        mesh, K = assembled
+        surf = extract_boundary_surface(mesh)
+        A = np.array([[0.001, 0.002, 0.0], [0.0, -0.001, 0.001], [0.002, 0.0, -0.002]])
+        field = mesh.nodes @ A.T  # linear displacement field
+        bc = DirichletBC(surf.mesh_nodes, field[surf.mesh_nodes])
+        reduced = apply_dirichlet(K, np.zeros(mesh.n_dof), bc)
+        solution = sparse.linalg.spsolve(reduced.matrix.tocsc(), reduced.rhs)
+        full = reduced.expand(solution).reshape(-1, 3)
+        assert np.allclose(full, field, atol=1e-8)
+
+    def test_duplicate_nodes_rejected(self):
+        with pytest.raises(ValidationError):
+            DirichletBC(np.array([1, 1]), np.zeros((2, 3)))
+
+    def test_out_of_range_dof_rejected(self, assembled):
+        mesh, K = assembled
+        bc = DirichletBC(np.array([mesh.n_nodes + 5]), np.zeros((1, 3)))
+        with pytest.raises(ValidationError):
+            apply_dirichlet(K, np.zeros(mesh.n_dof), bc)
+
+    def test_eliminated_per_node(self):
+        bc = DirichletBC(np.array([2, 4]), np.zeros((2, 3)))
+        out = eliminated_per_node(6, bc)
+        assert out.tolist() == [0, 0, 3, 0, 3, 0]
+
+
+class TestBiomechanicalModel:
+    def test_patch_test_through_model(self, brain_mesh_module):
+        mesh = brain_mesh_module
+        surf = extract_boundary_surface(mesh)
+        field = mesh.nodes * 0.001  # pure dilation
+        bc = DirichletBC(surf.mesh_nodes, field[surf.mesh_nodes])
+        model = BiomechanicalModel(mesh, tol=1e-10)
+        result = model.simulate(bc)
+        assert result.solver.converged
+        assert np.allclose(result.displacement, field, atol=1e-6)
+
+    def test_solver_options_validated(self, brain_mesh_module):
+        with pytest.raises(ValidationError):
+            BiomechanicalModel(brain_mesh_module, solver="lobpcg")
+        with pytest.raises(ValidationError):
+            BiomechanicalModel(brain_mesh_module, preconditioner="amg")
+        with pytest.raises(ValidationError):
+            BiomechanicalModel(brain_mesh_module, n_blocks=0)
+
+    def test_requires_nonempty_bc(self, brain_mesh_module):
+        model = BiomechanicalModel(brain_mesh_module)
+        with pytest.raises(ValidationError):
+            model.simulate(DirichletBC(np.array([], dtype=int), np.zeros((0, 3))))
+
+    def test_cg_matches_gmres(self, brain_mesh_module):
+        mesh = brain_mesh_module
+        surf = extract_boundary_surface(mesh)
+        rng = np.random.default_rng(0)
+        disp = rng.normal(0, 0.5, (len(surf.mesh_nodes), 3))
+        bc = DirichletBC(surf.mesh_nodes, disp)
+        a = BiomechanicalModel(mesh, solver="gmres", tol=1e-10).simulate(bc)
+        b = BiomechanicalModel(mesh, solver="cg", tol=1e-10).simulate(bc)
+        assert np.allclose(a.displacement, b.displacement, atol=1e-6)
+
+    def test_reports_counts_and_times(self, brain_mesh_module):
+        mesh = brain_mesh_module
+        surf = extract_boundary_surface(mesh)
+        bc = DirichletBC(surf.mesh_nodes, np.zeros((len(surf.mesh_nodes), 3)))
+        result = BiomechanicalModel(mesh).simulate(bc)
+        assert result.n_dof_total == mesh.n_dof
+        assert result.n_equations == mesh.n_dof - 3 * len(surf.mesh_nodes)
+        assert result.assembly_seconds > 0
+        assert result.solve_seconds > 0

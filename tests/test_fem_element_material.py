@@ -1,0 +1,159 @@
+"""Tests for materials and element matrices (analytic FEM invariants)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fem.element import (
+    element_strains,
+    element_stress,
+    shape_function_gradients,
+    strain_displacement_matrices,
+)
+from repro.fem.material import (
+    BRAIN_HETEROGENEOUS,
+    BRAIN_HOMOGENEOUS,
+    BRAIN_TISSUE,
+    LinearElasticMaterial,
+    MaterialMap,
+)
+from repro.imaging.phantom import Tissue
+from repro.util import ValidationError
+
+
+class TestMaterial:
+    def test_lame_constants(self):
+        m = LinearElasticMaterial("m", 1000.0, 0.25)
+        assert m.lame_mu == pytest.approx(400.0)
+        assert m.lame_lambda == pytest.approx(400.0)
+
+    def test_elasticity_matrix_symmetric_positive(self):
+        d = BRAIN_TISSUE.elasticity_matrix()
+        assert np.allclose(d, d.T)
+        assert np.all(np.linalg.eigvalsh(d) > 0)
+
+    def test_rejects_bad_poisson(self):
+        with pytest.raises(ValidationError):
+            LinearElasticMaterial("bad", 1.0, 0.5)
+        with pytest.raises(ValidationError):
+            LinearElasticMaterial("bad", 1.0, -1.0)
+
+    def test_rejects_bad_modulus(self):
+        with pytest.raises(ValidationError):
+            LinearElasticMaterial("bad", 0.0, 0.3)
+
+    def test_uniaxial_stress_recovers_modulus(self):
+        """sigma = D eps for uniaxial strain then E from compliance."""
+        m = LinearElasticMaterial("m", 2000.0, 0.3)
+        d = m.elasticity_matrix()
+        compliance = np.linalg.inv(d)
+        # Uniaxial stress sigma_xx = 1: eps_xx = 1/E.
+        eps = compliance @ np.array([1.0, 0, 0, 0, 0, 0])
+        assert eps[0] == pytest.approx(1.0 / 2000.0)
+        assert eps[1] == pytest.approx(-0.3 / 2000.0)
+
+    def test_material_map_lookup_and_default(self):
+        assert BRAIN_HOMOGENEOUS.lookup(int(Tissue.BRAIN)) is BRAIN_TISSUE
+        assert BRAIN_HOMOGENEOUS.lookup(999) is BRAIN_TISSUE
+        hetero = BRAIN_HETEROGENEOUS
+        assert hetero.lookup(int(Tissue.FALX)).young_modulus > BRAIN_TISSUE.young_modulus
+
+    def test_material_map_missing_without_default(self):
+        empty = MaterialMap((), default=None)
+        with pytest.raises(ValidationError):
+            empty.lookup(1)
+
+    def test_elasticity_for_elements_gathers(self):
+        labels = np.array([int(Tissue.BRAIN), int(Tissue.FALX), int(Tissue.BRAIN)])
+        d = BRAIN_HETEROGENEOUS.elasticity_for_elements(labels)
+        assert d.shape == (3, 6, 6)
+        assert np.allclose(d[0], d[2])
+        assert not np.allclose(d[0], d[1])
+
+
+def reference_tet(scale=1.0):
+    return scale * np.array(
+        [[[0.0, 0, 0], [1, 0, 0], [0, 1, 0], [0, 0, 1]]]
+    )
+
+
+class TestShapeFunctions:
+    def test_gradients_sum_to_zero(self):
+        """Partition of unity: sum of shape gradients vanishes."""
+        g, _ = shape_function_gradients(reference_tet())
+        assert np.allclose(g.sum(axis=1), 0.0)
+
+    def test_reference_tet_gradients(self):
+        g, v = shape_function_gradients(reference_tet())
+        assert v[0] == pytest.approx(1.0 / 6.0)
+        assert np.allclose(g[0, 1], [1, 0, 0])
+        assert np.allclose(g[0, 2], [0, 1, 0])
+        assert np.allclose(g[0, 3], [0, 0, 1])
+        assert np.allclose(g[0, 0], [-1, -1, -1])
+
+    def test_gradients_scale_inverse_with_size(self):
+        g1, _ = shape_function_gradients(reference_tet(1.0))
+        g2, _ = shape_function_gradients(reference_tet(2.0))
+        assert np.allclose(g2, g1 / 2.0)
+
+    def test_degenerate_raises(self):
+        flat = np.zeros((1, 4, 3))
+        with pytest.raises(ValidationError):
+            shape_function_gradients(flat)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 2**30))
+    def test_property_linear_field_exact_gradient(self, seed):
+        """Shape interpolation reproduces any linear field's gradient."""
+        rng = np.random.default_rng(seed)
+        coords = rng.normal(0, 10, (1, 4, 3))
+        g, v = shape_function_gradients(coords)
+        if abs(v[0]) < 1e-3:
+            return  # nearly degenerate draw
+        a = rng.normal(size=3)
+        nodal = coords[0] @ a  # linear field at nodes
+        grad = (g[0] * nodal[:, None]).sum(axis=0)
+        assert np.allclose(grad, a, atol=1e-8 * (1 + np.abs(a).max()))
+
+
+class TestStrainDisplacement:
+    def test_rigid_translation_zero_strain(self):
+        g, _ = shape_function_gradients(reference_tet())
+        u = np.tile([0.3, -0.2, 0.7], (1, 4, 1))
+        strains = element_strains(g, u)
+        assert np.allclose(strains, 0.0)
+
+    def test_linearized_rotation_zero_strain(self):
+        g, _ = shape_function_gradients(reference_tet())
+        w = np.array([0.1, -0.05, 0.2])
+        u = np.cross(np.broadcast_to(w, (4, 3)), reference_tet()[0])[None]
+        strains = element_strains(g, u)
+        assert np.allclose(strains, 0.0, atol=1e-12)
+
+    def test_uniform_stretch(self):
+        g, _ = shape_function_gradients(reference_tet())
+        u = reference_tet() * np.array([0.01, 0.0, 0.0])  # u_x = 0.01 x
+        strains = element_strains(g, u)
+        assert strains[0, 0] == pytest.approx(0.01)
+        assert np.allclose(strains[0, 1:], 0.0, atol=1e-14)
+
+    def test_simple_shear(self):
+        g, _ = shape_function_gradients(reference_tet())
+        coords = reference_tet()[0]
+        u = np.zeros((1, 4, 3))
+        u[0, :, 0] = 0.02 * coords[:, 1]  # u_x = gamma * y
+        strains = element_strains(g, u)
+        assert strains[0, 3] == pytest.approx(0.02)  # engineering gamma_xy
+
+    def test_stress_from_strain(self):
+        d = BRAIN_TISSUE.elasticity_matrix()[None]
+        eps = np.array([[0.01, 0, 0, 0, 0, 0]])
+        sigma = element_stress(eps, d)
+        assert sigma[0, 0] == pytest.approx((BRAIN_TISSUE.lame_lambda + 2 * BRAIN_TISSUE.lame_mu) * 0.01)
+
+    def test_B_shape(self):
+        g, _ = shape_function_gradients(reference_tet())
+        assert strain_displacement_matrices(g).shape == (1, 6, 12)

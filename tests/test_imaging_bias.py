@@ -1,0 +1,81 @@
+"""Tests for bias-field correction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.imaging.bias import correct_bias
+from repro.imaging.noise import bias_field
+from repro.imaging.phantom import synthesize_mri
+from repro.imaging.volume import ImageVolume
+from repro.util import ValidationError
+
+
+class TestCorrectBias:
+    def test_recovers_injected_bias(self, small_case):
+        labels = small_case.preop_labels
+        clean = synthesize_mri(labels, noise_sigma=0.0, bias_amplitude=0.0)
+        injected = bias_field(labels.shape, amplitude=0.25, seed=3)
+        biased = clean.copy(clean.data * injected)
+        mask = clean.data > 20.0
+        result = correct_bias(biased, mask=mask, smoothing_mm=30.0)
+        # The corrected image is closer to the clean image than the
+        # biased one was (compare on the foreground, scale-normalized).
+        def nrms(a):
+            sel = mask
+            scale = clean.data[sel].mean()
+            return np.sqrt(np.mean((a[sel] - clean.data[sel]) ** 2)) / scale
+
+        assert nrms(result.corrected.data) < 0.5 * nrms(biased.data)
+
+    def test_field_mean_one_in_mask(self, small_case):
+        biased = small_case.preop_mri
+        result = correct_bias(biased, smoothing_mm=30.0)
+        mask = biased.data > 0.1 * np.percentile(biased.data, 99)
+        assert np.exp(np.log(result.field[mask]).mean()) == pytest.approx(1.0, abs=1e-6)
+
+    def test_unbiased_image_nearly_unchanged(self, small_case):
+        labels = small_case.preop_labels
+        clean = synthesize_mri(labels, noise_sigma=0.0, bias_amplitude=0.0)
+        mask = clean.data > 20.0
+        result = correct_bias(clean, mask=mask, smoothing_mm=30.0)
+        ratio = result.corrected.data[mask] / clean.data[mask]
+        # Anatomy leaks slightly into the smooth estimate; the
+        # correction must stay within a few percent.
+        assert np.percentile(np.abs(ratio - 1.0), 95) < 0.2
+
+    def test_background_untouched(self, small_case):
+        image = small_case.preop_mri
+        mask = image.data > 0.1 * np.percentile(image.data, 99)
+        result = correct_bias(image, mask=mask)
+        assert np.allclose(result.corrected.data[~mask], image.data[~mask])
+
+    def test_validates_smoothing(self, small_case):
+        with pytest.raises(ValidationError):
+            correct_bias(small_case.preop_mri, smoothing_mm=0.0)
+
+    def test_improves_classification_under_strong_bias(self, small_case):
+        """End-to-end motivation: k-NN segmentation quality under a
+        strong coil bias improves after correction."""
+        from repro.imaging.phantom import Tissue
+        from repro.segmentation.atlas import LocalizationModel
+        from repro.segmentation.knn import KNNClassifier
+        from repro.segmentation.prototypes import select_prototypes
+        from repro.segmentation.quality import dice_per_class
+
+        labels = small_case.preop_labels
+        clean = synthesize_mri(labels, noise_sigma=2.0, bias_amplitude=0.0, seed=5)
+        strong = bias_field(labels.shape, amplitude=0.5, seed=9)
+        biased = clean.copy(clean.data * strong)
+        corrected = correct_bias(biased, smoothing_mm=30.0).corrected
+
+        classes = (int(Tissue.AIR), int(Tissue.SKIN), int(Tissue.BRAIN), int(Tissue.VENTRICLE))
+        loc = LocalizationModel.from_labels(labels, classes, cap_mm=12.0)
+
+        def brain_dice(img):
+            protos = select_prototypes(img, labels, loc, classes=classes, per_class=40, seed=1)
+            seg = KNNClassifier(k=5).fit_prototypes(protos).segment(img, loc)
+            return dice_per_class(seg.data, labels.data, classes)[int(Tissue.BRAIN)]
+
+        assert brain_dice(corrected) >= brain_dice(biased) - 0.01

@@ -1,0 +1,132 @@
+"""Distance transform tests: exactness, saturation, metric properties."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.imaging.distance import (
+    euclidean_distance_transform,
+    saturated_distance_transform,
+    signed_distance,
+)
+from repro.util import ValidationError
+
+
+def brute_force_edt(mask: np.ndarray, spacing=(1.0, 1.0, 1.0)) -> np.ndarray:
+    pts = np.argwhere(mask).astype(float) * np.asarray(spacing)
+    grid = np.stack(
+        np.meshgrid(*[np.arange(n) for n in mask.shape], indexing="ij"), axis=-1
+    ).astype(float) * np.asarray(spacing)
+    if len(pts) == 0:
+        return np.full(mask.shape, np.inf)
+    d2 = ((grid[..., None, :] - pts[None, None, None, :, :]) ** 2).sum(-1)
+    return np.sqrt(d2.min(-1))
+
+
+class TestExactEDT:
+    def test_matches_brute_force_random(self):
+        rng = np.random.default_rng(3)
+        mask = rng.random((7, 8, 6)) < 0.1
+        mask[3, 4, 2] = True  # guarantee non-empty
+        assert np.allclose(euclidean_distance_transform(mask), brute_force_edt(mask))
+
+    def test_single_point(self):
+        mask = np.zeros((5, 5, 5), dtype=bool)
+        mask[2, 2, 2] = True
+        dt = euclidean_distance_transform(mask)
+        assert dt[2, 2, 2] == 0.0
+        assert dt[0, 0, 0] == pytest.approx(np.sqrt(12))
+
+    def test_anisotropic_spacing(self):
+        mask = np.zeros((5, 5, 5), dtype=bool)
+        mask[2, 2, 2] = True
+        dt = euclidean_distance_transform(mask, spacing=(2.0, 1.0, 0.5))
+        assert dt[0, 2, 2] == pytest.approx(4.0)
+        assert dt[2, 0, 2] == pytest.approx(2.0)
+        assert dt[2, 2, 0] == pytest.approx(1.0)
+
+    def test_empty_mask_gives_inf(self):
+        dt = euclidean_distance_transform(np.zeros((3, 3, 3), dtype=bool))
+        assert np.all(np.isinf(dt))
+
+    def test_full_mask_gives_zero(self):
+        dt = euclidean_distance_transform(np.ones((3, 3, 3), dtype=bool))
+        assert np.all(dt == 0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 2**30))
+    def test_property_zero_on_mask_and_positive_off(self, seed):
+        rng = np.random.default_rng(seed)
+        mask = rng.random((5, 6, 4)) < 0.2
+        if not mask.any():
+            mask[0, 0, 0] = True
+        dt = euclidean_distance_transform(mask)
+        assert np.all(dt[mask] == 0)
+        assert np.all(dt[~mask] > 0)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 2**30))
+    def test_property_one_lipschitz_along_axes(self, seed):
+        """|dt[i+1] - dt[i]| <= voxel step along every axis."""
+        rng = np.random.default_rng(seed)
+        mask = rng.random((6, 5, 4)) < 0.15
+        if not mask.any():
+            mask[2, 2, 2] = True
+        dt = euclidean_distance_transform(mask)
+        for axis in range(3):
+            diff = np.abs(np.diff(dt, axis=axis))
+            assert np.all(diff <= 1.0 + 1e-9)
+
+
+class TestSaturatedDT:
+    def test_equals_clipped_exact(self):
+        rng = np.random.default_rng(5)
+        mask = rng.random((8, 7, 6)) < 0.08
+        mask[4, 3, 2] = True
+        exact = brute_force_edt(mask)
+        for cap in (1.5, 3.0, 10.0):
+            sat = saturated_distance_transform(mask, cap)
+            assert np.allclose(sat, np.minimum(exact, cap))
+
+    def test_anisotropic(self):
+        mask = np.zeros((6, 6, 6), dtype=bool)
+        mask[3, 3, 3] = True
+        sp = (2.0, 1.0, 1.0)
+        sat = saturated_distance_transform(mask, 4.0, sp)
+        exact = brute_force_edt(mask, sp)
+        assert np.allclose(sat, np.minimum(exact, 4.0))
+
+    def test_empty_mask_is_flat_cap(self):
+        sat = saturated_distance_transform(np.zeros((4, 4, 4), dtype=bool), 5.0)
+        assert np.all(sat == 5.0)
+
+    def test_rejects_nonpositive_cap(self):
+        with pytest.raises(ValidationError):
+            saturated_distance_transform(np.ones((2, 2, 2), dtype=bool), 0.0)
+
+
+class TestSignedDistance:
+    def test_sign_convention(self):
+        mask = np.zeros((8, 8, 8), dtype=bool)
+        mask[2:6, 2:6, 2:6] = True
+        sd = signed_distance(mask, cap=4.0)
+        assert sd[4, 4, 4] < 0  # deep inside
+        assert sd[0, 0, 0] > 0  # outside
+
+    def test_zero_crossing_near_boundary(self):
+        mask = np.zeros((8, 8, 8), dtype=bool)
+        mask[:4] = True
+        sd = signed_distance(mask, cap=4.0)
+        # Boundary between index 3 and 4 along x.
+        assert np.all(sd[3] < 0)
+        assert np.all(sd[4] > 0)
+        assert np.allclose(np.abs(sd[3]), np.abs(sd[4]))
+
+    def test_rejects_degenerate_masks(self):
+        with pytest.raises(ValidationError):
+            signed_distance(np.zeros((3, 3, 3), dtype=bool), 2.0)
+        with pytest.raises(ValidationError):
+            signed_distance(np.ones((3, 3, 3), dtype=bool), 2.0)

@@ -1,0 +1,49 @@
+"""Tests for volume/mesh persistence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.imaging.io import load_mesh, load_volume, save_mesh, save_volume
+from repro.imaging.volume import ImageVolume
+from repro.util import ValidationError
+
+
+class TestVolumeIO:
+    def test_roundtrip(self, tmp_path, small_case):
+        path = save_volume(tmp_path / "vol.npz", small_case.preop_mri)
+        loaded = load_volume(path)
+        assert np.array_equal(loaded.data, small_case.preop_mri.data)
+        assert loaded.same_grid_as(small_case.preop_mri)
+
+    def test_preserves_dtype(self, tmp_path):
+        vol = ImageVolume(np.arange(8, dtype=np.uint8).reshape(2, 2, 2))
+        loaded = load_volume(save_volume(tmp_path / "v.npz", vol))
+        assert loaded.data.dtype == np.uint8
+
+    def test_kind_mismatch(self, tmp_path, brain_mesh):
+        path = save_mesh(tmp_path / "m.npz", brain_mesh)
+        with pytest.raises(ValidationError):
+            load_volume(path)
+
+
+class TestMeshIO:
+    def test_roundtrip(self, tmp_path, brain_mesh):
+        path = save_mesh(tmp_path / "mesh.npz", brain_mesh)
+        loaded = load_mesh(path)
+        assert np.array_equal(loaded.nodes, brain_mesh.nodes)
+        assert np.array_equal(loaded.elements, brain_mesh.elements)
+        assert np.array_equal(loaded.materials, brain_mesh.materials)
+        assert loaded.total_volume() == pytest.approx(brain_mesh.total_volume())
+
+    def test_kind_mismatch(self, tmp_path, small_case):
+        path = save_volume(tmp_path / "v.npz", small_case.preop_mri)
+        with pytest.raises(ValidationError):
+            load_mesh(path)
+
+    def test_not_an_archive(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, foo=np.zeros(3))
+        with pytest.raises(ValidationError):
+            load_mesh(path)

@@ -1,0 +1,157 @@
+"""Tests for the brain phantom and neurosurgery case generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.imaging.noise import add_rician_noise, bias_field
+from repro.imaging.phantom import (
+    BrainPhantom,
+    Tissue,
+    brain_shift_field,
+    make_neurosurgery_case,
+    synthesize_mri,
+)
+from repro.imaging.volume import ImageVolume
+from repro.util import ValidationError
+
+
+class TestPhantomGeometry:
+    def test_label_volume_contains_expected_tissues(self, small_case):
+        labels = set(np.unique(small_case.preop_labels.data).tolist())
+        for tissue in (Tissue.AIR, Tissue.SKIN, Tissue.SKULL, Tissue.CSF, Tissue.BRAIN, Tissue.VENTRICLE, Tissue.TUMOR):
+            assert int(tissue) in labels
+
+    def test_anatomical_nesting(self, small_case):
+        """Brain voxels are strictly inside the skull shell region."""
+        labels = small_case.preop_labels
+        coords = labels.voxel_centers()
+        brain = labels.data == int(Tissue.BRAIN)
+        head = np.asarray(small_case.phantom.head_semi_axes)
+        level = np.sum((coords / head) ** 2, axis=-1)
+        assert np.all(level[brain] < 1.0)
+
+    def test_falx_appears_at_fine_resolution(self):
+        ph = BrainPhantom()
+        labels = ph.label_volume((96, 96, 72), spacing=(1.7, 2.0, 1.8))
+        assert np.any(labels.data == int(Tissue.FALX))
+
+    def test_ventricles_paired(self, small_case):
+        labels = small_case.preop_labels
+        coords = labels.voxel_centers()
+        vent = labels.data == int(Tissue.VENTRICLE)
+        assert np.any(vent & (coords[..., 0] < 0))
+        assert np.any(vent & (coords[..., 0] > 0))
+
+    def test_craniotomy_on_head_surface(self):
+        ph = BrainPhantom()
+        c = ph.craniotomy_center()
+        level = np.sum((c / np.asarray(ph.head_semi_axes)) ** 2)
+        assert level == pytest.approx(1.0)
+
+    def test_rejects_impossible_shells(self):
+        with pytest.raises(ValidationError):
+            BrainPhantom(head_semi_axes=(10.0, 10.0, 10.0), skull_thickness=6.0, csf_thickness=6.0)
+
+
+class TestMRISynthesis:
+    def test_intensities_near_class_means(self, small_case):
+        labels = small_case.preop_labels
+        clean = synthesize_mri(labels, noise_sigma=0.0, bias_amplitude=0.0)
+        brain = labels.data == int(Tissue.BRAIN)
+        assert np.allclose(clean.data[brain], 130.0)
+
+    def test_noise_changes_between_scans(self, small_case):
+        assert not np.allclose(small_case.preop_mri.data, small_case.intraop_mri.data)
+
+    def test_rician_noise_positive_bias_on_dark(self):
+        vol = ImageVolume(np.zeros((16, 16, 16)))
+        noisy = add_rician_noise(vol, 5.0, seed=0)
+        assert noisy.data.mean() > 4.0  # Rician floor ~ sigma*sqrt(pi/2)
+
+    def test_bias_field_centered_near_one(self):
+        f = bias_field((12, 12, 12), amplitude=0.1, seed=0)
+        assert abs(f.mean() - 1.0) < 0.1
+        assert f.max() <= 1.1 + 1e-9
+        assert f.min() >= 0.9 - 1e-9
+
+
+class TestBrainShift:
+    def test_skull_does_not_move(self, small_case):
+        labels = small_case.preop_labels
+        skull = labels.data == int(Tissue.SKULL)
+        field_mag = np.linalg.norm(small_case.true_forward_mm, axis=-1)
+        assert field_mag[skull].max() == 0.0
+
+    def test_peak_near_craniotomy(self, small_case):
+        mag = np.linalg.norm(small_case.true_forward_mm, axis=-1)
+        peak = np.unravel_index(np.argmax(mag), mag.shape)
+        peak_world = small_case.preop_labels.index_to_world(np.array(peak, dtype=float))
+        assert np.linalg.norm(peak_world - small_case.craniotomy_center) < 40.0
+
+    def test_magnitude_bounded_by_requested_shift(self, small_case):
+        mag = np.linalg.norm(small_case.true_forward_mm, axis=-1)
+        assert mag.max() <= small_case.shift_mm + 1e-9
+
+    def test_direction_inward(self, small_case):
+        inward = -small_case.craniotomy_center / np.linalg.norm(small_case.craniotomy_center)
+        field = small_case.true_forward_mm
+        mag = np.linalg.norm(field, axis=-1)
+        moving = mag > 0.5 * mag.max()
+        dirs = field[moving] / mag[moving][:, None]
+        assert np.all(dirs @ inward > 0.99)
+
+    def test_field_taper_is_continuous(self, medium_case):
+        """Per-voxel jumps bounded by the taper's Lipschitz constant.
+
+        The taper ramps over ``taper_mm`` (6 mm), so the magnitude can
+        change by at most ~shift * spacing / taper per voxel step; a
+        discontinuous cut-off would jump by the full shift instead.
+        """
+        mag = np.linalg.norm(medium_case.true_forward_mm, axis=-1)
+        spacing = max(medium_case.preop_labels.spacing)
+        bound = medium_case.shift_mm * spacing / 6.0 * 1.4
+        assert bound < medium_case.shift_mm  # the test can distinguish
+        for axis in range(3):
+            step = np.abs(np.diff(mag, axis=axis)).max()
+            assert step < bound
+
+
+class TestCaseGeneration:
+    def test_resection_replaces_tumor(self, small_case):
+        assert small_case.resected
+        assert not np.any(small_case.intraop_labels.data == int(Tissue.TUMOR))
+        assert np.any(small_case.intraop_labels.data == int(Tissue.RESECTION))
+
+    def test_no_resection_option(self):
+        case = make_neurosurgery_case(shape=(24, 24, 18), resection=False, seed=1)
+        assert np.any(case.intraop_labels.data == int(Tissue.TUMOR))
+
+    def test_seed_reproducible(self):
+        a = make_neurosurgery_case(shape=(24, 24, 18), seed=9)
+        b = make_neurosurgery_case(shape=(24, 24, 18), seed=9)
+        assert np.array_equal(a.preop_mri.data, b.preop_mri.data)
+        assert np.array_equal(a.intraop_mri.data, b.intraop_mri.data)
+
+    def test_brain_mask_nonempty(self, small_case):
+        assert small_case.brain_mask().sum() > 100
+
+    def test_forward_inverse_consistency(self, small_case):
+        """Scan2 labels should match warping scan1 labels by the inverse."""
+        from repro.imaging.resample import warp_volume
+
+        relabeled = warp_volume(
+            small_case.preop_labels, small_case.true_inverse_mm, nearest=True
+        ).data.astype(np.uint8)
+        relabeled[relabeled == int(Tissue.TUMOR)] = int(Tissue.RESECTION)
+        agreement = (relabeled == small_case.intraop_labels.data).mean()
+        assert agreement > 0.999
+
+
+class TestShiftFieldDirect:
+    def test_zero_magnitude_gives_zero_field(self):
+        ph = BrainPhantom()
+        labels = ph.label_volume((24, 24, 18), spacing=(6.6, 8.0, 7.5))
+        field = brain_shift_field(labels, ph.craniotomy_center(), magnitude_mm=0.0)
+        assert np.all(field == 0.0)

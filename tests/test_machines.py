@@ -1,0 +1,172 @@
+"""Tests for machine specs and the virtual-time cost model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machines.cost import NullTelemetry, VirtualCluster
+from repro.machines.spec import (
+    DEEP_FLOW,
+    ULTRA80_CLUSTER,
+    ULTRA_HPC_6000,
+    LinkSpec,
+    MachineSpec,
+)
+from repro.util import ValidationError
+
+
+class TestLinkSpec:
+    def test_message_time(self):
+        link = LinkSpec(1e-4, 1e7)
+        assert link.message_time(1e7) == pytest.approx(1.0001)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValidationError):
+            LinkSpec(-1.0, 1.0)
+        with pytest.raises(ValidationError):
+            LinkSpec(0.0, 0.0)
+
+
+class TestMachineSpec:
+    def test_deep_flow_matches_paper_table(self):
+        assert DEEP_FLOW.max_cpus == 16
+        assert DEEP_FLOW.cpus_per_node == 1
+        items = dict(DEEP_FLOW.description)
+        assert "21164A" in items["CPU"]
+        assert "RedHat Linux 6.1" in items["OS"]
+
+    def test_sun_configs(self):
+        assert ULTRA_HPC_6000.max_cpus == 20
+        assert ULTRA_HPC_6000.cpus_per_node == 20
+        assert ULTRA80_CLUSTER.max_cpus == 8
+        assert ULTRA80_CLUSTER.cpus_per_node == 4
+
+    def test_link_selection_smp_vs_cluster(self):
+        assert ULTRA80_CLUSTER.link(0, 3) is ULTRA80_CLUSTER.intra_node
+        assert ULTRA80_CLUSTER.link(0, 4) is ULTRA80_CLUSTER.inter_node
+        assert DEEP_FLOW.link(0, 1) is DEEP_FLOW.inter_node
+
+    def test_collective_link(self):
+        assert ULTRA80_CLUSTER.collective_link(4) is ULTRA80_CLUSTER.intra_node
+        assert ULTRA80_CLUSTER.collective_link(8) is ULTRA80_CLUSTER.inter_node
+
+
+class TestVirtualCluster:
+    def test_compute_advances_single_clock(self):
+        vc = VirtualCluster(DEEP_FLOW, 4)
+        vc.compute(2, DEEP_FLOW.flops_rate)  # exactly one second of work
+        assert vc.clocks[2] == pytest.approx(1.0)
+        assert vc.clocks[0] == 0.0
+        assert vc.elapsed == pytest.approx(1.0)
+
+    def test_compute_all_validates_shape(self):
+        vc = VirtualCluster(DEEP_FLOW, 4)
+        with pytest.raises(ValidationError):
+            vc.compute_all(np.ones(3))
+
+    def test_imbalance_sets_elapsed_to_max(self):
+        vc = VirtualCluster(DEEP_FLOW, 4)
+        vc.compute_all(np.array([1.0, 2.0, 4.0, 3.0]) * DEEP_FLOW.flops_rate)
+        assert vc.elapsed == pytest.approx(4.0)
+
+    def test_allreduce_synchronizes(self):
+        vc = VirtualCluster(DEEP_FLOW, 4)
+        vc.compute(0, DEEP_FLOW.flops_rate)  # rank 0 a second ahead
+        vc.allreduce(8)
+        assert np.all(vc.clocks == vc.clocks[0])
+        assert vc.clocks[0] > 1.0
+
+    def test_allreduce_noop_single_rank(self):
+        vc = VirtualCluster(DEEP_FLOW, 1)
+        vc.allreduce(1e9)
+        assert vc.elapsed == 0.0
+
+    def test_allreduce_cost_grows_logarithmically(self):
+        def cost(p):
+            vc = VirtualCluster(ULTRA_HPC_6000, p)
+            vc.allreduce(8)
+            return vc.elapsed
+
+        assert cost(2) < cost(16)
+        assert cost(16) == pytest.approx(cost(9))  # same ceil(log2)
+
+    def test_point_to_point(self):
+        vc = VirtualCluster(DEEP_FLOW, 2)
+        vc.point_to_point(0, 1, 11e6)  # ~1 second at 11 MB/s
+        assert vc.clocks[1] == pytest.approx(1.0, rel=0.01)
+        assert vc.clocks[0] < 0.01
+
+    def test_halo_exchange_charges_both_sides(self):
+        vc = VirtualCluster(DEEP_FLOW, 3)
+        vc.halo_exchange({(0, 1): 11e6, (1, 0): 11e6})
+        assert vc.clocks[0] > 0.9
+        assert vc.clocks[1] > 0.9
+        assert vc.clocks[2] == 0.0
+
+    def test_halo_ignores_self_messages(self):
+        vc = VirtualCluster(DEEP_FLOW, 2)
+        vc.halo_exchange({(0, 0): 1e9})
+        assert vc.elapsed == 0.0
+
+    def test_scatter_synchronizes(self):
+        vc = VirtualCluster(DEEP_FLOW, 4)
+        vc.scatter(44e6)
+        assert np.all(vc.clocks == vc.clocks[0])
+        assert vc.elapsed > 0.5  # 3 sends of 11 MB at 11 MB/s
+
+    def test_smp_collectives_cheaper_than_cluster(self):
+        smp = VirtualCluster(ULTRA_HPC_6000, 8)
+        cl = VirtualCluster(DEEP_FLOW, 8)
+        smp.allreduce(8)
+        cl.allreduce(8)
+        assert smp.elapsed < cl.elapsed
+
+    def test_phase_accounting(self):
+        vc = VirtualCluster(DEEP_FLOW, 2)
+        with vc.phase("a"):
+            vc.compute(0, DEEP_FLOW.flops_rate)
+        with vc.phase("b"):
+            vc.compute(1, 2 * DEEP_FLOW.flops_rate)
+        assert vc.phase_seconds("a") == pytest.approx(1.0)
+        assert vc.phase_seconds("b") == pytest.approx(2.0)
+        assert vc.elapsed == pytest.approx(3.0)  # phases barrier
+
+    def test_rejects_too_many_ranks(self):
+        with pytest.raises(ValidationError):
+            VirtualCluster(DEEP_FLOW, 17)
+        with pytest.raises(ValidationError):
+            VirtualCluster(DEEP_FLOW, 0)
+
+    def test_totals_accumulate(self):
+        vc = VirtualCluster(DEEP_FLOW, 4)
+        vc.compute(0, 100.0)
+        vc.allreduce(8)
+        vc.point_to_point(1, 2, 50)
+        assert vc.flops_total == 100.0
+        assert vc.bytes_total > 0
+        assert vc.messages_total > 0
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.floats(0, 1e9), min_size=4, max_size=4))
+    def test_property_elapsed_is_max_clock(self, flops):
+        vc = VirtualCluster(DEEP_FLOW, 4)
+        vc.compute_all(np.array(flops))
+        assert vc.elapsed == pytest.approx(max(flops) / DEEP_FLOW.flops_rate)
+
+
+class TestNullTelemetry:
+    def test_all_methods_are_noops(self):
+        t = NullTelemetry()
+        t.compute(0, 1e9)
+        t.compute_all([1.0])
+        t.allreduce(8)
+        t.broadcast(8)
+        t.scatter(8)
+        t.point_to_point(0, 1, 8)
+        t.halo_exchange({(0, 1): 8})
+        t.barrier()
+        with t.phase("x"):
+            pass

@@ -1,0 +1,109 @@
+"""Tests for resection mesh editing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.imaging.phantom import Tissue
+from repro.mesh.editing import (
+    remove_elements_by_material,
+    remove_elements_in_mask,
+)
+from repro.util import MeshError
+
+
+class TestRemoveByMaterial:
+    def test_tumor_removed(self, brain_mesher, small_case):
+        mesh = brain_mesher.mesh
+        if not np.any(mesh.materials == int(Tissue.TUMOR)):
+            pytest.skip("coarse mesh sampled no tumor elements")
+        edit = remove_elements_by_material(mesh, (int(Tissue.TUMOR),))
+        assert not np.any(edit.mesh.materials == int(Tissue.TUMOR))
+        assert edit.removed_elements > 0
+        assert edit.mesh.n_elements < mesh.n_elements
+
+    def test_volume_decreases_by_removed_amount(self, brain_mesher):
+        mesh = brain_mesher.mesh
+        target = int(mesh.materials[0])
+        kept_labels = tuple(int(m) for m in np.unique(mesh.materials) if m != target)
+        if not kept_labels:
+            pytest.skip("single-material mesh")
+        edit = remove_elements_by_material(mesh, (target,), keep_largest_component=False)
+        removed_volume = np.abs(mesh.element_volumes()[mesh.materials == target]).sum()
+        assert edit.mesh.total_volume() == pytest.approx(
+            mesh.total_volume() - removed_volume, rel=1e-9
+        )
+
+    def test_refuses_to_empty_mesh(self, brain_mesher):
+        mesh = brain_mesher.mesh
+        all_labels = tuple(int(m) for m in np.unique(mesh.materials))
+        with pytest.raises(MeshError):
+            remove_elements_by_material(mesh, all_labels)
+
+    def test_node_map_consistency(self, brain_mesher):
+        mesh = brain_mesher.mesh
+        target = int(mesh.materials[0])
+        if len(np.unique(mesh.materials)) < 2:
+            pytest.skip("single-material mesh")
+        edit = remove_elements_by_material(mesh, (target,))
+        kept_old = np.flatnonzero(edit.node_map >= 0)
+        assert np.allclose(
+            edit.mesh.nodes[edit.node_map[kept_old]], mesh.nodes[kept_old]
+        )
+
+    def test_map_node_ids(self, brain_mesher):
+        mesh = brain_mesher.mesh
+        target = int(mesh.materials[0])
+        if len(np.unique(mesh.materials)) < 2:
+            pytest.skip("single-material mesh")
+        edit = remove_elements_by_material(mesh, (target,))
+        old_ids = np.arange(mesh.n_nodes)
+        new_ids, kept = edit.map_node_ids(old_ids)
+        assert len(new_ids) == kept.sum() == edit.mesh.n_nodes
+
+
+class TestRemoveInMask:
+    def test_cavity_elements_removed(self, brain_mesher, small_case):
+        mesh = brain_mesher.mesh
+        labels = small_case.preop_labels
+        cavity = labels.data == int(Tissue.TUMOR)
+        if not cavity.any():
+            pytest.skip("no tumor voxels at this resolution")
+        edit = remove_elements_in_mask(mesh, cavity, labels)
+        # No remaining element centroid falls inside the cavity.
+        from repro.imaging.resample import trilinear_sample
+
+        inside = trilinear_sample(
+            labels.copy(cavity.astype(float)),
+            edit.mesh.element_centroids(),
+            fill_value=0.0,
+            nearest=True,
+        ).astype(bool)
+        assert not inside.any()
+
+    def test_empty_mask_noop(self, brain_mesher, small_case):
+        mesh = brain_mesher.mesh
+        edit = remove_elements_in_mask(
+            mesh,
+            np.zeros(small_case.preop_labels.shape, dtype=bool),
+            small_case.preop_labels,
+            keep_largest_component=False,
+        )
+        assert edit.mesh.n_elements == mesh.n_elements
+
+    def test_post_edit_mesh_solvable(self, brain_mesher, small_case):
+        """After resection the FEM still solves on the edited mesh."""
+        from repro.fem.bc import DirichletBC
+        from repro.fem.model import BiomechanicalModel
+        from repro.mesh.surface import extract_boundary_surface
+
+        mesh = brain_mesher.mesh
+        cavity = small_case.preop_labels.data == int(Tissue.TUMOR)
+        if not cavity.any():
+            pytest.skip("no tumor voxels at this resolution")
+        edit = remove_elements_in_mask(mesh, cavity, small_case.preop_labels)
+        surf = extract_boundary_surface(edit.mesh)
+        bc = DirichletBC(surf.mesh_nodes, np.zeros((len(surf.mesh_nodes), 3)))
+        result = BiomechanicalModel(edit.mesh).simulate(bc)
+        assert result.solver.converged

@@ -1,0 +1,161 @@
+"""Tests for the labeled-volume mesher and its point location."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.imaging.volume import ImageVolume
+from repro.mesh.generator import (
+    PERMUTATIONS,
+    GridTetraMesher,
+    mesh_labeled_volume,
+    mesh_with_target_nodes,
+)
+from repro.util import MeshError, ValidationError
+from tests.conftest import BRAIN_LABELS
+
+
+def cube_labels(n=8, spacing=1.0, label=1):
+    """A label volume that is entirely one material."""
+    return ImageVolume(np.full((n, n, n), label, dtype=np.uint8), (spacing,) * 3)
+
+
+class TestMeshing:
+    def test_full_cube_volume_conserved(self):
+        labels = cube_labels(6, spacing=2.0)
+        mesher = mesh_labeled_volume(labels, 4.0, (1,))
+        assert mesher.mesh.total_volume() == pytest.approx(12.0**3, rel=1e-9)
+
+    def test_six_tets_per_cell(self):
+        labels = cube_labels(4)
+        mesher = mesh_labeled_volume(labels, 2.0, (1,))
+        assert mesher.mesh.n_elements == np.prod(mesher.cells) * 6
+
+    def test_all_positive_volumes(self, brain_mesh):
+        assert np.all(brain_mesh.element_volumes() > 0)
+
+    def test_conforming_no_boundary_faces_inside(self):
+        """Interior faces must pair up: boundary faces = outer surface only."""
+        labels = cube_labels(4)
+        mesher = mesh_labeled_volume(labels, 2.0, (1,))
+        faces, _ = mesher.mesh.boundary_faces()
+        cx, cy, cz = mesher.cells
+        expected = 4 * (cx * cy + cy * cz + cx * cz)  # 2 tris/face/side
+        assert len(faces) == expected
+
+    def test_material_labels_from_volume(self, small_case, brain_mesher):
+        mesh = brain_mesher.mesh
+        assert set(np.unique(mesh.materials)).issubset(set(BRAIN_LABELS))
+
+    def test_raises_when_no_material(self):
+        labels = cube_labels(4, label=0)
+        with pytest.raises(MeshError):
+            mesh_labeled_volume(labels, 2.0, (1,))
+
+    def test_rejects_bad_cell_size(self):
+        with pytest.raises(ValidationError):
+            mesh_labeled_volume(cube_labels(4), -1.0, (1,))
+
+    def test_rejects_empty_materials(self):
+        with pytest.raises(ValidationError):
+            mesh_labeled_volume(cube_labels(4), 2.0, ())
+
+
+class TestPointLocation:
+    def test_permutation_table_complete(self):
+        assert len(PERMUTATIONS) == 6
+
+    def test_locate_finds_centroids(self, brain_mesher):
+        mesh = brain_mesher.mesh
+        centroids = mesh.element_centroids()
+        elements, bary = brain_mesher.locate(centroids)
+        assert np.all(elements == np.arange(mesh.n_elements))
+        assert np.allclose(bary.sum(axis=1), 1.0)
+        assert np.all(bary >= -1e-12)
+
+    def test_locate_outside_returns_minus_one(self, brain_mesher):
+        elements, bary = brain_mesher.locate(np.array([[1e5, 1e5, 1e5]]))
+        assert elements[0] == -1
+        assert np.all(bary[0] == 0)
+
+    def test_barycentric_reconstructs_position(self, brain_mesher):
+        mesh = brain_mesher.mesh
+        rng = np.random.default_rng(0)
+        pts = mesh.element_centroids()[rng.choice(mesh.n_elements, 50)]
+        elements, bary = brain_mesher.locate(pts)
+        corners = mesh.nodes[mesh.elements[elements]]
+        recon = np.einsum("nk,nkd->nd", bary, corners)
+        assert np.allclose(recon, pts, atol=1e-9)
+
+    def test_interpolate_linear_field_exact(self, brain_mesher):
+        mesh = brain_mesher.mesh
+        coeff = np.array([0.5, -1.0, 2.0])
+        nodal = mesh.nodes @ coeff + 7.0
+        pts = mesh.element_centroids()[::3]
+        vals = brain_mesher.interpolate(nodal, pts)
+        assert np.allclose(vals, pts @ coeff + 7.0)
+
+    def test_interpolate_vector_field(self, brain_mesher):
+        mesh = brain_mesher.mesh
+        nodal = np.stack([mesh.nodes[:, 0], mesh.nodes[:, 1], mesh.nodes[:, 2]], axis=1)
+        pts = mesh.element_centroids()[:10]
+        vals = brain_mesher.interpolate(nodal, pts)
+        assert np.allclose(vals, pts, atol=1e-9)
+
+    def test_interpolate_fill_value_outside(self, brain_mesher):
+        vals = brain_mesher.interpolate(
+            np.ones(brain_mesher.mesh.n_nodes), np.array([[1e5, 0.0, 0.0]]), fill_value=-3.0
+        )
+        assert vals[0] == -3.0
+
+    def test_interpolate_validates_length(self, brain_mesher):
+        with pytest.raises(ValidationError):
+            brain_mesher.interpolate(np.ones(3), np.zeros((1, 3)))
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 2**30))
+    def test_property_locate_random_points_in_hull(self, seed):
+        labels = cube_labels(6, spacing=2.0)
+        mesher = mesh_labeled_volume(labels, 3.0, (1,))
+        rng = np.random.default_rng(seed)
+        extent = labels.physical_extent
+        origin = np.asarray(labels.origin) - np.asarray(labels.spacing) / 2
+        pts = origin + rng.random((30, 3)) * extent * 0.999
+        elements, bary = mesher.locate(pts)
+        assert np.all(elements >= 0)
+        corners = mesher.mesh.nodes[mesher.mesh.elements[elements]]
+        recon = np.einsum("nk,nkd->nd", bary, corners)
+        assert np.allclose(recon, pts, atol=1e-9)
+
+
+class TestTargetNodes:
+    def test_hits_target_within_tolerance(self, small_case):
+        target = 2000
+        mesher = mesh_with_target_nodes(
+            small_case.preop_labels, target, BRAIN_LABELS, tolerance=0.1
+        )
+        assert abs(mesher.mesh.n_nodes - target) / target < 0.15
+
+    def test_rejects_tiny_target(self, small_case):
+        with pytest.raises(ValidationError):
+            mesh_with_target_nodes(small_case.preop_labels, 4, BRAIN_LABELS)
+
+
+class TestDisplacementOnGrid:
+    def test_zero_outside_mesh(self, small_case, brain_mesher):
+        disp = brain_mesher.displacement_on_grid(
+            np.ones((brain_mesher.mesh.n_nodes, 3)), small_case.preop_labels
+        )
+        corner = disp[0, 0, 0]
+        assert np.all(corner == 0)
+
+    def test_constant_field_inside(self, small_case, brain_mesher):
+        nodal = np.tile([1.0, 2.0, 3.0], (brain_mesher.mesh.n_nodes, 1))
+        disp = brain_mesher.displacement_on_grid(nodal, small_case.preop_labels)
+        # Every voxel inside the mesh gets exactly the constant; the rest zero.
+        inside = np.linalg.norm(disp, axis=-1) > 0
+        assert inside.any()
+        assert np.allclose(disp[inside], [1.0, 2.0, 3.0])

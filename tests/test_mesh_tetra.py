@@ -1,0 +1,115 @@
+"""Tests for the tetrahedral mesh container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mesh.tetra import TetrahedralMesh
+from repro.util import MeshError, ShapeError
+
+
+def unit_tet() -> TetrahedralMesh:
+    nodes = np.array([[0, 0, 0], [1, 0, 0], [0, 1, 0], [0, 0, 1]], dtype=float)
+    return TetrahedralMesh(nodes, np.array([[0, 1, 2, 3]]), np.array([4]))
+
+
+def two_tets() -> TetrahedralMesh:
+    """Two tets sharing the face (1, 2, 3)."""
+    nodes = np.array(
+        [[0, 0, 0], [1, 0, 0], [0, 1, 0], [0, 0, 1], [1, 1, 1]], dtype=float
+    )
+    elements = np.array([[0, 1, 2, 3], [4, 1, 3, 2]])
+    return TetrahedralMesh(nodes, elements, np.array([4, 5]))
+
+
+class TestBasics:
+    def test_volume_of_unit_tet(self):
+        assert unit_tet().element_volumes()[0] == pytest.approx(1.0 / 6.0)
+
+    def test_total_volume(self):
+        # First tet: 1/6; second spans (1,1,1)-(1,0,0)-(0,0,1)-(0,1,0): 1/3.
+        assert two_tets().total_volume() == pytest.approx(0.5, rel=1e-6)
+
+    def test_n_dof(self):
+        assert unit_tet().n_dof == 12
+
+    def test_centroids(self):
+        c = unit_tet().element_centroids()
+        assert np.allclose(c[0], [0.25, 0.25, 0.25])
+
+    def test_node_element_counts(self):
+        counts = two_tets().node_element_counts()
+        assert counts.tolist() == [1, 2, 2, 2, 1]
+
+    def test_validation_rejects_bad_shapes(self):
+        with pytest.raises(ShapeError):
+            TetrahedralMesh(np.zeros((3, 2)), np.zeros((1, 4), dtype=int), np.zeros(1))
+        with pytest.raises(ShapeError):
+            TetrahedralMesh(np.zeros((3, 3)), np.zeros((1, 3), dtype=int), np.zeros(1))
+
+    def test_validation_rejects_out_of_range_index(self):
+        with pytest.raises(MeshError):
+            TetrahedralMesh(np.zeros((2, 3)), np.array([[0, 1, 2, 3]]), np.zeros(1))
+
+    def test_validate_rejects_inverted(self):
+        nodes = np.array([[0, 0, 0], [1, 0, 0], [0, 1, 0], [0, 0, 1]], dtype=float)
+        mesh = TetrahedralMesh(nodes, np.array([[0, 2, 1, 3]]), np.array([0]))
+        with pytest.raises(MeshError):
+            mesh.validate()
+
+
+class TestConnectivity:
+    def test_edge_array_unique_sorted(self):
+        edges = unit_tet().edge_array()
+        assert edges.shape == (6, 2)
+        assert np.all(edges[:, 0] < edges[:, 1])
+
+    def test_shared_face_not_boundary(self):
+        faces, owners = two_tets().boundary_faces()
+        keys = {tuple(sorted(f)) for f in faces}
+        assert (1, 2, 3) not in keys
+        assert len(faces) == 6  # 8 faces total, 2 shared
+        assert len(owners) == 6
+
+    def test_boundary_faces_oriented_outward(self):
+        mesh = unit_tet()
+        faces, owners = mesh.boundary_faces()
+        centroid = mesh.nodes.mean(axis=0)
+        for face in faces:
+            p = mesh.nodes[face]
+            normal = np.cross(p[1] - p[0], p[2] - p[0])
+            assert np.dot(normal, p.mean(axis=0) - centroid) > 0
+
+    def test_boundary_faces_material_filter(self):
+        faces, _ = two_tets().boundary_faces(materials=(4,))
+        assert len(faces) == 4  # all faces of the selected tet
+
+    def test_node_adjacency_symmetric(self):
+        adj = two_tets().node_adjacency()
+        for a, neighbours in enumerate(adj):
+            for b in neighbours:
+                assert a in adj[b]
+
+
+class TestEditing:
+    def test_compact_drops_unused(self):
+        nodes = np.vstack([unit_tet().nodes, [[9.0, 9.0, 9.0]]])
+        mesh = TetrahedralMesh(nodes, np.array([[0, 1, 2, 3]]), np.array([1]))
+        compacted, mapping = mesh.compact()
+        assert compacted.n_nodes == 4
+        assert mapping[4] == -1
+
+    def test_compact_preserves_geometry(self):
+        mesh = two_tets()
+        compacted, _ = mesh.compact()
+        assert compacted.total_volume() == pytest.approx(mesh.total_volume())
+
+    def test_select_materials(self):
+        sub = two_tets().select_materials((5,))
+        assert sub.n_elements == 1
+        assert sub.n_nodes == 4
+
+    def test_with_materials(self):
+        mesh = unit_tet().with_materials(np.array([7]))
+        assert mesh.materials[0] == 7

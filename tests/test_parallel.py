@@ -1,0 +1,300 @@
+"""Tests for the SPMD decomposition, distributed system, and solver.
+
+The central invariant: the distributed path is *numerically equivalent*
+to the serial path at every CPU count, while the telemetry records a
+faithful parallel execution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.fem.bc import DirichletBC
+from repro.fem.material import BRAIN_HOMOGENEOUS
+from repro.machines.cost import VirtualCluster
+from repro.machines.spec import DEEP_FLOW
+from repro.mesh.partition import partition_block, partition_coordinate_bisection
+from repro.mesh.surface import extract_boundary_surface
+from repro.parallel.assembly import build_distributed_system, serial_reference_system
+from repro.parallel.decomposition import Decomposition
+from repro.parallel.distributed import (
+    RowBlockMatrix,
+    distributed_dot,
+    distributed_norm,
+)
+from repro.parallel.simulation import simulate_parallel
+from repro.parallel.solver import DistributedBlockJacobi, distributed_gmres
+from repro.solver.gmres import gmres
+from repro.util import ShapeError, ValidationError
+
+
+@pytest.fixture(scope="module")
+def mesh_and_bc():
+    from repro.imaging.phantom import make_neurosurgery_case
+    from repro.mesh.generator import mesh_labeled_volume
+    from tests.conftest import BRAIN_LABELS
+
+    case = make_neurosurgery_case(shape=(32, 32, 24), shift_mm=5.0, seed=42)
+    mesh = mesh_labeled_volume(case.preop_labels, 9.0, BRAIN_LABELS).mesh
+    surf = extract_boundary_surface(mesh)
+    rng = np.random.default_rng(7)
+    bc = DirichletBC(surf.mesh_nodes, rng.normal(0, 1.0, (len(surf.mesh_nodes), 3)))
+    return mesh, bc
+
+
+class TestDecomposition:
+    def test_ranges_tile_nodes(self, brain_mesh):
+        part = partition_block(brain_mesh, 4)
+        dec = Decomposition.from_partition(brain_mesh, part)
+        assert dec.node_ranges[0, 0] == 0
+        assert dec.node_ranges[-1, 1] == brain_mesh.n_nodes
+        assert np.all(dec.node_ranges[1:, 0] == dec.node_ranges[:-1, 1])
+
+    def test_permutation_roundtrip(self, brain_mesh):
+        part = partition_coordinate_bisection(brain_mesh, 3)
+        dec = Decomposition.from_partition(brain_mesh, part)
+        assert np.array_equal(dec.old_to_new[dec.new_to_old], np.arange(brain_mesh.n_nodes))
+        assert np.allclose(dec.mesh.nodes[dec.old_to_new], brain_mesh.nodes)
+
+    def test_geometry_preserved(self, brain_mesh):
+        part = partition_coordinate_bisection(brain_mesh, 5)
+        dec = Decomposition.from_partition(brain_mesh, part)
+        assert dec.mesh.total_volume() == pytest.approx(brain_mesh.total_volume())
+
+    def test_block_partition_identity_permutation(self, brain_mesh):
+        part = partition_block(brain_mesh, 4)
+        dec = Decomposition.from_partition(brain_mesh, part)
+        assert np.array_equal(dec.new_to_old, np.arange(brain_mesh.n_nodes))
+
+    def test_rank_of_node(self, brain_mesh):
+        part = partition_block(brain_mesh, 4)
+        dec = Decomposition.from_partition(brain_mesh, part)
+        for rank in range(4):
+            a, b = dec.node_ranges[rank]
+            assert dec.rank_of_node(a) == rank
+            assert dec.rank_of_node(b - 1) == rank
+
+    def test_elements_touching_covers_all(self, brain_mesh):
+        part = partition_block(brain_mesh, 3)
+        dec = Decomposition.from_partition(brain_mesh, part)
+        touched = np.zeros(dec.mesh.n_elements, dtype=bool)
+        for rank in range(3):
+            touched[dec.elements_touching(rank)] = True
+        assert touched.all()
+
+    def test_incidences_sum(self, brain_mesh):
+        part = partition_block(brain_mesh, 3)
+        dec = Decomposition.from_partition(brain_mesh, part)
+        assert dec.incidences_per_rank().sum() == 4 * dec.mesh.n_elements
+
+    def test_validates_partition(self, brain_mesh):
+        with pytest.raises(ShapeError):
+            Decomposition.from_partition(brain_mesh, np.zeros(3, dtype=int))
+
+
+class TestRowBlockMatrix:
+    @pytest.fixture()
+    def matrix(self):
+        rng = np.random.RandomState(0)
+        A = sparse.random(60, 60, density=0.1, random_state=rng) + sparse.eye(60) * 5
+        return A.tocsr()
+
+    def test_matvec_equals_serial(self, matrix):
+        ranges = np.array([[0, 20], [20, 45], [45, 60]])
+        rb = RowBlockMatrix.from_csr(matrix, ranges)
+        x = np.random.default_rng(1).normal(size=60)
+        assert np.allclose(rb.matvec(x), matrix @ x)
+
+    def test_to_csr_roundtrip(self, matrix):
+        ranges = np.array([[0, 30], [30, 60]])
+        rb = RowBlockMatrix.from_csr(matrix, ranges)
+        assert (rb.to_csr() != matrix).nnz == 0
+
+    def test_halo_pairs_nonempty_for_coupled(self, matrix):
+        rb = RowBlockMatrix.from_csr(matrix, np.array([[0, 30], [30, 60]]))
+        assert len(rb.halo_pairs) > 0
+        for (src, dst), nbytes in rb.halo_pairs.items():
+            assert src != dst
+            assert nbytes > 0
+
+    def test_single_rank_no_halo(self, matrix):
+        rb = RowBlockMatrix.from_csr(matrix, np.array([[0, 60]]))
+        assert rb.halo_pairs == {}
+
+    def test_validates_ranges(self, matrix):
+        with pytest.raises(ValidationError):
+            RowBlockMatrix.from_csr(matrix, np.array([[0, 30], [31, 60]]))
+
+    def test_distributed_dot_and_norm(self):
+        ranges = np.array([[0, 3], [3, 8]])
+        x = np.arange(8.0)
+        y = np.ones(8)
+        assert distributed_dot(x, y, ranges) == pytest.approx(x.sum())
+        assert distributed_norm(x, ranges) == pytest.approx(np.linalg.norm(x))
+
+
+class TestDistributedAssembly:
+    @pytest.mark.parametrize("n_ranks", [1, 2, 4])
+    def test_matches_serial_reduced_system(self, mesh_and_bc, n_ranks):
+        mesh, bc = mesh_and_bc
+        part = partition_block(mesh, n_ranks)
+        dec = Decomposition.from_partition(mesh, part)
+        bc_new = DirichletBC(dec.old_to_new[bc.node_ids], bc.displacements)
+        system = build_distributed_system(dec, BRAIN_HOMOGENEOUS, bc_new)
+        reference = serial_reference_system(dec, BRAIN_HOMOGENEOUS, bc_new)
+        assert (system.matrix.to_csr() != reference.matrix).nnz == 0
+        assert np.allclose(system.rhs, reference.rhs)
+
+    def test_dof_ranges_cover_free(self, mesh_and_bc):
+        mesh, bc = mesh_and_bc
+        dec = Decomposition.from_partition(mesh, partition_block(mesh, 3))
+        bc_new = DirichletBC(dec.old_to_new[bc.node_ids], bc.displacements)
+        system = build_distributed_system(dec, BRAIN_HOMOGENEOUS, bc_new)
+        assert system.dof_ranges[-1, 1] == system.n_free
+
+    def test_displacement_original_order(self, mesh_and_bc):
+        """Prescribed nodes carry exactly their BC displacement."""
+        mesh, bc = mesh_and_bc
+        dec = Decomposition.from_partition(mesh, partition_coordinate_bisection(mesh, 3))
+        bc_new = DirichletBC(dec.old_to_new[bc.node_ids], bc.displacements)
+        system = build_distributed_system(dec, BRAIN_HOMOGENEOUS, bc_new)
+        solution = np.zeros(system.n_free)
+        disp = system.displacement_original_order(solution)
+        assert np.allclose(disp[bc.node_ids], bc.displacements)
+
+
+class TestDistributedGMRES:
+    @pytest.mark.parametrize("n_ranks", [1, 2, 5])
+    def test_matches_serial_gmres(self, mesh_and_bc, n_ranks):
+        mesh, bc = mesh_and_bc
+        dec = Decomposition.from_partition(mesh, partition_block(mesh, n_ranks))
+        bc_new = DirichletBC(dec.old_to_new[bc.node_ids], bc.displacements)
+        system = build_distributed_system(dec, BRAIN_HOMOGENEOUS, bc_new)
+        pre = DistributedBlockJacobi(system.matrix, factorization="lu")
+        result = distributed_gmres(system.matrix, system.rhs, pre, tol=1e-10)
+        assert result.converged
+        serial = sparse.linalg.spsolve(system.matrix.to_csr().tocsc(), system.rhs)
+        assert np.allclose(result.x, serial, atol=1e-6)
+
+    def test_telemetry_records_work(self, mesh_and_bc):
+        mesh, bc = mesh_and_bc
+        dec = Decomposition.from_partition(mesh, partition_block(mesh, 4))
+        bc_new = DirichletBC(dec.old_to_new[bc.node_ids], bc.displacements)
+        cluster = VirtualCluster(DEEP_FLOW, 4)
+        system = build_distributed_system(dec, BRAIN_HOMOGENEOUS, bc_new, cluster)
+        with cluster.phase("solve"):
+            pre = DistributedBlockJacobi(system.matrix, cluster)
+            distributed_gmres(system.matrix, system.rhs, pre, tol=1e-6, telemetry=cluster)
+        assert cluster.flops_total > 0
+        assert cluster.bytes_total > 0
+        assert cluster.phase_seconds("assembly") > 0
+        assert cluster.phase_seconds("solve") > 0
+
+    def test_ilu_converges(self, mesh_and_bc):
+        mesh, bc = mesh_and_bc
+        dec = Decomposition.from_partition(mesh, partition_block(mesh, 2))
+        bc_new = DirichletBC(dec.old_to_new[bc.node_ids], bc.displacements)
+        system = build_distributed_system(dec, BRAIN_HOMOGENEOUS, bc_new)
+        pre = DistributedBlockJacobi(system.matrix, factorization="ilu")
+        result = distributed_gmres(system.matrix, system.rhs, pre, tol=1e-8)
+        assert result.converged
+
+    def test_bad_factorization_rejected(self, mesh_and_bc):
+        mesh, bc = mesh_and_bc
+        dec = Decomposition.from_partition(mesh, partition_block(mesh, 2))
+        bc_new = DirichletBC(dec.old_to_new[bc.node_ids], bc.displacements)
+        system = build_distributed_system(dec, BRAIN_HOMOGENEOUS, bc_new)
+        with pytest.raises(ValidationError):
+            DistributedBlockJacobi(system.matrix, factorization="cholesky")
+
+
+class TestDistributedRAS:
+    def test_same_solution_as_block_jacobi(self, mesh_and_bc):
+        mesh, bc = mesh_and_bc
+        a = simulate_parallel(mesh, bc, 4, tol=1e-9, preconditioner="block_jacobi")
+        b = simulate_parallel(mesh, bc, 4, tol=1e-9, preconditioner="ras")
+        assert np.allclose(a.displacement, b.displacement, atol=1e-5)
+
+    def test_overlap_reduces_iterations(self, mesh_and_bc):
+        mesh, bc = mesh_and_bc
+        bj = simulate_parallel(mesh, bc, 6, tol=1e-8)
+        ras = simulate_parallel(mesh, bc, 6, tol=1e-8, preconditioner="ras", ras_overlap=1)
+        assert ras.solver.iterations <= bj.solver.iterations
+
+    def test_telemetry_charges_overlap_halo(self, mesh_and_bc):
+        from repro.machines.cost import VirtualCluster
+
+        mesh, bc = mesh_and_bc
+        from repro.mesh.partition import partition_block
+        from repro.parallel.decomposition import Decomposition
+        from repro.parallel.assembly import build_distributed_system
+        from repro.parallel.solver import DistributedRAS
+
+        dec = Decomposition.from_partition(mesh, partition_block(mesh, 4))
+        bc_new = DirichletBC(dec.old_to_new[bc.node_ids], bc.displacements)
+        system = build_distributed_system(dec, BRAIN_HOMOGENEOUS, bc_new)
+        cluster = VirtualCluster(DEEP_FLOW, 4)
+        pre = DistributedRAS(system.matrix, cluster, overlap=1)
+        before = cluster.bytes_total
+        pre.solve(system.rhs, cluster)
+        assert cluster.bytes_total > before  # the overlap halo was charged
+
+    def test_invalid_options_rejected(self, mesh_and_bc):
+        mesh, bc = mesh_and_bc
+        with pytest.raises(ValidationError):
+            simulate_parallel(mesh, bc, 2, preconditioner="amg")
+        from repro.parallel.solver import DistributedRAS
+        from repro.parallel.distributed import RowBlockMatrix
+        import scipy.sparse as sp
+
+        m = RowBlockMatrix.from_csr(sp.eye(10).tocsr(), np.array([[0, 10]]))
+        with pytest.raises(ValidationError):
+            DistributedRAS(m, overlap=-1)
+
+
+class TestSimulateParallel:
+    def test_solution_independent_of_rank_count(self, mesh_and_bc):
+        mesh, bc = mesh_and_bc
+        base = simulate_parallel(mesh, bc, 1, tol=1e-9)
+        for P in (2, 4):
+            sim = simulate_parallel(mesh, bc, P, tol=1e-9)
+            assert np.allclose(sim.displacement, base.displacement, atol=1e-5)
+
+    def test_partitioner_choices_agree(self, mesh_and_bc):
+        mesh, bc = mesh_and_bc
+        a = simulate_parallel(mesh, bc, 3, partitioner="block", tol=1e-9)
+        b = simulate_parallel(mesh, bc, 3, partitioner="coordinate_bisection", tol=1e-9)
+        assert np.allclose(a.displacement, b.displacement, atol=1e-5)
+
+    def test_virtual_times_populated_with_machine(self, mesh_and_bc):
+        mesh, bc = mesh_and_bc
+        sim = simulate_parallel(mesh, bc, 4, machine=DEEP_FLOW)
+        assert sim.initialization_seconds > 0
+        assert sim.assembly_seconds > 0
+        assert sim.solve_seconds > 0
+        assert sim.total_seconds == pytest.approx(
+            sim.initialization_seconds + sim.assembly_seconds + sim.solve_seconds
+        )
+
+    def test_no_machine_means_zero_virtual_time(self, mesh_and_bc):
+        mesh, bc = mesh_and_bc
+        sim = simulate_parallel(mesh, bc, 2)
+        assert sim.total_seconds == 0.0
+
+    def test_more_cpus_faster_virtual_time(self, mesh_and_bc):
+        mesh, bc = mesh_and_bc
+        t1 = simulate_parallel(mesh, bc, 1, machine=DEEP_FLOW).total_seconds
+        t8 = simulate_parallel(mesh, bc, 8, machine=DEEP_FLOW).total_seconds
+        assert t8 < t1
+
+    def test_unknown_partitioner_rejected(self, mesh_and_bc):
+        mesh, bc = mesh_and_bc
+        with pytest.raises(ValidationError):
+            simulate_parallel(mesh, bc, 2, partitioner="metis")
+
+    def test_bc_displacements_enforced(self, mesh_and_bc):
+        mesh, bc = mesh_and_bc
+        sim = simulate_parallel(mesh, bc, 3, tol=1e-9)
+        assert np.allclose(sim.displacement[bc.node_ids], bc.displacements)

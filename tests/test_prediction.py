@@ -1,0 +1,115 @@
+"""Tests for gravity-driven brain-shift prediction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.prediction import (
+    BRAIN_DENSITY,
+    ShiftPrediction,
+    predict_gravity_shift,
+    support_nodes,
+)
+from repro.fem.material import BRAIN_HETEROGENEOUS, BRAIN_HOMOGENEOUS
+from repro.util import ValidationError
+
+
+@pytest.fixture(scope="module")
+def mesh_and_direction():
+    from repro.imaging.phantom import make_neurosurgery_case
+    from repro.mesh.generator import mesh_labeled_volume
+    from tests.conftest import BRAIN_LABELS
+
+    case = make_neurosurgery_case(shape=(36, 36, 28), seed=9)
+    mesher = mesh_labeled_volume(case.preop_labels, 8.0, BRAIN_LABELS)
+    inward = -case.craniotomy_center / np.linalg.norm(case.craniotomy_center)
+    return mesher.mesh, inward
+
+
+class TestSupportNodes:
+    def test_supports_are_boundary_extremes(self, mesh_and_direction):
+        mesh, g = mesh_and_direction
+        supported = support_nodes(mesh, g, support_fraction=0.3)
+        heights = mesh.nodes @ g
+        cut = np.percentile(heights, 55)
+        assert np.all(mesh.nodes[supported] @ g > cut)
+
+    def test_fraction_bounds(self, mesh_and_direction):
+        mesh, g = mesh_and_direction
+        with pytest.raises(ValidationError):
+            support_nodes(mesh, g, support_fraction=0.0)
+        with pytest.raises(ValidationError):
+            support_nodes(mesh, g, support_fraction=1.0)
+
+    def test_zero_direction_rejected(self, mesh_and_direction):
+        mesh, _ = mesh_and_direction
+        with pytest.raises(ValidationError):
+            support_nodes(mesh, np.zeros(3))
+
+
+class TestPrediction:
+    def test_plausible_magnitude(self, mesh_and_direction):
+        """Clinical brain shift is millimetres, not microns or metres."""
+        mesh, g = mesh_and_direction
+        pred = predict_gravity_shift(mesh, BRAIN_HOMOGENEOUS, gravity_direction=g)
+        assert 0.2 < pred.peak_mm < 30.0
+
+    def test_sags_along_gravity(self, mesh_and_direction):
+        mesh, g = mesh_and_direction
+        pred = predict_gravity_shift(mesh, BRAIN_HOMOGENEOUS, gravity_direction=g)
+        mags = np.linalg.norm(pred.displacement, axis=1)
+        moving = mags > 0.3 * mags.max()
+        dirs = pred.displacement[moving] / mags[moving][:, None]
+        assert np.mean(dirs @ g) > 0.6
+
+    def test_supports_stay_fixed(self, mesh_and_direction):
+        mesh, g = mesh_and_direction
+        pred = predict_gravity_shift(mesh, BRAIN_HOMOGENEOUS, gravity_direction=g)
+        mags = np.linalg.norm(pred.displacement, axis=1)
+        assert mags[pred.fixed_nodes].max() == 0.0
+
+    def test_linear_in_effective_load(self, mesh_and_direction):
+        mesh, g = mesh_and_direction
+        a = predict_gravity_shift(mesh, BRAIN_HOMOGENEOUS, g, buoyancy_fraction=0.9)
+        b = predict_gravity_shift(mesh, BRAIN_HOMOGENEOUS, g, buoyancy_fraction=0.8)
+        assert b.peak_mm / a.peak_mm == pytest.approx(2.0, rel=1e-4)
+
+    def test_stiffer_material_smaller_shift(self, mesh_and_direction):
+        """The heterogeneous map (stiff falx, etc.) must not sag more."""
+        mesh, g = mesh_and_direction
+        soft = predict_gravity_shift(mesh, BRAIN_HOMOGENEOUS, g)
+        stiff = predict_gravity_shift(mesh, BRAIN_HETEROGENEOUS, g)
+        assert stiff.peak_mm <= soft.peak_mm * 1.05
+
+    def test_density_scales_load(self, mesh_and_direction):
+        mesh, g = mesh_and_direction
+        a = predict_gravity_shift(mesh, BRAIN_HOMOGENEOUS, g, density_kg_m3=BRAIN_DENSITY)
+        b = predict_gravity_shift(
+            mesh, BRAIN_HOMOGENEOUS, g, density_kg_m3=2 * BRAIN_DENSITY
+        )
+        assert b.peak_mm / a.peak_mm == pytest.approx(2.0, rel=1e-4)
+
+    def test_explicit_fixed_nodes(self, mesh_and_direction):
+        mesh, g = mesh_and_direction
+        fixed = support_nodes(mesh, g, support_fraction=0.5)
+        pred = predict_gravity_shift(mesh, BRAIN_HOMOGENEOUS, g, fixed_nodes=fixed)
+        assert isinstance(pred, ShiftPrediction)
+        assert np.array_equal(pred.fixed_nodes, fixed)
+
+    def test_validates_buoyancy(self, mesh_and_direction):
+        mesh, g = mesh_and_direction
+        with pytest.raises(ValidationError):
+            predict_gravity_shift(mesh, BRAIN_HOMOGENEOUS, g, buoyancy_fraction=1.0)
+        with pytest.raises(ValidationError):
+            predict_gravity_shift(mesh, BRAIN_HOMOGENEOUS, np.zeros(3))
+
+
+class TestMeshMechanismFilter:
+    def test_partial_support_system_nonsingular(self, mesh_and_direction):
+        """The component filter keeps the partially-supported K solvable
+        (a hinged cluster would blow the solution up by ~1e10)."""
+        mesh, g = mesh_and_direction
+        pred = predict_gravity_shift(mesh, BRAIN_HOMOGENEOUS, g)
+        assert np.isfinite(pred.displacement).all()
+        assert pred.peak_mm < 1e3

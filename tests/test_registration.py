@@ -1,0 +1,148 @@
+"""Tests for rigid transforms, pyramids, and MI registration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.imaging.phantom import make_neurosurgery_case
+from repro.imaging.volume import ImageVolume
+from repro.registration.pyramid import downsample, pyramid
+from repro.registration.rigid import register_rigid, resample_moving
+from repro.registration.transform import RigidTransform
+from repro.util import ShapeError, ValidationError
+
+CENTER = (10.0, -4.0, 2.0)
+
+small_params = st.tuples(
+    st.floats(-8, 8), st.floats(-8, 8), st.floats(-8, 8),
+    st.floats(-0.3, 0.3), st.floats(-0.3, 0.3), st.floats(-0.3, 0.3),
+)
+
+
+class TestRigidTransform:
+    def test_identity_is_noop(self, rng):
+        pts = rng.normal(0, 50, (20, 3))
+        assert np.allclose(RigidTransform.identity(CENTER).apply(pts), pts)
+
+    def test_pure_translation(self, rng):
+        pts = rng.normal(0, 50, (20, 3))
+        t = RigidTransform((1.0, -2.0, 3.0), center=CENTER)
+        assert np.allclose(t.apply(pts), pts + [1.0, -2.0, 3.0])
+
+    def test_rotation_preserves_distances(self, rng):
+        pts = rng.normal(0, 50, (20, 3))
+        t = RigidTransform(rotation=(0.3, -0.2, 0.5), center=CENTER)
+        out = t.apply(pts)
+        d_in = np.linalg.norm(pts[:, None] - pts[None, :], axis=-1)
+        d_out = np.linalg.norm(out[:, None] - out[None, :], axis=-1)
+        assert np.allclose(d_in, d_out)
+
+    def test_rotation_fixes_center(self):
+        t = RigidTransform(rotation=(0.4, 0.1, -0.2), center=CENTER)
+        assert np.allclose(t.apply(np.array(CENTER)), CENTER)
+
+    @settings(max_examples=30, deadline=None)
+    @given(small_params)
+    def test_property_inverse_roundtrip(self, params):
+        t = RigidTransform.from_params(np.array(params), CENTER)
+        pts = np.mgrid[0:2, 0:2, 0:2].reshape(3, -1).T * 40.0
+        assert np.allclose(t.inverse().apply(t.apply(pts)), pts, atol=1e-8)
+
+    @settings(max_examples=30, deadline=None)
+    @given(small_params, small_params)
+    def test_property_compose_equals_sequential(self, p1, p2):
+        a = RigidTransform.from_params(np.array(p1), CENTER)
+        b = RigidTransform.from_params(np.array(p2), CENTER)
+        pts = np.mgrid[0:2, 0:2, 0:2].reshape(3, -1).T * 30.0
+        assert np.allclose(a.compose(b).apply(pts), a.apply(b.apply(pts)), atol=1e-8)
+
+    def test_params_roundtrip(self):
+        p = np.array([1.0, 2.0, 3.0, 0.1, 0.2, 0.3])
+        assert np.allclose(RigidTransform.from_params(p, CENTER).params(), p)
+
+    def test_from_params_validates_shape(self):
+        with pytest.raises(ShapeError):
+            RigidTransform.from_params(np.zeros(5))
+
+    def test_compose_requires_shared_center(self):
+        a = RigidTransform(center=(0.0, 0.0, 0.0))
+        b = RigidTransform(center=(1.0, 0.0, 0.0))
+        with pytest.raises(ShapeError):
+            a.compose(b)
+
+    def test_magnitude_zero_for_identity(self):
+        assert RigidTransform.identity().magnitude() == 0.0
+
+    def test_magnitude_additive_parts(self):
+        t = RigidTransform((3.0, 0.0, 4.0))
+        assert t.magnitude() == pytest.approx(5.0)
+
+
+class TestPyramid:
+    def test_downsample_halves_shape(self):
+        vol = ImageVolume(np.random.default_rng(0).random((8, 8, 8)))
+        out = downsample(vol, 2)
+        assert out.shape == (4, 4, 4)
+        assert out.spacing == (2.0, 2.0, 2.0)
+
+    def test_downsample_preserves_world_position(self):
+        """Block centres sit at the mean of their voxel centres."""
+        vol = ImageVolume.zeros((4, 4, 4), spacing=(1.0, 1.0, 1.0), origin=(0.0, 0.0, 0.0))
+        out = downsample(vol, 2)
+        assert np.allclose(out.index_to_world(np.zeros(3)), [0.5, 0.5, 0.5])
+
+    def test_downsample_block_mean(self):
+        data = np.arange(8.0).reshape(2, 2, 2)
+        vol = ImageVolume(data)
+        out = downsample(vol, 2)
+        assert out.data[0, 0, 0] == pytest.approx(data.mean())
+
+    def test_downsample_factor_one_copies(self):
+        vol = ImageVolume(np.ones((3, 3, 3)))
+        out = downsample(vol, 1)
+        assert out is not vol and np.allclose(out.data, vol.data)
+
+    def test_downsample_rejects_tiny(self):
+        with pytest.raises(ValidationError):
+            downsample(ImageVolume(np.ones((2, 2, 2))), 4)
+
+    def test_pyramid_order_coarse_to_fine(self):
+        vol = ImageVolume(np.ones((16, 16, 16)))
+        levels = pyramid(vol, 3)
+        assert [lv.shape[0] for lv in levels] == [4, 8, 16]
+
+
+class TestRegisterRigid:
+    @pytest.fixture(scope="class")
+    def fixed_volume(self):
+        case = make_neurosurgery_case(
+            shape=(32, 32, 24), shift_mm=0.0, resection=False, seed=21, noise_sigma=2.0
+        )
+        return case.preop_mri
+
+    def test_recovers_known_transform(self, fixed_volume):
+        center = tuple(
+            float(o + e / 2)
+            for o, e in zip(fixed_volume.origin, fixed_volume.physical_extent)
+        )
+        true = RigidTransform((4.0, -3.0, 2.0), (0.05, -0.02, 0.04), center)
+        moving = resample_moving(fixed_volume, fixed_volume, true.inverse())
+        result = register_rigid(fixed_volume, moving, levels=2, max_iter=3, max_samples=6000)
+        residual = result.transform.compose(true.inverse()).magnitude()
+        assert residual < 2.5  # mm-equivalent at 80 mm head radius
+
+    def test_identity_when_aligned(self, fixed_volume):
+        result = register_rigid(fixed_volume, fixed_volume, levels=1, max_iter=2, max_samples=4000)
+        assert result.transform.magnitude() < 1.5
+
+    def test_reports_evaluations_and_levels(self, fixed_volume):
+        result = register_rigid(fixed_volume, fixed_volume, levels=2, max_iter=1, max_samples=2000)
+        assert result.evaluations > 0
+        assert len(result.level_params) == 2
+
+    def test_rejects_bad_levels(self, fixed_volume):
+        with pytest.raises(ValidationError):
+            register_rigid(fixed_volume, fixed_volume, levels=0)

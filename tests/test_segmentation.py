@@ -1,0 +1,201 @@
+"""Tests for localization models, prototypes, and k-NN classification."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.imaging.phantom import Tissue
+from repro.imaging.volume import ImageVolume
+from repro.segmentation.atlas import LocalizationModel
+from repro.segmentation.knn import KNNClassifier
+from repro.segmentation.prototypes import build_features, select_prototypes
+from repro.segmentation.quality import confusion_matrix, dice_per_class
+from repro.util import ShapeError, ValidationError
+
+CLASSES = (
+    int(Tissue.AIR),
+    int(Tissue.SKIN),
+    int(Tissue.SKULL),
+    int(Tissue.CSF),
+    int(Tissue.BRAIN),
+    int(Tissue.VENTRICLE),
+)
+
+
+@pytest.fixture(scope="module")
+def localization(small_case_module):
+    return LocalizationModel.from_labels(small_case_module.preop_labels, CLASSES, cap_mm=12.0)
+
+
+@pytest.fixture(scope="module")
+def small_case_module():
+    from repro.imaging.phantom import make_neurosurgery_case
+
+    return make_neurosurgery_case(shape=(32, 32, 24), shift_mm=5.0, seed=42)
+
+
+class TestLocalizationModel:
+    def test_channel_count_and_order(self, localization):
+        assert localization.classes == CLASSES
+        assert len(localization.channels) == len(CLASSES)
+
+    def test_distance_zero_on_own_class(self, small_case_module, localization):
+        labels = small_case_module.preop_labels
+        brain_idx = CLASSES.index(int(Tissue.BRAIN))
+        channel = localization.channels[brain_idx].data
+        assert np.all(channel[labels.data == int(Tissue.BRAIN)] == 0.0)
+
+    def test_distance_positive_elsewhere(self, small_case_module, localization):
+        labels = small_case_module.preop_labels
+        brain_idx = CLASSES.index(int(Tissue.BRAIN))
+        channel = localization.channels[brain_idx].data
+        far = labels.data == int(Tissue.AIR)
+        assert channel[far].min() > 0
+
+    def test_absent_class_flat_cap(self, small_case_module):
+        model = LocalizationModel.from_labels(
+            small_case_module.preop_labels, (99,), cap_mm=9.0
+        )
+        assert np.all(model.channels[0].data == 9.0)
+
+    def test_sample_outside_returns_cap(self, localization):
+        far = np.array([[1e4, 1e4, 1e4]])
+        assert np.all(localization.sample_at(far) == localization.cap_mm)
+
+    def test_requires_classes(self, small_case_module):
+        with pytest.raises(ValidationError):
+            LocalizationModel.from_labels(small_case_module.preop_labels, ())
+
+
+class TestPrototypes:
+    def test_selects_per_class(self, small_case_module, localization):
+        protos = select_prototypes(
+            small_case_module.preop_mri,
+            small_case_module.preop_labels,
+            localization,
+            per_class=10,
+            seed=0,
+        )
+        for cls_value in CLASSES:
+            present = (small_case_module.preop_labels.data == cls_value).any()
+            count = (protos.labels == cls_value).sum()
+            assert count == (10 if present else 0)
+
+    def test_feature_dimension(self, small_case_module, localization):
+        protos = select_prototypes(
+            small_case_module.preop_mri, small_case_module.preop_labels, localization, per_class=5
+        )
+        assert protos.features.shape == (len(protos), 1 + len(CLASSES))
+
+    def test_update_features_keeps_locations(self, small_case_module, localization):
+        protos = select_prototypes(
+            small_case_module.preop_mri, small_case_module.preop_labels, localization, per_class=5
+        )
+        updated = protos.update_features(small_case_module.intraop_mri, localization)
+        assert np.array_equal(updated.points_world, protos.points_world)
+        assert np.array_equal(updated.labels, protos.labels)
+        assert not np.allclose(updated.features[:, 0], protos.features[:, 0])
+
+    def test_rejects_zero_per_class(self, small_case_module, localization):
+        with pytest.raises(ValidationError):
+            select_prototypes(
+                small_case_module.preop_mri, small_case_module.preop_labels, localization, per_class=0
+            )
+
+    def test_build_features_concatenates_intensity_first(self, small_case_module, localization):
+        pts = small_case_module.preop_labels.index_to_world(
+            np.array([[16.0, 16.0, 12.0]])
+        )
+        feats = build_features(small_case_module.preop_mri, localization, pts)
+        assert feats.shape == (1, 1 + len(CLASSES))
+
+
+class TestKNN:
+    def test_separable_two_class(self, rng):
+        a = rng.normal(0.0, 0.3, (50, 2))
+        b = rng.normal(5.0, 0.3, (50, 2))
+        X = np.vstack([a, b])
+        y = np.array([0] * 50 + [1] * 50)
+        clf = KNNClassifier(k=3).fit(X, y)
+        pred = clf.predict(np.array([[0.1, -0.2], [5.2, 4.9]]))
+        assert pred.tolist() == [0, 1]
+
+    def test_k1_reproduces_training_labels(self, rng):
+        X = rng.normal(size=(30, 4))
+        y = rng.integers(0, 3, 30)
+        clf = KNNClassifier(k=1).fit(X, y)
+        assert np.array_equal(clf.predict(X), y)
+
+    def test_standardization_makes_scales_commensurable(self, rng):
+        """A feature 1000x larger must not dominate after standardization."""
+        n = 60
+        informative = np.concatenate([np.zeros(n // 2), np.ones(n // 2)])
+        noise = rng.normal(0, 1000.0, n)
+        X = np.stack([informative, noise], axis=1)
+        y = (informative > 0.5).astype(int)
+        clf = KNNClassifier(k=5).fit(X, y)
+        test = np.array([[0.0, 0.0], [1.0, 0.0]])
+        assert clf.predict(test).tolist() == [0, 1]
+
+    def test_predict_preserves_leading_shape(self, rng):
+        X = rng.normal(size=(20, 3))
+        y = rng.integers(0, 2, 20)
+        clf = KNNClassifier(k=3).fit(X, y)
+        out = clf.predict(rng.normal(size=(4, 5, 3)))
+        assert out.shape == (4, 5)
+
+    def test_chunking_matches_unchunked(self, rng):
+        X = rng.normal(size=(40, 3))
+        y = rng.integers(0, 3, 40)
+        queries = rng.normal(size=(100, 3))
+        a = KNNClassifier(k=5, chunk=7).fit(X, y).predict(queries)
+        b = KNNClassifier(k=5, chunk=100000).fit(X, y).predict(queries)
+        assert np.array_equal(a, b)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(ValidationError):
+            KNNClassifier().predict(np.zeros((1, 2)))
+
+    def test_feature_dim_mismatch_raises(self, rng):
+        clf = KNNClassifier(k=1).fit(rng.normal(size=(10, 3)), np.zeros(10, dtype=int))
+        with pytest.raises(ShapeError):
+            clf.predict(np.zeros((5, 4)))
+
+    def test_too_few_prototypes_raises(self, rng):
+        with pytest.raises(ValidationError):
+            KNNClassifier(k=10).fit(rng.normal(size=(3, 2)), np.zeros(3, dtype=int))
+
+    def test_full_segmentation_recovers_phantom(self, small_case_module, localization):
+        protos = select_prototypes(
+            small_case_module.intraop_mri,
+            small_case_module.intraop_labels,
+            localization,
+            classes=CLASSES,
+            per_class=40,
+            seed=1,
+        )
+        clf = KNNClassifier(k=5).fit_prototypes(protos)
+        seg = clf.segment(small_case_module.intraop_mri, localization)
+        dice = dice_per_class(seg.data, small_case_module.intraop_labels.data, CLASSES)
+        assert dice[int(Tissue.BRAIN)] > 0.9
+        assert dice[int(Tissue.SKIN)] > 0.9
+
+
+class TestQualityMetrics:
+    def test_dice_per_class_perfect(self):
+        labels = np.random.default_rng(0).integers(0, 3, (5, 5, 5))
+        d = dice_per_class(labels, labels)
+        assert all(v == 1.0 for v in d.values())
+
+    def test_confusion_matrix_diagonal_for_perfect(self):
+        labels = np.random.default_rng(0).integers(0, 3, (4, 4, 4))
+        cm = confusion_matrix(labels, labels, (0, 1, 2))
+        assert cm.sum() == labels.size
+        assert np.all(cm == np.diag(np.diag(cm)))
+
+    def test_confusion_matrix_off_diagonal(self):
+        truth = np.zeros((2, 2, 2), dtype=int)
+        pred = np.ones((2, 2, 2), dtype=int)
+        cm = confusion_matrix(pred, truth, (0, 1))
+        assert cm[0, 1] == 8 and cm[0, 0] == 0

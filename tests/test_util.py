@@ -1,0 +1,141 @@
+"""Unit tests for repro.util (errors, timing, validation, tables, rng)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.util import (
+    ConvergenceError,
+    ReproError,
+    ShapeError,
+    Timer,
+    ValidationError,
+    check_finite,
+    check_positive,
+    check_shape,
+    check_volume_like,
+    default_rng,
+    format_table,
+)
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        assert issubclass(ValidationError, ReproError)
+        assert issubclass(ValidationError, ValueError)
+        assert issubclass(ShapeError, ValidationError)
+        assert issubclass(ConvergenceError, ReproError)
+
+    def test_convergence_error_carries_diagnostics(self):
+        err = ConvergenceError("no luck", iterations=7, residual=0.5)
+        assert err.iterations == 7
+        assert err.residual == 0.5
+
+    def test_convergence_error_defaults(self):
+        err = ConvergenceError("no luck")
+        assert err.iterations == -1
+        assert np.isnan(err.residual)
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def now(self):
+        return self.t
+
+
+class TestTimer:
+    def test_accumulates_across_cycles(self):
+        clock = FakeClock()
+        timer = Timer("x", clock=clock)
+        timer.start()
+        clock.t = 2.0
+        timer.stop()
+        timer.start()
+        clock.t = 5.0
+        timer.stop()
+        assert timer.elapsed == pytest.approx(5.0)
+        assert timer.starts == 2
+
+    def test_context_manager(self):
+        clock = FakeClock()
+        with Timer("y", clock=clock) as timer:
+            clock.t = 1.5
+        assert timer.elapsed == pytest.approx(1.5)
+
+    def test_double_start_raises(self):
+        timer = Timer("z")
+        timer.start()
+        with pytest.raises(RuntimeError):
+            timer.start()
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Timer("w").stop()
+
+
+class TestValidation:
+    def test_check_shape_accepts_wildcards(self):
+        arr = np.zeros((3, 5))
+        assert check_shape(arr, (3, None)) is not None
+
+    def test_check_shape_rejects_wrong_rank(self):
+        with pytest.raises(ShapeError):
+            check_shape(np.zeros(3), (3, 1))
+
+    def test_check_shape_rejects_wrong_size(self):
+        with pytest.raises(ShapeError):
+            check_shape(np.zeros((3, 4)), (3, 5))
+
+    def test_check_volume_like(self):
+        check_volume_like(np.zeros((2, 2, 2)))
+        with pytest.raises(ShapeError):
+            check_volume_like(np.zeros((2, 2)))
+        with pytest.raises(ValidationError):
+            check_volume_like(np.zeros((0, 2, 2)))
+
+    def test_check_positive(self):
+        assert check_positive(1.0) == 1.0
+        with pytest.raises(ValidationError):
+            check_positive(0.0)
+        assert check_positive(0.0, strict=False) == 0.0
+        with pytest.raises(ValidationError):
+            check_positive(-1.0, strict=False)
+
+    def test_check_finite(self):
+        check_finite(np.ones(3))
+        with pytest.raises(ValidationError):
+            check_finite(np.array([1.0, np.inf]))
+        with pytest.raises(ValidationError):
+            check_finite(np.array([np.nan]))
+
+
+class TestRng:
+    def test_seed_reproducible(self):
+        a = default_rng(7).normal(size=5)
+        b = default_rng(7).normal(size=5)
+        assert np.allclose(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert default_rng(gen) is gen
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        text = format_table(["a", "bb"], [[1, 2.5], ["x", 3.0]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+    def test_float_formats(self):
+        text = format_table(["v"], [[1e-7], [float("nan")], [0.0]])
+        assert "e-07" in text
+        assert "nan" in text

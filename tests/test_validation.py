@@ -1,0 +1,152 @@
+"""Tests for the validation metrics (TRE, surface distance, Jacobian)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.imaging.volume import ImageVolume
+from repro.validation import (
+    displacement_error_stats,
+    folding_fraction,
+    hausdorff_distance,
+    jacobian_determinant,
+    mean_surface_distance,
+    sample_landmarks,
+    target_registration_error,
+)
+from repro.util import ShapeError, ValidationError
+
+
+@pytest.fixture()
+def reference():
+    return ImageVolume.zeros((12, 12, 10), spacing=(2.0, 2.0, 2.0))
+
+
+class TestJacobian:
+    def test_identity_field(self, reference):
+        u = np.zeros((*reference.shape, 3))
+        det = jacobian_determinant(u, reference.spacing)
+        assert np.allclose(det, 1.0)
+
+    def test_uniform_translation(self, reference):
+        u = np.ones((*reference.shape, 3)) * 3.0
+        assert np.allclose(jacobian_determinant(u, reference.spacing), 1.0)
+
+    def test_linear_expansion(self, reference):
+        centers = reference.voxel_centers()
+        u = 0.1 * centers  # x -> 1.1 x
+        det = jacobian_determinant(u, reference.spacing)
+        assert np.allclose(det, 1.1**3, rtol=1e-6)
+
+    def test_compression_below_one(self, reference):
+        centers = reference.voxel_centers()
+        u = -0.2 * centers
+        det = jacobian_determinant(u, reference.spacing)
+        assert np.allclose(det, 0.8**3, rtol=1e-6)
+
+    def test_folding_detected(self, reference):
+        centers = reference.voxel_centers()
+        u = np.zeros((*reference.shape, 3))
+        u[..., 0] = -2.0 * centers[..., 0]  # x -> -x, det < 0
+        assert folding_fraction(u, reference.spacing) == 1.0
+
+    def test_folding_fraction_masked(self, reference):
+        u = np.zeros((*reference.shape, 3))
+        mask = np.zeros(reference.shape, dtype=bool)
+        mask[:2] = True
+        assert folding_fraction(u, reference.spacing, mask) == 0.0
+
+    def test_shape_validation(self, reference):
+        with pytest.raises(ShapeError):
+            jacobian_determinant(np.zeros((4, 4, 4)), reference.spacing)
+
+
+class TestDisplacementErrorStats:
+    def test_zero_error(self, reference):
+        u = np.random.default_rng(0).normal(size=(*reference.shape, 3))
+        stats = displacement_error_stats(u, u)
+        assert stats["mean_mm"] == 0.0
+        assert stats["max_mm"] == 0.0
+
+    def test_constant_offset(self, reference):
+        truth = np.zeros((*reference.shape, 3))
+        rec = truth + np.array([3.0, 0.0, 4.0])
+        stats = displacement_error_stats(rec, truth)
+        assert stats["mean_mm"] == pytest.approx(5.0)
+        assert stats["rms_mm"] == pytest.approx(5.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            displacement_error_stats(np.zeros((2, 2, 2, 3)), np.zeros((3, 3, 3, 3)))
+
+
+class TestLandmarks:
+    def test_sampling_inside_mask(self, reference):
+        mask = np.zeros(reference.shape, dtype=bool)
+        mask[4:8, 4:8, 4:8] = True
+        pts = sample_landmarks(mask, reference, count=20, seed=1)
+        idx = np.rint(reference.world_to_index(pts)).astype(int)
+        assert np.all(mask[idx[:, 0], idx[:, 1], idx[:, 2]])
+
+    def test_sampling_capped_by_region(self, reference):
+        mask = np.zeros(reference.shape, dtype=bool)
+        mask[0, 0, :3] = True
+        pts = sample_landmarks(mask, reference, count=50)
+        assert len(pts) == 3
+
+    def test_empty_mask_raises(self, reference):
+        with pytest.raises(ValidationError):
+            sample_landmarks(np.zeros(reference.shape, dtype=bool), reference)
+
+    def test_tre_zero_for_identical_fields(self, reference):
+        rng = np.random.default_rng(2)
+        field = rng.normal(size=(*reference.shape, 3))
+        mask = np.ones(reference.shape, dtype=bool)
+        pts = sample_landmarks(mask, reference, count=10)
+        tre = target_registration_error(field, field, reference, pts)
+        assert tre["mean_mm"] == pytest.approx(0.0, abs=1e-12)
+
+    def test_tre_constant_offset(self, reference):
+        truth = np.zeros((*reference.shape, 3))
+        rec = truth + np.array([0.0, 3.0, 0.0])
+        pts = sample_landmarks(np.ones(reference.shape, dtype=bool), reference, count=15)
+        tre = target_registration_error(rec, truth, reference, pts)
+        assert tre["mean_mm"] == pytest.approx(3.0, abs=1e-9)
+        assert tre["n_landmarks"] == 15
+
+
+class TestSurfaceDistances:
+    def test_identical_sets(self):
+        pts = np.random.default_rng(0).normal(size=(30, 3))
+        # The expansion-trick distance leaves O(1e-8) roundoff.
+        assert hausdorff_distance(pts, pts) == pytest.approx(0.0, abs=1e-6)
+        assert mean_surface_distance(pts, pts) == pytest.approx(0.0, abs=1e-6)
+
+    def test_translated_set(self):
+        pts = np.random.default_rng(1).normal(size=(30, 3))
+        shifted = pts + np.array([2.0, 0.0, 0.0])
+        assert hausdorff_distance(pts, shifted) <= 2.0 + 1e-9
+        assert mean_surface_distance(pts, shifted) <= 2.0 + 1e-9
+
+    def test_single_outlier_dominates_hausdorff(self):
+        a = np.zeros((5, 3))
+        b = np.vstack([np.zeros((4, 3)), [[10.0, 0.0, 0.0]]])
+        assert hausdorff_distance(a, b) == pytest.approx(10.0)
+        assert mean_surface_distance(a, b) < 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            hausdorff_distance(np.zeros((0, 3)), np.zeros((3, 3)))
+        with pytest.raises(ShapeError):
+            mean_surface_distance(np.zeros((3, 2)), np.zeros((3, 3)))
+
+    def test_chunking_consistent(self):
+        rng = np.random.default_rng(3)
+        a = rng.normal(size=(100, 3))
+        b = rng.normal(size=(77, 3))
+        from repro.validation.surfaces import _pairwise_min_distance
+
+        full = _pairwise_min_distance(a, b, chunk=1000)
+        small = _pairwise_min_distance(a, b, chunk=7)
+        assert np.allclose(full, small)

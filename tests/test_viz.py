@@ -1,0 +1,221 @@
+"""Tests for the visualization substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.imaging.volume import ImageVolume
+from repro.mesh.surface import TriangleSurface
+from repro.util import ShapeError, ValidationError
+from repro.viz.colormap import Colormap, DEFORMATION_CMAP, GRAYSCALE_CMAP, grayscale_to_rgb
+from repro.viz.ppm import read_ppm, write_pgm, write_ppm
+from repro.viz.render import SurfaceRenderer, look_rotation
+from repro.viz.slices import difference_panel, montage, slice_image, window_level
+
+
+class TestColormap:
+    def test_grayscale_endpoints(self):
+        rgb = GRAYSCALE_CMAP(np.array([0.0, 1.0]))
+        assert rgb[0].tolist() == [0, 0, 0]
+        assert rgb[1].tolist() == [255, 255, 255]
+
+    def test_midpoint_interpolated(self):
+        rgb = GRAYSCALE_CMAP(np.array([0.5]))
+        assert np.all(np.abs(rgb[0].astype(int) - 127) <= 1)
+
+    def test_clipping_outside_range(self):
+        rgb = DEFORMATION_CMAP(np.array([-10.0, 10.0]), vmin=0.0, vmax=1.0)
+        assert rgb[0].tolist() == DEFORMATION_CMAP(np.array([0.0]))[0].tolist()
+        assert rgb[1].tolist() == DEFORMATION_CMAP(np.array([1.0]))[0].tolist()
+
+    def test_vmin_vmax_scaling(self):
+        a = GRAYSCALE_CMAP(np.array([5.0]), vmin=0.0, vmax=10.0)
+        b = GRAYSCALE_CMAP(np.array([0.5]))
+        assert a.tolist() == b.tolist()
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            Colormap((0.0,), ((0, 0, 0),))
+        with pytest.raises(ValidationError):
+            Colormap((0.0, 0.5), ((0, 0, 0), (1, 1, 1)))
+        with pytest.raises(ValidationError):
+            GRAYSCALE_CMAP(np.zeros(3), vmin=1.0, vmax=1.0)
+
+    def test_grayscale_to_rgb(self):
+        img = np.arange(6, dtype=np.uint8).reshape(2, 3)
+        rgb = grayscale_to_rgb(img)
+        assert rgb.shape == (2, 3, 3)
+        assert np.all(rgb[..., 0] == img)
+
+
+class TestSlices:
+    @pytest.fixture()
+    def vol(self):
+        data = np.arange(4 * 5 * 6, dtype=float).reshape(4, 5, 6)
+        return ImageVolume(data)
+
+    def test_window_level_range(self, vol):
+        img = window_level(vol.data)
+        assert img.dtype == np.uint8
+        assert img.min() == 0 and img.max() == 255
+
+    def test_explicit_window(self):
+        img = window_level(np.array([[0.0, 50.0, 100.0]]), window=100.0, level=50.0)
+        assert img[0, 0] == 0 and img[0, 2] == 255
+
+    def test_slice_orientations(self, vol):
+        assert slice_image(vol, 1, "sagittal").shape == (5, 6)
+        assert slice_image(vol, 2, "coronal").shape == (4, 6)
+        assert slice_image(vol, 3, "axial").shape == (4, 5)
+
+    def test_slice_validation(self, vol):
+        with pytest.raises(ValidationError):
+            slice_image(vol, 0, "oblique")
+        with pytest.raises(ValidationError):
+            slice_image(vol, 99, "axial")
+
+    def test_difference_panel_zero_for_identical(self, vol):
+        panel = difference_panel(vol, vol, 2)
+        assert np.all(panel == 0)
+
+    def test_difference_panel_shape_check(self, vol):
+        other = ImageVolume(np.zeros((2, 2, 2)))
+        with pytest.raises(ShapeError):
+            difference_panel(vol, other, 0)
+
+    def test_montage_tiles(self):
+        p = np.ones((10, 8), dtype=np.uint8) * 200
+        m = montage([p, p, p], columns=2, pad=2)
+        assert m.shape == (2 * 10 + 3 * 2, 2 * 8 + 3 * 2)
+        assert (m == 200).sum() == 3 * p.size
+
+    def test_montage_validation(self):
+        with pytest.raises(ValidationError):
+            montage([])
+        with pytest.raises(ShapeError):
+            montage([np.zeros((2, 2), np.uint8), np.zeros((3, 3), np.uint8)])
+
+
+class TestPPM:
+    def test_ppm_roundtrip(self, tmp_path):
+        img = np.random.default_rng(0).integers(0, 255, (7, 9, 3), dtype=np.uint8)
+        path = write_ppm(tmp_path / "x.ppm", img)
+        assert np.array_equal(read_ppm(path), img)
+
+    def test_pgm_roundtrip(self, tmp_path):
+        img = np.random.default_rng(1).integers(0, 255, (5, 4), dtype=np.uint8)
+        path = write_pgm(tmp_path / "x.pgm", img)
+        assert np.array_equal(read_ppm(path), img)
+
+    def test_shape_validation(self, tmp_path):
+        with pytest.raises(ShapeError):
+            write_ppm(tmp_path / "bad.ppm", np.zeros((3, 3)))
+        with pytest.raises(ShapeError):
+            write_pgm(tmp_path / "bad.pgm", np.zeros((3, 3, 3)))
+
+
+def octahedron(radius=1.0):
+    v = radius * np.array(
+        [[1, 0, 0], [-1, 0, 0], [0, 1, 0], [0, -1, 0], [0, 0, 1], [0, 0, -1]],
+        dtype=float,
+    )
+    tris = np.array(
+        [[0, 2, 4], [2, 1, 4], [1, 3, 4], [3, 0, 4], [2, 0, 5], [1, 2, 5], [3, 1, 5], [0, 3, 5]]
+    )
+    return TriangleSurface(v, tris)
+
+
+class TestRenderer:
+    def test_look_rotation_orthonormal(self):
+        R = look_rotation(np.array([1.0, -0.5, 0.3]))
+        assert np.allclose(R @ R.T, np.eye(3), atol=1e-12)
+
+    def test_look_rotation_rejects_zero(self):
+        with pytest.raises(ValidationError):
+            look_rotation(np.zeros(3))
+
+    def test_renders_something(self):
+        renderer = SurfaceRenderer(width=64, height=64)
+        img = renderer.render(octahedron())
+        bg = np.asarray(renderer.background, dtype=np.uint8)
+        foreground = (img != bg).any(axis=-1)
+        assert img.shape == (64, 64, 3)
+        # The shape covers a substantial central area.
+        assert 0.1 < foreground.mean() < 0.9
+        assert foreground[32, 32]
+
+    def test_vertex_values_change_colors(self):
+        renderer = SurfaceRenderer(width=48, height=48)
+        surf = octahedron()
+        flat = renderer.render(surf)
+        valued = renderer.render(surf, vertex_values=np.linspace(0, 1, surf.n_vertices))
+        assert not np.array_equal(flat, valued)
+
+    def test_zbuffer_occlusion(self):
+        """A small far sphere behind a big near one must be hidden."""
+        renderer = SurfaceRenderer(width=64, height=64)
+        near = octahedron(1.0)
+        # Combine: far octahedron displaced along the view direction.
+        far_v = octahedron(0.5).vertices + np.array([5.0, 0.0, 0.0])
+        verts = np.vstack([near.vertices, far_v])
+        tris = np.vstack([near.triangles, octahedron().triangles + 6])
+        surf = TriangleSurface(verts, tris)
+        values = np.concatenate([np.zeros(6), np.ones(6)])
+        img = renderer.render(
+            surf, vertex_values=values, view_dir=(1.0, 0.0, 0.0), vmin=0.0, vmax=1.0
+        )
+        # The far (red) octahedron is completely occluded by the near one:
+        # no pixel should be dominated by the red endpoint color.
+        red = DEFORMATION_CMAP(np.array([1.0]))[0]
+        matches = np.all(np.abs(img.astype(int) - red.astype(int)) < 30, axis=-1)
+        assert matches.sum() == 0
+
+    def test_segments_drawn(self):
+        renderer = SurfaceRenderer(width=64, height=64)
+        surf = octahedron()
+        # Camera looks along +x: a segment at x=-2 lies in front of the
+        # octahedron from the camera's viewpoint and inside the frame.
+        seg = np.array([[[-2.0, 0.0, -0.5], [-2.0, 0.0, 0.5]]])
+        img = renderer.render(surf, segments=seg, view_dir=(1.0, 0.0, 0.0))
+        color = np.array([40, 90, 255], dtype=np.uint8)
+        assert np.any(np.all(img == color, axis=-1))
+
+    def test_shape_validation(self):
+        renderer = SurfaceRenderer(width=32, height=32)
+        surf = octahedron()
+        with pytest.raises(ShapeError):
+            renderer.render(surf, vertex_values=np.zeros(3))
+        with pytest.raises(ShapeError):
+            renderer.render(surf, vertex_positions=np.zeros((2, 3)))
+
+
+class TestFigureComposition:
+    def test_figure4_and_5_outputs(self, tmp_path):
+        from repro.core.config import PipelineConfig
+        from repro.core.pipeline import IntraoperativePipeline
+        from repro.imaging.phantom import make_neurosurgery_case
+        from repro.viz.figures import figure4_panels, figure5_render
+
+        case = make_neurosurgery_case(shape=(32, 32, 24), shift_mm=5.0, seed=19)
+        cfg = PipelineConfig(
+            mesh_cell_mm=8.0, rigid_max_iter=1, rigid_samples=2000, surface_iterations=60
+        )
+        pipeline = IntraoperativePipeline(cfg)
+        preop = pipeline.prepare_preoperative(case.preop_mri, case.preop_labels)
+        result = pipeline.process_scan(case.intraop_mri, preop)
+
+        paths = figure4_panels(case, result, tmp_path)
+        assert set(paths) == {
+            "fig4a_initial",
+            "fig4b_target",
+            "fig4c_simulated",
+            "fig4d_difference",
+            "fig4_montage",
+        }
+        for path in paths.values():
+            assert path.exists() and path.stat().st_size > 100
+
+        p5 = figure5_render(preop.surface, result, tmp_path / "fig5.ppm", width=96, height=96)
+        img = read_ppm(p5)
+        assert img.shape == (96, 96, 3)
