@@ -11,7 +11,11 @@ This example simulates that workflow: the preoperative model is prepared
 once; three successive intraoperative scans show progressively larger
 brain shift (the final one with the tumor resected). Prototype voxels
 are picked interactively on the *first* scan only and re-used for every
-later scan — the paper's automatic statistical-model update.
+later scan — the paper's automatic statistical-model update. The FEM
+stage likewise precomputes its scan-invariant state (assembled
+stiffness, elimination structure, subdomain factors) preoperatively, so
+every scan's biomechanical simulation is a data-only fast path whose
+GMRES solve warm-starts from the previous scan's displacement field.
 
 Run:  python examples/neurosurgery_session.py
 """
@@ -60,6 +64,12 @@ def main() -> None:
         corr = result.correspondence
         err = np.linalg.norm(result.grid_displacement - case.true_forward_mm, axis=-1)
         brain = case.brain_mask()
+        sim = result.simulation
+        fem_path = (
+            "warm" if sim.cache_hit and sim.warm_started
+            else "hit" if sim.cache_hit
+            else "cold"
+        )
         rows.append(
             [
                 label,
@@ -70,6 +80,7 @@ def main() -> None:
                 result.match_simulated_rms,
                 float(err[brain].mean()),
                 result.timeline.total("intraoperative"),
+                f"{fem_path} ({sim.solver.iterations} it)",
             ]
         )
         print(f"  processed scan: {label} (surface |u| max {corr.magnitudes.max():.1f} mm)")
@@ -86,6 +97,7 @@ def main() -> None:
                 "simulated RMS",
                 "field err mean (mm)",
                 "processing (s)",
+                "FEM path",
             ],
             rows,
             title="Intraoperative session summary",
@@ -95,7 +107,10 @@ def main() -> None:
     print(
         "Note how the biomechanical match stays close across the session while\n"
         "rigid-only alignment degrades as the brain deforms — the paper's case\n"
-        "for intraoperative nonrigid registration."
+        "for intraoperative nonrigid registration. Every FEM stage above ran on\n"
+        "the precomputed solve context (assembly, elimination and factorization\n"
+        "done preoperatively); scans after the first also warm-started GMRES\n"
+        "from the previous displacement field."
     )
 
 

@@ -33,7 +33,13 @@ from repro.core import (
     PreoperativeModel,
     Timeline,
 )
-from repro.fem import BiomechanicalModel, DirichletBC, LinearElasticMaterial, MaterialMap
+from repro.fem import (
+    BiomechanicalModel,
+    DirichletBC,
+    LinearElasticMaterial,
+    MaterialMap,
+    SolveContext,
+)
 from repro.imaging import BrainPhantom, ImageVolume, NeurosurgeryCase, Tissue, make_neurosurgery_case
 from repro.machines import DEEP_FLOW, ULTRA80_CLUSTER, ULTRA_HPC_6000, MachineSpec, VirtualCluster
 from repro.parallel import simulate_parallel
@@ -54,6 +60,7 @@ __all__ = [
     "NeurosurgeryCase",
     "PipelineConfig",
     "PreoperativeModel",
+    "SolveContext",
     "Timeline",
     "Tissue",
     "ULTRA80_CLUSTER",

@@ -32,6 +32,16 @@ class PipelineConfig:
         FEM material map (paper default: homogeneous brain).
     n_ranks:
         Virtual CPU count for the parallel simulation (1 = serial path).
+    precompute_solve_context:
+        Build the scan-invariant FEM state (assembled matrix,
+        elimination structure, preconditioner factors) during
+        :meth:`~repro.core.IntraoperativePipeline.prepare_preoperative`,
+        when "time is plentiful", so every intraoperative simulation is
+        a data-only fast path.
+    warm_start:
+        Seed each scan's Krylov solve with the previous scan's
+        displacement field (brain shift evolves incrementally, so the
+        previous solution is a good initial guess).
     """
 
     # Tissue model
@@ -85,6 +95,8 @@ class PipelineConfig:
     gmres_restart: int = 30
     n_ranks: int = 1
     partitioner: str = "block"
+    precompute_solve_context: bool = True
+    warm_start: bool = True
 
     seed: int = 0
 

@@ -26,6 +26,7 @@ import numpy as np
 from repro.core.config import PipelineConfig
 from repro.core.timeline import Timeline
 from repro.fem.bc import DirichletBC
+from repro.fem.context import SolveContext
 from repro.imaging.metrics import mutual_information, rms_difference
 from repro.imaging.phantom import Tissue
 from repro.imaging.resample import invert_displacement_field, trilinear_sample, warp_volume
@@ -33,7 +34,11 @@ from repro.imaging.volume import ImageVolume
 from repro.machines.spec import MachineSpec
 from repro.mesh.generator import GridTetraMesher, mesh_labeled_volume, mesh_with_target_nodes
 from repro.mesh.surface import TriangleSurface, extract_boundary_surface
-from repro.parallel.simulation import ParallelSimulation, simulate_parallel
+from repro.parallel.simulation import (
+    ParallelSimulation,
+    prepare_solve_context,
+    simulate_parallel,
+)
 from repro.registration.rigid import RegistrationResult, register_rigid
 from repro.registration.transform import RigidTransform
 from repro.segmentation.atlas import LocalizationModel
@@ -61,6 +66,12 @@ class PreoperativeModel:
         nodes for the boundary conditions).
     brain_mask:
         Boolean brain mask of the preoperative segmentation.
+    solve_context:
+        Precomputed scan-invariant FEM state (assembled stiffness,
+        Dirichlet-elimination structure, preconditioner factors) built
+        during the preoperative phase so each intraoperative simulation
+        is a data-only fast path; ``None`` when
+        ``PipelineConfig.precompute_solve_context`` is off.
     """
 
     mri: ImageVolume
@@ -69,6 +80,18 @@ class PreoperativeModel:
     mesher: GridTetraMesher
     surface: TriangleSurface
     brain_mask: np.ndarray
+    solve_context: SolveContext | None = None
+
+    def invalidate_solve_context(self) -> None:
+        """Force a rebuild of the cached FEM state on the next scan.
+
+        Call after editing the mesh or materials in place; fingerprint
+        checking also catches such changes automatically, but an explicit
+        invalidation makes the intent visible and counts separately in
+        :class:`repro.fem.CacheStats`.
+        """
+        if self.solve_context is not None:
+            self.solve_context.invalidate()
 
 
 @dataclass
@@ -142,6 +165,19 @@ class IntraoperativePipeline:
             mesher = mesh_labeled_volume(labels, cfg.mesh_cell_mm, cfg.brain_labels)
         surface = extract_boundary_surface(mesher.mesh)
         brain_mask = np.isin(labels.data, cfg.brain_labels)
+        solve_context = None
+        if cfg.precompute_solve_context:
+            # Preoperative precomputation: partitioning, assembly,
+            # elimination slicing and preconditioner factorization all
+            # happen now, while "time is plentiful" — process_scan only
+            # updates the right-hand side and solves.
+            solve_context = prepare_solve_context(
+                mesher.mesh,
+                surface.mesh_nodes,
+                cfg.n_ranks,
+                materials=cfg.materials,
+                partitioner=cfg.partitioner,
+            )
         return PreoperativeModel(
             mri=mri,
             labels=labels,
@@ -149,6 +185,7 @@ class IntraoperativePipeline:
             mesher=mesher,
             surface=surface,
             brain_mask=brain_mask,
+            solve_context=solve_context,
         )
 
     # -- intraoperative ---------------------------------------------------------
@@ -256,6 +293,17 @@ class IntraoperativePipeline:
                 partitioner=cfg.partitioner,
                 tol=cfg.solver_tol,
                 restart=cfg.gmres_restart,
+                context=preop.solve_context,
+                warm_start=cfg.warm_start,
+            )
+        if preop.solve_context is not None:
+            stats = simulation.cache_stats
+            timeline.note(
+                "solve context: "
+                + ("hit (data-only fast path" if simulation.cache_hit else "miss (rebuilt")
+                + (", warm-started solve)" if simulation.warm_started else ")")
+                + f" [hits={stats.hits} misses={stats.misses}"
+                + f" invalidations={stats.invalidations}]"
             )
 
         # 5. Visualization resample: deform the preop MRI onto the new

@@ -78,6 +78,14 @@ class SurgicalSession:
         self.history.append(result)
         return result
 
+    def invalidate_solve_context(self) -> None:
+        """Drop the cached FEM state (e.g. after an intraoperative mesh edit).
+
+        The next :meth:`process` call rebuilds the assembly/elimination/
+        preconditioner state from scratch and repopulates the cache.
+        """
+        self.preop.invalidate_solve_context()
+
     def latest(self) -> IntraoperativeResult:
         if not self.history:
             raise ValidationError("no scans processed yet")
@@ -89,6 +97,13 @@ class SurgicalSession:
             return "(no scans processed)"
         rows = []
         for i, result in enumerate(self.history, start=1):
+            sim = result.simulation
+            if sim.cache_stats is None:
+                cache = "off"
+            elif sim.cache_hit:
+                cache = "hit+warm" if sim.warm_started else "hit"
+            else:
+                cache = "miss"
             rows.append(
                 [
                     i,
@@ -96,7 +111,8 @@ class SurgicalSession:
                     float(result.correspondence.magnitudes.max()),
                     result.match_rigid_rms,
                     result.match_simulated_rms,
-                    result.simulation.solver.iterations,
+                    sim.solver.iterations,
+                    cache,
                 ]
             )
         return format_table(
@@ -107,6 +123,7 @@ class SurgicalSession:
                 "rigid RMS",
                 "simulated RMS",
                 "GMRES iters",
+                "cache",
             ],
             rows,
             title="Surgical session summary",

@@ -24,9 +24,23 @@ class TimelineEntry:
 
 @dataclass
 class Timeline:
-    """Ordered record of pipeline stage durations."""
+    """Ordered record of pipeline stage durations.
+
+    Attributes
+    ----------
+    entries:
+        Timed stages in execution order.
+    notes:
+        Free-form annotations attached to the record (e.g. solve-context
+        cache hit/miss information), appended below the stage table.
+    """
 
     entries: list[TimelineEntry] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def note(self, text: str) -> None:
+        """Attach a free-form annotation to the timeline."""
+        self.notes.append(text)
 
     @contextmanager
     def stage(self, name: str, period: str = "intraoperative"):
@@ -50,7 +64,10 @@ class Timeline:
     def as_table(self, title: str | None = None) -> str:
         rows = [(e.period, e.stage, e.seconds) for e in self.entries]
         rows.append(("intraoperative", "TOTAL (intraoperative)", self.total("intraoperative")))
-        return format_table(["period", "stage", "seconds"], rows, title=title)
+        table = format_table(["period", "stage", "seconds"], rows, title=title)
+        if self.notes:
+            table += "\n" + "\n".join(f"  note: {n}" for n in self.notes)
+        return table
 
     def as_gantt(self, width: int = 50, title: str | None = None) -> str:
         """ASCII Gantt chart of sequential stages (the paper's Fig. 6 form).

@@ -8,10 +8,15 @@ batched with ``einsum``; global assembly is sparse COO -> CSR.
 """
 
 from repro.fem.assembly import assemble_load_vector, assemble_stiffness, element_stiffness_matrices
-from repro.fem.bc import DirichletBC, ReducedSystem, apply_dirichlet
+from repro.fem.bc import DirichletBC, ReducedSystem, apply_dirichlet, partition_free_fixed
 from repro.fem.condensed import CondensedSurfaceModel
+from repro.fem.context import AssemblyContext, CacheStats, ReductionContext, SolveContext
 from repro.fem.incremental import IncrementalResult, simulate_incremental
-from repro.fem.element import shape_function_gradients, strain_displacement_matrices
+from repro.fem.element import (
+    element_stiffness_from_B,
+    shape_function_gradients,
+    strain_displacement_matrices,
+)
 from repro.fem.material import (
     BRAIN_HETEROGENEOUS,
     BRAIN_HOMOGENEOUS,
@@ -21,21 +26,27 @@ from repro.fem.material import (
 from repro.fem.model import BiomechanicalModel, SimulationResult
 
 __all__ = [
+    "AssemblyContext",
     "BRAIN_HETEROGENEOUS",
     "BRAIN_HOMOGENEOUS",
     "BiomechanicalModel",
+    "CacheStats",
     "CondensedSurfaceModel",
     "DirichletBC",
     "IncrementalResult",
     "LinearElasticMaterial",
     "MaterialMap",
     "ReducedSystem",
+    "ReductionContext",
     "SimulationResult",
+    "SolveContext",
     "apply_dirichlet",
     "assemble_load_vector",
     "simulate_incremental",
     "assemble_stiffness",
+    "element_stiffness_from_B",
     "element_stiffness_matrices",
+    "partition_free_fixed",
     "shape_function_gradients",
     "strain_displacement_matrices",
 ]

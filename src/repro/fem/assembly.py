@@ -15,7 +15,11 @@ from __future__ import annotations
 import numpy as np
 from scipy import sparse
 
-from repro.fem.element import shape_function_gradients, strain_displacement_matrices
+from repro.fem.element import (
+    element_stiffness_from_B,
+    shape_function_gradients,
+    strain_displacement_matrices,
+)
 from repro.fem.material import MaterialMap
 from repro.mesh.tetra import TetrahedralMesh
 from repro.util import ShapeError
@@ -28,17 +32,16 @@ def element_stiffness_matrices(
     gradients, volumes = shape_function_gradients(mesh.element_coordinates())
     B = strain_displacement_matrices(gradients)
     D = materials.elasticity_for_elements(mesh.materials)
-    # K_e = |V| B^T D B
-    DB = np.einsum("mij,mjk->mik", D, B)
-    K = np.einsum("mji,mjk->mik", B, DB)
-    K *= np.abs(volumes)[:, None, None]
-    return K
+    return element_stiffness_from_B(B, volumes, D)
 
 
 def element_dof_indices(mesh: TetrahedralMesh) -> np.ndarray:
-    """Global DOF indices per element, shape ``(m, 12)``, node-major."""
-    conn = mesh.elements
-    return (3 * conn[:, :, None] + np.arange(3)[None, None, :]).reshape(-1, 12)
+    """Global DOF indices per element, shape ``(m, 12)``, node-major.
+
+    Cached on the mesh (topology-only): repeated assemblies of the same
+    mesh — the multi-scan clinical scenario — reuse one array.
+    """
+    return mesh.element_dof_indices()
 
 
 def assemble_stiffness(

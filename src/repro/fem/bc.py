@@ -97,6 +97,22 @@ class ReducedSystem:
         return full
 
 
+def partition_free_fixed(n: int, fixed: np.ndarray) -> np.ndarray:
+    """Free (unconstrained) DOF indices of an ``n``-DOF system.
+
+    ``fixed`` is the array of prescribed DOF indices (any order); the
+    free set comes back sorted. Shared by the one-shot elimination below
+    and by :class:`repro.fem.context.ReductionContext`, which caches the
+    partition across scans.
+    """
+    fixed = np.asarray(fixed, dtype=np.intp)
+    if len(fixed) and (fixed.min() < 0 or fixed.max() >= n):
+        raise ValidationError("BC DOF index out of range")
+    is_fixed = np.zeros(n, dtype=bool)
+    is_fixed[fixed] = True
+    return np.flatnonzero(~is_fixed)
+
+
 def apply_dirichlet(
     matrix: sparse.csr_matrix,
     rhs: np.ndarray,
@@ -111,12 +127,8 @@ def apply_dirichlet(
     if rhs.shape != (n,):
         raise ShapeError(f"rhs must be ({n},), got {rhs.shape}")
     fixed = bc.dof_indices()
-    if len(fixed) and (fixed.min() < 0 or fixed.max() >= n):
-        raise ValidationError("BC DOF index out of range")
     values = bc.dof_values()
-    is_fixed = np.zeros(n, dtype=bool)
-    is_fixed[fixed] = True
-    free = np.flatnonzero(~is_fixed)
+    free = partition_free_fixed(n, fixed)
     csc = matrix.tocsc()
     coupling = csc[:, fixed][free, :]
     reduced_rhs = rhs[free] - coupling @ values

@@ -75,6 +75,25 @@ def strain_displacement_matrices(gradients: np.ndarray) -> np.ndarray:
     return B
 
 
+def element_stiffness_from_B(
+    B: np.ndarray, volumes: np.ndarray, elasticity: np.ndarray
+) -> np.ndarray:
+    """Batched ``K_e = |V| B^T D B``, shape ``(m, 12, 12)``.
+
+    Split out of the full element-stiffness routine so callers that cache
+    the geometry factors (``B``, ``volumes``) can refresh the numeric
+    values after a material change without re-deriving shape-function
+    gradients — the numeric half of the symbolic/numeric assembly split.
+    """
+    B = np.asarray(B, dtype=float)
+    if B.ndim != 3 or B.shape[1:] != (6, 12):
+        raise ShapeError(f"B must be (m, 6, 12), got {B.shape}")
+    DB = np.einsum("mij,mjk->mik", elasticity, B)
+    K = np.einsum("mji,mjk->mik", B, DB)
+    K *= np.abs(np.asarray(volumes, dtype=float))[:, None, None]
+    return K
+
+
 def element_strains(gradients: np.ndarray, nodal_displacements: np.ndarray) -> np.ndarray:
     """Constant Voigt strain per element from nodal displacements.
 

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.fem.assembly import assemble_load_vector, assemble_stiffness
 from repro.fem.bc import DirichletBC, apply_dirichlet
+from repro.fem.context import AssemblyContext, ReductionContext, SolveContext
 from repro.fem.material import BRAIN_HOMOGENEOUS, MaterialMap
 from repro.mesh.tetra import TetrahedralMesh
 from repro.solver.cg import conjugate_gradient
@@ -23,6 +24,7 @@ from repro.solver.preconditioner import (
     BlockJacobiPreconditioner,
     IdentityPreconditioner,
     JacobiPreconditioner,
+    contiguous_block_ranges,
 )
 from repro.util import Timer, ValidationError
 
@@ -95,13 +97,23 @@ class BiomechanicalModel:
             raise ValidationError(f"n_blocks must be >= 1, got {self.n_blocks}")
 
     def _block_ranges(self, n: int) -> list[tuple[int, int]]:
-        bounds = np.linspace(0, n, min(self.n_blocks, n) + 1).astype(int)
-        return [(int(bounds[i]), int(bounds[i + 1])) for i in range(len(bounds) - 1)]
+        return contiguous_block_ranges(n, self.n_blocks)
+
+    def _make_preconditioner(self, reduced):
+        if self.preconditioner == "block_jacobi":
+            return BlockJacobiPreconditioner(
+                reduced.matrix, self._block_ranges(reduced.n_free)
+            )
+        if self.preconditioner == "jacobi":
+            return JacobiPreconditioner(reduced.matrix)
+        return IdentityPreconditioner(reduced.n_free)
 
     def simulate(
         self,
         bc: DirichletBC,
         body_force: np.ndarray | None = None,
+        context: SolveContext | None = None,
+        warm_start: bool = True,
     ) -> SimulationResult:
         """Compute the volumetric deformation implied by surface displacements.
 
@@ -110,29 +122,62 @@ class BiomechanicalModel:
         obtained with the active surface algorithm" — realized, as in the
         paper, by fixing the surface displacements and solving for the
         interior.
+
+        ``context`` carries the scan-invariant state (assembled matrix,
+        elimination structure, block-Jacobi factors, previous solution)
+        across repeated calls with the same mesh/materials/constrained
+        nodes; ``warm_start`` additionally seeds the Krylov solve with
+        the previous call's solution on a cache hit.
         """
         if len(bc.node_ids) == 0:
             raise ValidationError("simulation requires at least one prescribed node")
+        warm = False
+        if context is not None:
+            fp = SolveContext.fingerprint(
+                self.mesh,
+                self.materials,
+                bc.node_ids,
+                layer="serial",
+                solver=self.solver,
+                preconditioner=self.preconditioner,
+                n_blocks=self.n_blocks,
+            )
+            warm = context.prepare(fp)
         assembly_timer = Timer("assembly")
         with assembly_timer:
-            stiffness = assemble_stiffness(self.mesh, self.materials)
-            load = assemble_load_vector(self.mesh, body_force)
-            reduced = apply_dirichlet(stiffness, load, bc)
+            if context is None:
+                stiffness = assemble_stiffness(self.mesh, self.materials)
+                load = assemble_load_vector(self.mesh, body_force)
+                reduced = apply_dirichlet(stiffness, load, bc)
+            else:
+                if not warm:
+                    context.assembly = AssemblyContext(self.mesh, self.materials)
+                    context.reduction = ReductionContext(
+                        context.assembly.matrix(), bc.dof_indices()
+                    )
+                load = (
+                    assemble_load_vector(self.mesh, body_force)
+                    if body_force is not None
+                    else None
+                )
+                reduced = context.reduction.reduce(bc.dof_values(), load)
 
         solve_timer = Timer("solve")
         with solve_timer:
-            if self.preconditioner == "block_jacobi":
-                pre = BlockJacobiPreconditioner(
-                    reduced.matrix, self._block_ranges(reduced.n_free)
-                )
-            elif self.preconditioner == "jacobi":
-                pre = JacobiPreconditioner(reduced.matrix)
+            if warm and "preconditioner" in context.slots:
+                pre = context.slots["preconditioner"]
             else:
-                pre = IdentityPreconditioner(reduced.n_free)
+                pre = self._make_preconditioner(reduced)
+                if context is not None:
+                    context.slots["preconditioner"] = pre
+            x0 = None
+            if warm and warm_start:
+                x0 = context.warm_start_vector(reduced.n_free)
             if self.solver == "gmres":
                 result = gmres(
                     reduced.matrix,
                     reduced.rhs,
+                    x0=x0,
                     preconditioner=pre,
                     tol=self.tol,
                     restart=self.restart,
@@ -142,10 +187,13 @@ class BiomechanicalModel:
                 result = conjugate_gradient(
                     reduced.matrix,
                     reduced.rhs,
+                    x0=x0,
                     preconditioner=pre,
                     tol=self.tol,
                     max_iter=self.max_iter,
                 )
+        if context is not None:
+            context.record_solution(result.x)
 
         full = reduced.expand(result.x)
         return SimulationResult(

@@ -39,6 +39,8 @@ class TetrahedralMesh:
     elements: np.ndarray
     materials: np.ndarray
     _volumes: np.ndarray | None = field(default=None, repr=False, compare=False)
+    _element_dofs: np.ndarray | None = field(default=None, repr=False, compare=False)
+    _node_element_counts: np.ndarray | None = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         self.nodes = np.asarray(self.nodes, dtype=np.float64)
@@ -92,15 +94,31 @@ class TetrahedralMesh:
     def element_centroids(self) -> np.ndarray:
         return self.element_coordinates().mean(axis=1)
 
+    def element_dof_indices(self) -> np.ndarray:
+        """Global DOF indices per element, shape ``(m, 12)``, node-major.
+
+        Topology-only and therefore cached: the hot assembly path asks
+        for this array on every scan of a surgical session.
+        """
+        if self._element_dofs is None:
+            conn = self.elements
+            self._element_dofs = (
+                3 * conn[:, :, None] + np.arange(3)[None, None, :]
+            ).reshape(-1, 12)
+        return self._element_dofs
+
     # -- connectivity --------------------------------------------------------
 
     def node_element_counts(self) -> np.ndarray:
         """Number of elements touching each node — the paper's source of
         assembly load imbalance ("different mesh nodes can have different
-        connectivity, and hence require a different amount of work")."""
-        counts = np.zeros(self.n_nodes, dtype=np.int64)
-        np.add.at(counts, self.elements.ravel(), 1)
-        return counts
+        connectivity, and hence require a different amount of work").
+        Topology-only, so the counts are computed once and cached."""
+        if self._node_element_counts is None:
+            counts = np.zeros(self.n_nodes, dtype=np.int64)
+            np.add.at(counts, self.elements.ravel(), 1)
+            self._node_element_counts = counts
+        return self._node_element_counts
 
     def node_adjacency(self) -> "list[np.ndarray]":
         """Adjacent node lists (mesh edges), as an array per node."""

@@ -17,12 +17,17 @@ virtual wall-clock on one of the paper's three architectures.
 from repro.parallel.decomposition import Decomposition
 from repro.parallel.distributed import RowBlockMatrix, distributed_dot, distributed_norm
 from repro.parallel.assembly import DistributedSystem, build_distributed_system
-from repro.parallel.solver import DistributedBlockJacobi, distributed_gmres
-from repro.parallel.simulation import ParallelSimulation, simulate_parallel
+from repro.parallel.solver import DistributedBlockJacobi, DistributedRAS, distributed_gmres
+from repro.parallel.simulation import (
+    ParallelSimulation,
+    prepare_solve_context,
+    simulate_parallel,
+)
 
 __all__ = [
     "Decomposition",
     "DistributedBlockJacobi",
+    "DistributedRAS",
     "DistributedSystem",
     "ParallelSimulation",
     "RowBlockMatrix",
@@ -30,5 +35,6 @@ __all__ = [
     "distributed_dot",
     "distributed_gmres",
     "distributed_norm",
+    "prepare_solve_context",
     "simulate_parallel",
 ]

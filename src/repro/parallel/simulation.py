@@ -13,6 +13,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.fem.bc import DirichletBC
+from repro.fem.context import CacheStats, SolveContext
 from repro.fem.material import BRAIN_HOMOGENEOUS, MaterialMap
 from repro.machines.cost import NullTelemetry, VirtualCluster
 from repro.machines.spec import MachineSpec
@@ -62,6 +63,16 @@ class ParallelSimulation:
         The telemetry object (``VirtualCluster`` or ``NullTelemetry``).
     system:
         The distributed system (exposes partition bookkeeping).
+    cache_hit:
+        Whether this run reused a prepared :class:`SolveContext` (the
+        data-only fast path: no partitioning, assembly, elimination
+        slicing, or preconditioner factorization).
+    warm_started:
+        Whether GMRES started from the previous scan's displacement
+        field instead of zero.
+    cache_stats:
+        Snapshot of the context's hit/miss/invalidation counters after
+        this run (``None`` when no context was supplied).
     """
 
     displacement: np.ndarray
@@ -73,6 +84,9 @@ class ParallelSimulation:
     solve_seconds: float
     cluster: NullTelemetry
     system: DistributedSystem
+    cache_hit: bool = False
+    warm_started: bool = False
+    cache_stats: CacheStats | None = None
 
     @property
     def total_seconds(self) -> float:
@@ -83,6 +97,38 @@ class ParallelSimulation:
 def mesh_payload_bytes(mesh: TetrahedralMesh) -> float:
     """Bytes of mesh data scattered from the root during initialization."""
     return float(mesh.nodes.nbytes + mesh.elements.nbytes + mesh.materials.nbytes)
+
+
+def _context_fingerprint(
+    mesh: TetrahedralMesh,
+    materials: MaterialMap,
+    bc: DirichletBC,
+    n_ranks: int,
+    partitioner: str,
+    preconditioner: str,
+    factorization: str,
+    ras_overlap: int,
+) -> bytes:
+    """Fingerprint of every input the cached distributed state depends on."""
+    return SolveContext.fingerprint(
+        mesh,
+        materials,
+        bc.node_ids,
+        layer="parallel",
+        n_ranks=n_ranks,
+        partitioner=partitioner,
+        preconditioner=preconditioner,
+        factorization=factorization,
+        ras_overlap=ras_overlap,
+    )
+
+
+def _make_preconditioner(
+    matrix, telemetry, preconditioner: str, factorization: str, ras_overlap: int
+):
+    if preconditioner == "ras":
+        return DistributedRAS(matrix, telemetry, overlap=ras_overlap)
+    return DistributedBlockJacobi(matrix, telemetry, factorization=factorization)
 
 
 def simulate_parallel(
@@ -98,6 +144,8 @@ def simulate_parallel(
     factorization: str = "ilu",
     preconditioner: str = "block_jacobi",
     ras_overlap: int = 1,
+    context: SolveContext | None = None,
+    warm_start: bool = True,
 ) -> ParallelSimulation:
     """Run the distributed biomechanical simulation at ``n_ranks`` CPUs.
 
@@ -117,6 +165,18 @@ def simulate_parallel(
     preconditioner:
         ``"block_jacobi"`` (paper configuration) or ``"ras"``
         (restricted additive Schwarz with ``ras_overlap`` layers).
+    context:
+        A :class:`repro.fem.SolveContext` carrying scan-invariant state
+        across calls. On a fingerprint match (same mesh, materials,
+        constrained nodes, and solver configuration) the partitioning,
+        assembly, elimination slicing, and preconditioner factorization
+        are all skipped — the per-scan work is one coupling matvec for
+        the right-hand side plus the Krylov solve. A mismatch (resected
+        mesh, changed materials) rebuilds and repopulates the context.
+    warm_start:
+        Start GMRES from the previous scan's displacement field held by
+        the context (brain shift evolves incrementally, so the previous
+        solution is a good initial guess). Only active on a cache hit.
     """
     if partitioner not in PARTITIONERS:
         raise ValidationError(
@@ -124,37 +184,68 @@ def simulate_parallel(
         )
     if preconditioner not in ("block_jacobi", "ras"):
         raise ValidationError(f"unknown preconditioner {preconditioner!r}")
-    part = PARTITIONERS[partitioner](mesh, n_ranks)
-    decomposition = Decomposition.from_partition(mesh, part, n_ranks)
+
+    warm = False
+    if context is not None:
+        fp = _context_fingerprint(
+            mesh, materials, bc, n_ranks, partitioner,
+            preconditioner, factorization, ras_overlap,
+        )
+        warm = context.prepare(fp)
+
     telemetry = (
         VirtualCluster(machine, n_ranks) if machine is not None else NullTelemetry()
     )
 
-    with telemetry.phase("initialization"):
-        telemetry.compute(
-            0, INIT_FLOPS_PER_ENTITY * (mesh.n_nodes + mesh.n_elements)
-        )
-        telemetry.scatter(mesh_payload_bytes(mesh))
+    if warm:
+        # Initialization (mesh scatter, index construction) was done
+        # preoperatively — the phase is recorded but charges nothing.
+        decomposition = context.slots["decomposition"]
+        with telemetry.phase("initialization"):
+            pass
+    else:
+        part = PARTITIONERS[partitioner](mesh, n_ranks)
+        decomposition = Decomposition.from_partition(mesh, part, n_ranks)
+        with telemetry.phase("initialization"):
+            telemetry.compute(
+                0, INIT_FLOPS_PER_ENTITY * (mesh.n_nodes + mesh.n_elements)
+            )
+            telemetry.scatter(mesh_payload_bytes(mesh))
+        if context is not None:
+            context.slots["decomposition"] = decomposition
 
     bc_new = DirichletBC(decomposition.old_to_new[bc.node_ids], bc.displacements)
-    system = build_distributed_system(decomposition, materials, bc_new, telemetry)
+    system = build_distributed_system(
+        decomposition, materials, bc_new, telemetry, context=context, reuse=warm
+    )
 
     with telemetry.phase("solve"):
-        if preconditioner == "ras":
-            pre = DistributedRAS(system.matrix, telemetry, overlap=ras_overlap)
+        if warm and "preconditioner" in context.slots:
+            # Reused subdomain factors: the factorization flops are not
+            # charged again — only the per-application triangular solves.
+            pre = context.slots["preconditioner"]
         else:
-            pre = DistributedBlockJacobi(
-                system.matrix, telemetry, factorization=factorization
+            pre = _make_preconditioner(
+                system.matrix, telemetry, preconditioner, factorization, ras_overlap
             )
+            if context is not None:
+                context.slots["preconditioner"] = pre
+        x0 = None
+        if warm and warm_start:
+            x0 = context.warm_start_vector(system.n_free)
         result = distributed_gmres(
             system.matrix,
             system.rhs,
             preconditioner=pre,
+            x0=x0,
             tol=tol,
             restart=restart,
             max_iter=max_iter,
             telemetry=telemetry,
         )
+
+    if context is not None:
+        context.record_solution(result.x)
 
     if isinstance(telemetry, VirtualCluster):
         init_s = telemetry.phase_seconds("initialization")
@@ -173,4 +264,53 @@ def simulate_parallel(
         solve_seconds=solve_s,
         cluster=telemetry,
         system=system,
+        cache_hit=warm,
+        warm_started=x0 is not None,
+        cache_stats=context.stats.snapshot() if context is not None else None,
     )
+
+
+def prepare_solve_context(
+    mesh: TetrahedralMesh,
+    bc_node_ids: np.ndarray,
+    n_ranks: int,
+    materials: MaterialMap = BRAIN_HOMOGENEOUS,
+    partitioner: str = "block",
+    factorization: str = "ilu",
+    preconditioner: str = "block_jacobi",
+    ras_overlap: int = 1,
+    context: SolveContext | None = None,
+) -> SolveContext:
+    """Precompute all scan-invariant FEM state (the preoperative phase).
+
+    Runs the full build — partitioning, batched element stiffness,
+    symbolic + numeric assembly, Dirichlet-elimination slicing for the
+    given constrained node set, and the per-rank preconditioner
+    factorization — against zero prescribed displacements, so the
+    "solve" is the trivial zero system and costs nothing. The returned
+    context makes every subsequent :func:`simulate_parallel` call with
+    the same configuration a cache hit, per the paper's observation that
+    initialization "can be overlapped with earlier image processing"
+    while "time is plentiful" before surgery.
+    """
+    if context is None:
+        context = SolveContext()
+    node_ids = np.asarray(bc_node_ids, dtype=np.intp)
+    bc = DirichletBC(node_ids, np.zeros((len(node_ids), 3)))
+    simulate_parallel(
+        mesh,
+        bc,
+        n_ranks,
+        machine=None,
+        materials=materials,
+        partitioner=partitioner,
+        factorization=factorization,
+        preconditioner=preconditioner,
+        ras_overlap=ras_overlap,
+        context=context,
+        warm_start=False,
+    )
+    # The priming solve's solution is identically zero — drop it so the
+    # first real scan is not reported as warm-started from nothing.
+    context.last_solution = None
+    return context

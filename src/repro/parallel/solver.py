@@ -22,6 +22,7 @@ from repro.parallel.distributed import (
     distributed_norm,
 )
 from repro.solver.gmres import GMRESResult
+from repro.solver.schwarz import grow_subdomain
 from repro.util import ConvergenceError, ShapeError, ValidationError
 
 _NULL = NullTelemetry()
@@ -114,12 +115,7 @@ class DistributedRAS:
         halo: dict[tuple[int, int], float] = {}
         for rank, (a, b) in enumerate(matrix.ranges):
             indices = np.arange(a, b, dtype=np.intp)
-            grown = indices
-            for _ in range(overlap):
-                rows = csr[grown, :]
-                grown = np.unique(
-                    np.concatenate([grown, rows.indices.astype(np.intp)])
-                )
+            grown = grow_subdomain(csr, indices, overlap)
             external = grown[(grown < a) | (grown >= b)]
             if len(external):
                 owners = np.searchsorted(stops, external, side="right")
@@ -180,10 +176,13 @@ def distributed_gmres(
             return r.copy()
         return preconditioner.solve(r, telemetry)
 
+    # Per-rank vector lengths are loop-invariant: computed once here
+    # instead of on every fused-orthogonalization reduction.
+    lengths = (ranges[:, 1] - ranges[:, 0]).astype(float)
+
     def ortho_block(Vk: np.ndarray, w: np.ndarray) -> np.ndarray:
         """Fused dots of w against k vectors: one (k*8)-byte allreduce."""
         k = Vk.shape[0]
-        lengths = (ranges[:, 1] - ranges[:, 0]).astype(float)
         telemetry.compute_all(2.0 * k * lengths)
         h = Vk @ w
         telemetry.allreduce(8.0 * k)
@@ -199,6 +198,16 @@ def distributed_gmres(
     total_iters = 0
     restarts = 0
 
+    # Krylov workspaces allocated once and reused across restart cycles
+    # (see repro.solver.gmres: every entry read in a cycle is written
+    # first, so no re-zeroing is required).
+    m_cap = min(restart, max_iter)
+    V = np.empty((m_cap + 1, n))
+    H = np.zeros((m_cap + 1, m_cap))
+    cs = np.empty(m_cap)
+    sn = np.empty(m_cap)
+    g = np.empty(m_cap + 1)
+
     while total_iters < max_iter:
         restarts += 1
         r = precond(b - matrix.matvec(x, telemetry))
@@ -209,11 +218,6 @@ def distributed_gmres(
             return GMRESResult(x, True, total_iters, restarts - 1, beta, history)
 
         m = min(restart, max_iter - total_iters)
-        V = np.zeros((m + 1, n))
-        H = np.zeros((m + 1, m))
-        cs = np.zeros(m)
-        sn = np.zeros(m)
-        g = np.zeros(m + 1)
         V[0] = r / beta
         g[0] = beta
         k_used = 0

@@ -16,6 +16,7 @@ from repro.solver.preconditioner import (
     BlockJacobiPreconditioner,
     IdentityPreconditioner,
     JacobiPreconditioner,
+    contiguous_block_ranges,
 )
 
 __all__ = [
@@ -28,5 +29,6 @@ __all__ = [
     "MatrixOperator",
     "RestrictedAdditiveSchwarz",
     "conjugate_gradient",
+    "contiguous_block_ranges",
     "gmres",
 ]

@@ -100,6 +100,17 @@ def gmres(
     total_iters = 0
     restarts = 0
 
+    # Krylov workspaces are allocated once and reused across restart
+    # cycles (every entry read within a cycle is written first, so no
+    # re-zeroing is needed); allocating (m+1) x n basis storage per
+    # cycle was measurable on clinical systems with many restarts.
+    m_cap = min(restart, max_iter)
+    V = np.empty((m_cap + 1, n))
+    H = np.zeros((m_cap + 1, m_cap))
+    cs = np.empty(m_cap)
+    sn = np.empty(m_cap)
+    g = np.empty(m_cap + 1)
+
     while total_iters < max_iter:
         restarts += 1
         r = M.solve(b - A.matvec(x))
@@ -109,11 +120,6 @@ def gmres(
             return GMRESResult(x, True, total_iters, restarts - 1, beta, history)
 
         m = min(restart, max_iter - total_iters)
-        V = np.zeros((m + 1, n))
-        H = np.zeros((m + 1, m))
-        cs = np.zeros(m)
-        sn = np.zeros(m)
-        g = np.zeros(m + 1)
         V[0] = r / beta
         g[0] = beta
         k_used = 0

@@ -15,6 +15,17 @@ from scipy.sparse import linalg as spla
 from repro.util import ShapeError, ValidationError
 
 
+def contiguous_block_ranges(n: int, n_blocks: int) -> list[tuple[int, int]]:
+    """Equal contiguous half-open row ranges tiling ``[0, n)``.
+
+    The canonical block layout of the serial block-Jacobi path; shared
+    with the solve-context machinery so cached factorizations and fresh
+    ones always agree on the decomposition.
+    """
+    bounds = np.linspace(0, n, min(n_blocks, n) + 1).astype(int)
+    return [(int(bounds[i]), int(bounds[i + 1])) for i in range(len(bounds) - 1)]
+
+
 class IdentityPreconditioner:
     """No-op preconditioner (plain GMRES)."""
 

@@ -19,6 +19,20 @@ from scipy.sparse import linalg as spla
 from repro.util import ShapeError, ValidationError
 
 
+def grow_subdomain(csr: sparse.csr_matrix, indices: np.ndarray, overlap: int) -> np.ndarray:
+    """Grow an index set by ``overlap`` matrix-graph adjacency layers.
+
+    One layer adds every column referenced by the current rows. Shared
+    by the serial RAS preconditioner and its distributed counterpart in
+    :mod:`repro.parallel.solver`.
+    """
+    grown = np.asarray(indices, dtype=np.intp)
+    for _ in range(overlap):
+        rows = csr[grown, :]
+        grown = np.unique(np.concatenate([grown, rows.indices.astype(np.intp)]))
+    return grown
+
+
 class RestrictedAdditiveSchwarz:
     """RAS preconditioner over contiguous owned row ranges.
 
@@ -68,13 +82,7 @@ class RestrictedAdditiveSchwarz:
         self._own_positions: list[np.ndarray] = []
         for a, b in ranges:
             indices = np.arange(a, b, dtype=np.intp)
-            grown = indices
-            for _ in range(overlap):
-                # One adjacency layer: all columns referenced by the rows.
-                sub_rows = csr[grown, :]
-                grown = np.unique(
-                    np.concatenate([grown, sub_rows.indices.astype(np.intp)])
-                )
+            grown = grow_subdomain(csr, indices, overlap)
             self._subdomains.append(grown)
             block = csr[grown, :][:, grown].tocsc()
             if factorization == "lu":

@@ -1,0 +1,223 @@
+"""Tests for the scan-invariant solve contexts (cross-scan hot-path reuse).
+
+Covers the symbolic/numeric assembly split, the precomputed Dirichlet
+elimination, warm-vs-cold numerical equivalence (serial and distributed),
+warm-start iteration savings, and fingerprint-based invalidation after a
+resection mesh edit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fem import (
+    BRAIN_HETEROGENEOUS,
+    BRAIN_HOMOGENEOUS,
+    AssemblyContext,
+    BiomechanicalModel,
+    CacheStats,
+    DirichletBC,
+    ReductionContext,
+    SolveContext,
+    apply_dirichlet,
+    assemble_stiffness,
+)
+from repro.imaging.phantom import Tissue
+from repro.mesh.editing import remove_elements_by_material
+from repro.mesh.surface import extract_boundary_surface
+from repro.parallel import prepare_solve_context, simulate_parallel
+from repro.util import ShapeError
+
+
+@pytest.fixture(scope="module")
+def surface_bc(brain_mesh):
+    """Deterministic surface displacements on the small brain mesh."""
+    surface = extract_boundary_surface(brain_mesh)
+    rng = np.random.default_rng(7)
+    disp = rng.normal(scale=0.8, size=(len(surface.mesh_nodes), 3))
+    return DirichletBC(surface.mesh_nodes, disp)
+
+
+class TestAssemblyContext:
+    def test_matches_direct_assembly(self, brain_mesh):
+        ctx = AssemblyContext(brain_mesh, BRAIN_HOMOGENEOUS)
+        direct = assemble_stiffness(brain_mesh, BRAIN_HOMOGENEOUS).tocsr()
+        cached = ctx.matrix()
+        assert np.array_equal(cached.indptr, direct.indptr)
+        assert np.array_equal(cached.indices, direct.indices)
+        scale = np.abs(direct.data).max()
+        assert np.abs(cached.data - direct.data).max() <= 1e-12 * scale
+
+    def test_numeric_refresh_new_materials(self, brain_mesh):
+        ctx = AssemblyContext(brain_mesh, BRAIN_HOMOGENEOUS)
+        ctx.refresh_numeric(brain_mesh, BRAIN_HETEROGENEOUS)
+        direct = assemble_stiffness(brain_mesh, BRAIN_HETEROGENEOUS).tocsr()
+        scale = np.abs(direct.data).max()
+        assert np.abs(ctx.matrix().data - direct.data).max() <= 1e-12 * scale
+
+    def test_element_dof_indices_cached_on_mesh(self, brain_mesh):
+        first = brain_mesh.element_dof_indices()
+        assert brain_mesh.element_dof_indices() is first
+        assert first.shape == (brain_mesh.n_elements, 12)
+
+
+class TestReductionContext:
+    def test_matches_apply_dirichlet(self, brain_mesh, surface_bc):
+        stiffness = assemble_stiffness(brain_mesh, BRAIN_HOMOGENEOUS)
+        load = np.zeros(brain_mesh.n_dof)
+        direct = apply_dirichlet(stiffness, load, surface_bc)
+        ctx = ReductionContext(stiffness.tocsr(), surface_bc.dof_indices())
+        reduced = ctx.reduce(surface_bc.dof_values())
+        assert np.array_equal(reduced.free_dofs, direct.free_dofs)
+        assert np.array_equal(reduced.fixed_dofs, direct.fixed_dofs)
+        assert np.allclose(reduced.rhs, direct.rhs, rtol=0, atol=1e-12)
+        assert (reduced.matrix != direct.matrix).nnz == 0
+
+    def test_reduce_with_load_vector(self, brain_mesh, surface_bc):
+        stiffness = assemble_stiffness(brain_mesh, BRAIN_HOMOGENEOUS)
+        load = np.linspace(-1.0, 1.0, brain_mesh.n_dof)
+        direct = apply_dirichlet(stiffness, load, surface_bc)
+        ctx = ReductionContext(stiffness.tocsr(), surface_bc.dof_indices())
+        reduced = ctx.reduce(surface_bc.dof_values(), load)
+        assert np.allclose(reduced.rhs, direct.rhs, rtol=0, atol=1e-12)
+
+    def test_rejects_wrong_value_count(self, brain_mesh, surface_bc):
+        stiffness = assemble_stiffness(brain_mesh, BRAIN_HOMOGENEOUS).tocsr()
+        ctx = ReductionContext(stiffness, surface_bc.dof_indices())
+        with pytest.raises(ShapeError):
+            ctx.reduce(np.zeros(3))
+
+
+class TestSerialModelContext:
+    def test_warm_equals_cold(self, brain_mesh, surface_bc):
+        model = BiomechanicalModel(brain_mesh, tol=1e-12)
+        cold = model.simulate(surface_bc)
+        ctx = SolveContext()
+        miss = model.simulate(surface_bc, context=ctx)
+        hit = model.simulate(surface_bc, context=ctx)
+        assert ctx.stats.hits == 1 and ctx.stats.misses == 1
+        assert np.abs(miss.displacement - cold.displacement).max() <= 1e-10
+        assert np.abs(hit.displacement - cold.displacement).max() <= 1e-10
+
+    def test_cg_context_path(self, brain_mesh, surface_bc):
+        model = BiomechanicalModel(brain_mesh, solver="cg", tol=1e-12)
+        cold = model.simulate(surface_bc)
+        ctx = SolveContext()
+        model.simulate(surface_bc, context=ctx)
+        warm = model.simulate(surface_bc, context=ctx)
+        assert np.abs(warm.displacement - cold.displacement).max() <= 1e-10
+
+    def test_solver_change_invalidates(self, brain_mesh, surface_bc):
+        ctx = SolveContext()
+        BiomechanicalModel(brain_mesh, n_blocks=1).simulate(surface_bc, context=ctx)
+        BiomechanicalModel(brain_mesh, n_blocks=2).simulate(surface_bc, context=ctx)
+        assert ctx.stats.misses == 2
+        assert ctx.stats.invalidations == 1
+
+
+class TestParallelContext:
+    @pytest.mark.parametrize("n_ranks", [1, 2, 4])
+    def test_warm_equals_cold_and_serial(self, brain_mesh, surface_bc, n_ranks):
+        cold = simulate_parallel(brain_mesh, surface_bc, n_ranks, tol=1e-12)
+        ctx = prepare_solve_context(brain_mesh, surface_bc.node_ids, n_ranks)
+        warm = simulate_parallel(
+            brain_mesh, surface_bc, n_ranks, tol=1e-12, context=ctx
+        )
+        assert warm.cache_hit
+        assert not cold.cache_hit
+        assert np.abs(warm.displacement - cold.displacement).max() <= 1e-10
+        serial = BiomechanicalModel(brain_mesh, tol=1e-12).simulate(surface_bc)
+        assert np.abs(warm.displacement - serial.displacement).max() <= 1e-8
+
+    def test_warm_start_fewer_iterations(self, brain_mesh, surface_bc):
+        ctx = prepare_solve_context(brain_mesh, surface_bc.node_ids, 2)
+        first = simulate_parallel(brain_mesh, surface_bc, 2, tol=1e-9, context=ctx)
+        # Second scan: slightly evolved brain shift.
+        bc2 = DirichletBC(surface_bc.node_ids, 1.1 * surface_bc.displacements)
+        cold2 = simulate_parallel(brain_mesh, bc2, 2, tol=1e-9)
+        warm2 = simulate_parallel(brain_mesh, bc2, 2, tol=1e-9, context=ctx)
+        assert warm2.warm_started
+        assert warm2.solver.iterations < cold2.solver.iterations
+        assert first.solver.iterations > 0
+
+    def test_warm_start_disabled(self, brain_mesh, surface_bc):
+        ctx = prepare_solve_context(brain_mesh, surface_bc.node_ids, 2)
+        simulate_parallel(brain_mesh, surface_bc, 2, context=ctx)
+        again = simulate_parallel(
+            brain_mesh, surface_bc, 2, context=ctx, warm_start=False
+        )
+        assert again.cache_hit and not again.warm_started
+
+    def test_rank_change_invalidates(self, brain_mesh, surface_bc):
+        ctx = prepare_solve_context(brain_mesh, surface_bc.node_ids, 2)
+        result = simulate_parallel(brain_mesh, surface_bc, 4, context=ctx)
+        assert not result.cache_hit
+        assert ctx.stats.invalidations == 1
+
+
+class TestInvalidation:
+    def test_resection_triggers_rebuild(self, brain_mesh):
+        surface = extract_boundary_surface(brain_mesh)
+        rng = np.random.default_rng(11)
+        disp = rng.normal(scale=0.5, size=(len(surface.mesh_nodes), 3))
+        bc = DirichletBC(surface.mesh_nodes, disp)
+        ctx = prepare_solve_context(brain_mesh, bc.node_ids, 2)
+        hit = simulate_parallel(brain_mesh, bc, 2, tol=1e-12, context=ctx)
+        assert hit.cache_hit
+
+        # Intraoperative resection: remove the tumor elements, rebuild
+        # the surface BC on the edited mesh.
+        assert np.any(brain_mesh.materials == int(Tissue.TUMOR))
+        edit = remove_elements_by_material(brain_mesh, (int(Tissue.TUMOR),))
+        edited_surface = extract_boundary_surface(edit.mesh)
+        rng2 = np.random.default_rng(12)
+        disp2 = rng2.normal(scale=0.5, size=(len(edited_surface.mesh_nodes), 3))
+        bc2 = DirichletBC(edited_surface.mesh_nodes, disp2)
+
+        rebuilt = simulate_parallel(edit.mesh, bc2, 2, tol=1e-12, context=ctx)
+        assert not rebuilt.cache_hit
+        assert ctx.stats.invalidations == 1
+        cold = simulate_parallel(edit.mesh, bc2, 2, tol=1e-12)
+        assert np.abs(rebuilt.displacement - cold.displacement).max() <= 1e-10
+        # The rebuilt context is valid for the edited mesh from now on.
+        warm = simulate_parallel(edit.mesh, bc2, 2, tol=1e-12, context=ctx)
+        assert warm.cache_hit
+        assert np.abs(warm.displacement - cold.displacement).max() <= 1e-10
+
+    def test_explicit_invalidate(self, brain_mesh, surface_bc):
+        ctx = prepare_solve_context(brain_mesh, surface_bc.node_ids, 2)
+        ctx.invalidate()
+        assert not ctx.prepared
+        assert ctx.assembly is None and ctx.reduction is None
+        assert not ctx.slots
+        result = simulate_parallel(brain_mesh, surface_bc, 2, context=ctx)
+        assert not result.cache_hit
+        assert ctx.stats.invalidations == 1
+
+    def test_warm_start_vector_shape_guard(self):
+        ctx = SolveContext()
+        assert ctx.warm_start_vector(10) is None
+        ctx.record_solution(np.ones(10))
+        assert np.array_equal(ctx.warm_start_vector(10), np.ones(10))
+        assert ctx.warm_start_vector(11) is None
+
+
+class TestCacheStats:
+    def test_snapshot_is_independent(self):
+        stats = CacheStats(hits=2, misses=1, invalidations=0)
+        snap = stats.snapshot()
+        stats.hits += 1
+        assert snap.hits == 2
+        assert snap.as_dict() == {"hits": 2, "misses": 1, "invalidations": 0}
+
+
+class TestTimelineNotes:
+    def test_notes_rendered_in_table(self):
+        from repro.core.timeline import Timeline
+
+        tl = Timeline()
+        tl.add("stage", 1.0)
+        assert "note:" not in tl.as_table()
+        tl.note("solve context: hit")
+        assert "note: solve context: hit" in tl.as_table()
