@@ -42,6 +42,7 @@ from repro.fem import (
 )
 from repro.imaging import BrainPhantom, ImageVolume, NeurosurgeryCase, Tissue, make_neurosurgery_case
 from repro.machines import DEEP_FLOW, ULTRA80_CLUSTER, ULTRA_HPC_6000, MachineSpec, VirtualCluster
+from repro.obs import BudgetMonitor, MetricsRegistry, Tracer, use_tracer
 from repro.parallel import simulate_parallel
 
 __version__ = "1.0.0"
@@ -50,6 +51,7 @@ __all__ = [
     "DEEP_FLOW",
     "BiomechanicalModel",
     "BrainPhantom",
+    "BudgetMonitor",
     "DirichletBC",
     "ImageVolume",
     "IntraoperativePipeline",
@@ -57,16 +59,19 @@ __all__ = [
     "LinearElasticMaterial",
     "MachineSpec",
     "MaterialMap",
+    "MetricsRegistry",
     "NeurosurgeryCase",
     "PipelineConfig",
     "PreoperativeModel",
     "SolveContext",
     "Timeline",
     "Tissue",
+    "Tracer",
     "ULTRA80_CLUSTER",
     "ULTRA_HPC_6000",
     "VirtualCluster",
     "__version__",
     "make_neurosurgery_case",
     "simulate_parallel",
+    "use_tracer",
 ]

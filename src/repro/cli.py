@@ -3,9 +3,11 @@
 Usage (after installation)::
 
     python -m repro.cli pipeline --shape 64 64 48 --shift 6 --out results/
+    python -m repro.cli pipeline --trace trace.jsonl --chrome trace.json --budget
     python -m repro.cli scaling --equations 77511 --machine deep_flow
     python -m repro.cli experiments --fast
     python -m repro.cli predict --shape 56 56 42
+    python -m repro.cli trace-report trace.jsonl
 
 Every subcommand drives the public API; the CLI exists so the pipeline
 can be exercised without writing Python.
@@ -40,16 +42,45 @@ def _add_shape(parser: argparse.ArgumentParser, default=(64, 64, 48)) -> None:
 
 def cmd_pipeline(args: argparse.Namespace) -> int:
     """Run the full intraoperative pipeline on a phantom case."""
+    from repro.obs import (
+        BudgetMonitor,
+        Tracer,
+        render_report,
+        use_tracer,
+        write_chrome_trace,
+        write_jsonl,
+    )
+
     case = make_neurosurgery_case(
         shape=tuple(args.shape), shift_mm=args.shift, seed=args.seed
     )
     machine = MACHINES[args.machine] if args.machine else None
     config = PipelineConfig(mesh_cell_mm=args.cell, n_ranks=args.cpus)
-    pipeline = IntraoperativePipeline(config, machine=machine)
-    preop = pipeline.prepare_preoperative(case.preop_mri, case.preop_labels)
-    result = pipeline.process_scan(case.intraop_mri, preop)
+    tracing = bool(args.trace or args.chrome)
+    tracer = Tracer(enabled=tracing)
+    monitor = BudgetMonitor(tracer=tracer) if args.budget else None
+    pipeline = IntraoperativePipeline(
+        config, machine=machine, tracer=tracer if tracing else None, budget=monitor
+    )
+    with use_tracer(tracer) if tracing else _no_context():
+        preop = pipeline.prepare_preoperative(case.preop_mri, case.preop_labels)
+        result = pipeline.process_scan(case.intraop_mri, preop)
 
     print(result.timeline.as_table("Intraoperative processing timeline"))
+    if args.trace:
+        print(f"wrote trace: {write_jsonl(tracer, args.trace)}")
+    if args.chrome:
+        path = write_chrome_trace(tracer, args.chrome)
+        print(f"wrote Chrome trace (open in Perfetto / about:tracing): {path}")
+    if tracing:
+        print()
+        print(render_report(tracer, title="Trace report (self/total seconds)"))
+    if monitor is not None:
+        verdict = result.budget_verdict
+        print(
+            f"budget verdict: {verdict.label} "
+            f"(headroom {verdict.headroom_seconds:+.1f} s of {verdict.scan_budget:.0f} s)"
+        )
     print()
     print(f"match RMS: rigid {result.match_rigid_rms:.2f} -> simulated {result.match_simulated_rms:.2f}")
     err = np.linalg.norm(result.grid_displacement - case.true_forward_mm, axis=-1)
@@ -71,6 +102,30 @@ def cmd_pipeline(args: argparse.Namespace) -> int:
         paths["fig5"] = figure5_render(preop.surface, result, out / "fig5.ppm")
         for name, path in paths.items():
             print(f"wrote {name}: {path}")
+    return 0
+
+
+from contextlib import contextmanager
+
+
+@contextmanager
+def _no_context():
+    """Placeholder context when tracing is off."""
+    yield
+
+
+def cmd_trace_report(args: argparse.Namespace) -> int:
+    """Render the span tree of a JSONL trace with self/total times."""
+    from repro.obs import read_jsonl, render_report
+
+    spans = read_jsonl(args.path)
+    print(
+        render_report(
+            spans,
+            title=f"Trace report: {args.path} ({len(spans)} spans)",
+            min_seconds=args.min_seconds,
+        )
+    )
     return 0
 
 
@@ -143,6 +198,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cpus", type=int, default=8)
     p.add_argument("--machine", choices=sorted(MACHINES), default="deep_flow")
     p.add_argument("--out", default=None, help="directory for figure panels")
+    p.add_argument("--trace", default=None, help="write a JSONL trace to this path")
+    p.add_argument(
+        "--chrome", default=None, help="write a Chrome trace_event JSON to this path"
+    )
+    p.add_argument(
+        "--budget",
+        action="store_true",
+        help="check stage/scan durations against the paper-derived time budget",
+    )
     p.set_defaults(func=cmd_pipeline)
 
     p = sub.add_parser("scaling", help=cmd_scaling.__doc__)
@@ -163,6 +227,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--buoyancy", type=float, default=0.85)
     p.add_argument("--heterogeneous", action="store_true")
     p.set_defaults(func=cmd_predict)
+
+    p = sub.add_parser("trace-report", help=cmd_trace_report.__doc__)
+    p.add_argument("path", help="JSONL trace written by --trace or write_jsonl")
+    p.add_argument(
+        "--min-seconds",
+        type=float,
+        default=0.0,
+        help="prune spans (and their subtrees) shorter than this",
+    )
+    p.set_defaults(func=cmd_trace_report)
     return parser
 
 

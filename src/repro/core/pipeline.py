@@ -34,6 +34,9 @@ from repro.imaging.volume import ImageVolume
 from repro.machines.spec import MachineSpec
 from repro.mesh.generator import GridTetraMesher, mesh_labeled_volume, mesh_with_target_nodes
 from repro.mesh.surface import TriangleSurface, extract_boundary_surface
+from repro.obs.budget import BudgetMonitor, ScanVerdict
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer, get_tracer, use_tracer
 from repro.parallel.simulation import (
     ParallelSimulation,
     prepare_solve_context,
@@ -121,6 +124,9 @@ class IntraoperativeResult:
         the brain region, before (rigid-only) and after the
         biomechanical deformation — the paper's Fig. 4(d) comparison,
         quantified.
+    budget_verdict:
+        Real-time budget verdict for this scan (``None`` when the
+        pipeline ran without a :class:`repro.obs.BudgetMonitor`).
     """
 
     deformed_mri: ImageVolume
@@ -136,14 +142,39 @@ class IntraoperativeResult:
     match_simulated_rms: float
     match_rigid_mi: float
     match_simulated_mi: float
+    budget_verdict: ScanVerdict | None = None
 
 
 @dataclass
 class IntraoperativePipeline:
-    """End-to-end implementation of the paper's registration pipeline."""
+    """End-to-end implementation of the paper's registration pipeline.
+
+    Observability hooks (all optional, all default-off):
+
+    tracer:
+        Hierarchical trace spans are recorded here (scan stages, FEM
+        assembly phases, solver restarts); ``None`` uses the ambient
+        tracer from :func:`repro.obs.get_tracer` — a no-op unless one
+        was installed via :func:`repro.obs.use_tracer`.
+    budget:
+        A :class:`repro.obs.BudgetMonitor`: stage durations are fed to
+        it live during :meth:`process_scan`, warnings land in the
+        timeline notes, and the per-scan verdict is attached to the
+        result (and the session summary).
+    metrics:
+        A :class:`repro.obs.MetricsRegistry` absorbing the run's
+        numbers: mesh sizes, GMRES iterations/restarts/residual,
+        solve-context cache hits/misses/hit-ratio, per-scan seconds.
+    """
 
     config: PipelineConfig = field(default_factory=PipelineConfig)
     machine: MachineSpec | None = None
+    tracer: Tracer | None = field(default=None, repr=False)
+    budget: BudgetMonitor | None = field(default=None, repr=False)
+    metrics: MetricsRegistry | None = field(default=None, repr=False)
+
+    def _tracer(self) -> Tracer:
+        return self.tracer if self.tracer is not None else get_tracer()
 
     # -- preoperative ---------------------------------------------------------
 
@@ -154,30 +185,47 @@ class IntraoperativePipeline:
         if not mri.same_grid_as(labels):
             raise ValidationError("preoperative MRI and labels must share a grid")
         cfg = self.config
-        localization = LocalizationModel.from_labels(
-            labels, cfg.segmentation_classes, cfg.localization_cap_mm
-        )
-        if cfg.target_mesh_nodes is not None:
-            mesher = mesh_with_target_nodes(
-                labels, cfg.target_mesh_nodes, cfg.brain_labels
-            )
-        else:
-            mesher = mesh_labeled_volume(labels, cfg.mesh_cell_mm, cfg.brain_labels)
-        surface = extract_boundary_surface(mesher.mesh)
-        brain_mask = np.isin(labels.data, cfg.brain_labels)
-        solve_context = None
-        if cfg.precompute_solve_context:
-            # Preoperative precomputation: partitioning, assembly,
-            # elimination slicing and preconditioner factorization all
-            # happen now, while "time is plentiful" — process_scan only
-            # updates the right-hand side and solves.
-            solve_context = prepare_solve_context(
-                mesher.mesh,
-                surface.mesh_nodes,
-                cfg.n_ranks,
-                materials=cfg.materials,
-                partitioner=cfg.partitioner,
-            )
+        tracer = self._tracer()
+        with use_tracer(tracer), tracer.span(
+            "prepare_preoperative", kind="pipeline", period="preoperative"
+        ):
+            with tracer.span("localization models", kind="stage"):
+                localization = LocalizationModel.from_labels(
+                    labels, cfg.segmentation_classes, cfg.localization_cap_mm
+                )
+            with tracer.span("mesh generation", kind="stage") as mesh_span:
+                if cfg.target_mesh_nodes is not None:
+                    mesher = mesh_with_target_nodes(
+                        labels, cfg.target_mesh_nodes, cfg.brain_labels
+                    )
+                else:
+                    mesher = mesh_labeled_volume(
+                        labels, cfg.mesh_cell_mm, cfg.brain_labels
+                    )
+                surface = extract_boundary_surface(mesher.mesh)
+                mesh_span.set(
+                    n_nodes=int(mesher.mesh.n_nodes),
+                    n_elements=int(mesher.mesh.n_elements),
+                )
+            brain_mask = np.isin(labels.data, cfg.brain_labels)
+            solve_context = None
+            if cfg.precompute_solve_context:
+                # Preoperative precomputation: partitioning, assembly,
+                # elimination slicing and preconditioner factorization all
+                # happen now, while "time is plentiful" — process_scan only
+                # updates the right-hand side and solves.
+                with tracer.span("solve context precompute", kind="stage"):
+                    solve_context = prepare_solve_context(
+                        mesher.mesh,
+                        surface.mesh_nodes,
+                        cfg.n_ranks,
+                        materials=cfg.materials,
+                        partitioner=cfg.partitioner,
+                    )
+        if self.metrics is not None:
+            self.metrics.gauge("mesh.nodes").set(mesher.mesh.n_nodes)
+            self.metrics.gauge("mesh.elements").set(mesher.mesh.n_elements)
+            self.metrics.gauge("mesh.dof").set(mesher.mesh.n_dof)
         return PreoperativeModel(
             mri=mri,
             labels=labels,
@@ -213,9 +261,65 @@ class IntraoperativePipeline:
             ``reference_labels`` (defaults to the preoperative
             segmentation, standing in for the clinician's five minutes
             of interaction on the first scan).
+
+        When the pipeline carries observability hooks (``tracer``,
+        ``budget``, ``metrics`` — or an ambient tracer installed via
+        :func:`repro.obs.use_tracer`), the scan is wrapped in a
+        ``process_scan`` span with one child span per stage, stage
+        durations are checked live against the time budget (warnings
+        appear in the timeline notes the moment a stage overruns), and
+        the run's numbers land in the metrics registry.
         """
+        tracer = self._tracer()
+        monitor = self.budget
+        timeline = Timeline(tracer=tracer)
+        if monitor is not None:
+            monitor.begin_scan()
+
+            def _observe_budget(entry) -> None:
+                warning = monitor.observe_stage(entry.stage, entry.seconds)
+                if warning is not None:
+                    timeline.note("budget: " + warning)
+
+            timeline.observers.append(_observe_budget)
+
+        # Install the pipeline's tracer as ambient for the scan so the
+        # deep modules (FEM assembly, Krylov solvers, preconditioners)
+        # nest their spans under the stage spans without plumbing.
+        with use_tracer(tracer), tracer.span(
+            "process_scan", kind="pipeline"
+        ) as scan_span:
+            result = self._process_scan(
+                intraop_mri, preop, prototypes, reference_labels, timeline
+            )
+            if monitor is not None:
+                verdict = monitor.finish_scan()
+                result.budget_verdict = verdict
+                timeline.note(
+                    f"budget verdict: {verdict.label} "
+                    f"(headroom {verdict.headroom_seconds:+.1f} s "
+                    f"of {verdict.scan_budget:.0f} s)"
+                )
+                scan_span.set(budget=verdict.label)
+
+        if self.metrics is not None:
+            m = self.metrics
+            m.counter("pipeline.scans").inc()
+            m.histogram("scan.seconds").observe(timeline.total("intraoperative"))
+            m.record_solver_result(result.simulation.solver)
+            if result.simulation.cache_stats is not None:
+                m.record_cache_stats(result.simulation.cache_stats)
+        return result
+
+    def _process_scan(
+        self,
+        intraop_mri: ImageVolume,
+        preop: PreoperativeModel,
+        prototypes: PrototypeSet | None,
+        reference_labels: ImageVolume | None,
+        timeline: Timeline,
+    ) -> IntraoperativeResult:
         cfg = self.config
-        timeline = Timeline()
 
         # 1. Rigid registration (MI): map intraop points -> preop frame.
         rigid_result: RegistrationResult | None = None

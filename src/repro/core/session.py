@@ -19,6 +19,7 @@ from repro.core.pipeline import (
     PreoperativeModel,
 )
 from repro.imaging.volume import ImageVolume
+from repro.obs.trace import get_tracer
 from repro.segmentation.prototypes import PrototypeSet
 from repro.util import ValidationError, format_table
 
@@ -67,13 +68,22 @@ class SurgicalSession:
         The first scan selects prototypes (simulating the clinician's
         interaction, optionally against ``reference_labels``); later
         scans re-use the recorded prototype locations automatically.
+
+        Each scan is wrapped in a ``scan`` trace span (index attribute)
+        so traced sessions nest scan → stage → solver internals.
         """
-        result = self.pipeline.process_scan(
-            intraop_mri,
-            self.preop,
-            prototypes=self._prototypes,
-            reference_labels=reference_labels,
+        tracer = (
+            self.pipeline.tracer
+            if self.pipeline.tracer is not None
+            else get_tracer()
         )
+        with tracer.span("scan", kind="session", index=self.n_scans):
+            result = self.pipeline.process_scan(
+                intraop_mri,
+                self.preop,
+                prototypes=self._prototypes,
+                reference_labels=reference_labels,
+            )
         self._prototypes = result.prototypes
         self.history.append(result)
         return result
@@ -92,7 +102,13 @@ class SurgicalSession:
         return self.history[-1]
 
     def summary_table(self) -> str:
-        """Per-scan summary of processing time and match quality."""
+        """Per-scan summary of processing time, match quality and budget.
+
+        When the pipeline ran with a :class:`repro.obs.BudgetMonitor`,
+        the ``budget`` column records each scan's verdict (``ok`` or
+        ``OVER(...)``); the solve-context cache hit *ratio* across the
+        session is appended below the table.
+        """
         if not self.history:
             return "(no scans processed)"
         rows = []
@@ -104,6 +120,7 @@ class SurgicalSession:
                 cache = "hit+warm" if sim.warm_started else "hit"
             else:
                 cache = "miss"
+            verdict = result.budget_verdict
             rows.append(
                 [
                     i,
@@ -113,9 +130,10 @@ class SurgicalSession:
                     result.match_simulated_rms,
                     sim.solver.iterations,
                     cache,
+                    "-" if verdict is None else verdict.label,
                 ]
             )
-        return format_table(
+        table = format_table(
             [
                 "scan",
                 "processing (s)",
@@ -124,7 +142,23 @@ class SurgicalSession:
                 "simulated RMS",
                 "GMRES iters",
                 "cache",
+                "budget",
             ],
             rows,
             title="Surgical session summary",
         )
+        stats = next(
+            (
+                r.simulation.cache_stats
+                for r in reversed(self.history)
+                if r.simulation.cache_stats is not None
+            ),
+            None,
+        )
+        if stats is not None:
+            table += (
+                f"\n  cache_hit_ratio: {stats.hit_ratio:.2f} "
+                f"(hits={stats.hits} misses={stats.misses} "
+                f"invalidations={stats.invalidations})"
+            )
+        return table

@@ -3,6 +3,13 @@
 Records the ordered wall-clock cost of every image-processing action
 before and during surgery, so the experiments can print the same
 timeline the paper draws.
+
+The timeline is a thin consumer of :mod:`repro.obs`: every
+:meth:`Timeline.stage` opens one tracer span (named after the stage) so
+the flat Fig. 6 table and the hierarchical trace record the same
+boundaries, and registered *observers* (e.g. the real-time
+:class:`repro.obs.BudgetMonitor`) see each entry the moment its stage
+finishes rather than in a post-mortem.
 """
 
 from __future__ import annotations
@@ -10,6 +17,7 @@ from __future__ import annotations
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
+from repro.obs.trace import Tracer, get_tracer
 from repro.util import Timer, format_table
 
 
@@ -33,10 +41,18 @@ class Timeline:
     notes:
         Free-form annotations attached to the record (e.g. solve-context
         cache hit/miss information), appended below the stage table.
+    tracer:
+        Tracer the stage spans are recorded on; ``None`` uses the
+        ambient :func:`repro.obs.get_tracer` (a no-op by default).
+    observers:
+        Callables invoked with each :class:`TimelineEntry` as soon as
+        its stage completes (live budget accounting).
     """
 
     entries: list[TimelineEntry] = field(default_factory=list)
     notes: list[str] = field(default_factory=list)
+    tracer: Tracer | None = field(default=None, repr=False, compare=False)
+    observers: list = field(default_factory=list, repr=False, compare=False)
 
     def note(self, text: str) -> None:
         """Attach a free-form annotation to the timeline."""
@@ -44,11 +60,21 @@ class Timeline:
 
     @contextmanager
     def stage(self, name: str, period: str = "intraoperative"):
-        """Time a stage and append it to the record."""
+        """Time a stage and append it to the record.
+
+        One tracer span wraps the stage, so nested instrumentation
+        (FEM assembly, solver restarts) parents under it; the table
+        entry and the span measure the same interval.
+        """
+        tracer = self.tracer if self.tracer is not None else get_tracer()
         timer = Timer(name)
-        with timer:
-            yield
-        self.entries.append(TimelineEntry(name, timer.elapsed, period))
+        with tracer.span(name, kind="stage", period=period):
+            with timer:
+                yield
+        entry = TimelineEntry(name, timer.elapsed, period)
+        self.entries.append(entry)
+        for observer in self.observers:
+            observer(entry)
 
     def add(self, name: str, seconds: float, period: str = "intraoperative") -> None:
         self.entries.append(TimelineEntry(name, seconds, period))

@@ -40,6 +40,7 @@ import numpy as np
 from scipy import sparse
 
 from repro.fem.bc import ReducedSystem, partition_free_fixed
+from repro.obs.trace import get_tracer
 from repro.fem.element import (
     element_stiffness_from_B,
     shape_function_gradients,
@@ -64,14 +65,21 @@ class CacheStats:
     misses: int = 0
     invalidations: int = 0
 
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of prepared solves served from cache (0.0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
     def snapshot(self) -> "CacheStats":
         return replace(self)
 
-    def as_dict(self) -> dict[str, int]:
+    def as_dict(self) -> dict[str, float]:
         return {
             "hits": self.hits,
             "misses": self.misses,
             "invalidations": self.invalidations,
+            "hit_ratio": self.hit_ratio,
         }
 
 
@@ -89,27 +97,34 @@ class AssemblyContext:
 
     def __init__(self, mesh: TetrahedralMesh, materials: MaterialMap):
         self.n_dof = mesh.n_dof
-        self.element_dofs = mesh.element_dof_indices()
-        gradients, volumes = shape_function_gradients(mesh.element_coordinates())
-        self.B = strain_displacement_matrices(gradients)
-        self.volumes = volumes
-        # Symbolic phase: COO coordinates -> canonical CSR pattern plus
-        # the position of every COO entry inside csr.data.
-        rows = np.repeat(self.element_dofs, 12, axis=1).ravel()
-        cols = np.tile(self.element_dofs, (1, 12)).ravel()
-        order = np.lexsort((cols, rows))
-        rs, cs = rows[order], cols[order]
-        first = np.empty(len(rs), dtype=bool)
-        if len(rs):
-            first[0] = True
-            first[1:] = (rs[1:] != rs[:-1]) | (cs[1:] != cs[:-1])
-        group = np.cumsum(first) - 1
-        self.scatter = np.empty_like(group)
-        self.scatter[order] = group
-        self.indices = cs[first].astype(np.int32)
-        counts = np.bincount(rs[first], minlength=self.n_dof)
-        self.indptr = np.concatenate([[0], np.cumsum(counts)]).astype(np.int32)
-        self.nnz = int(len(self.indices))
+        with get_tracer().span(
+            "symbolic assembly",
+            kind="fem",
+            n_elements=int(mesh.n_elements),
+            n_dof=int(mesh.n_dof),
+        ) as span:
+            self.element_dofs = mesh.element_dof_indices()
+            gradients, volumes = shape_function_gradients(mesh.element_coordinates())
+            self.B = strain_displacement_matrices(gradients)
+            self.volumes = volumes
+            # Symbolic phase: COO coordinates -> canonical CSR pattern plus
+            # the position of every COO entry inside csr.data.
+            rows = np.repeat(self.element_dofs, 12, axis=1).ravel()
+            cols = np.tile(self.element_dofs, (1, 12)).ravel()
+            order = np.lexsort((cols, rows))
+            rs, cs = rows[order], cols[order]
+            first = np.empty(len(rs), dtype=bool)
+            if len(rs):
+                first[0] = True
+                first[1:] = (rs[1:] != rs[:-1]) | (cs[1:] != cs[:-1])
+            group = np.cumsum(first) - 1
+            self.scatter = np.empty_like(group)
+            self.scatter[order] = group
+            self.indices = cs[first].astype(np.int32)
+            counts = np.bincount(rs[first], minlength=self.n_dof)
+            self.indptr = np.concatenate([[0], np.cumsum(counts)]).astype(np.int32)
+            self.nnz = int(len(self.indices))
+            span.set(nnz=self.nnz)
         self.element_matrices: np.ndarray | None = None
         self._matrix: sparse.csr_matrix | None = None
         self.refresh_numeric(mesh, materials)
@@ -120,13 +135,14 @@ class AssemblyContext:
         Reuses the cached symbolic pattern and geometry factors; only
         the per-element elasticity and the value fill are recomputed.
         """
-        D = materials.elasticity_for_elements(mesh.materials)
-        Ke = element_stiffness_from_B(self.B, self.volumes, D)
-        self.element_matrices = Ke
-        data = np.bincount(self.scatter, weights=Ke.ravel(), minlength=self.nnz)
-        self._matrix = sparse.csr_matrix(
-            (data, self.indices, self.indptr), shape=(self.n_dof, self.n_dof)
-        )
+        with get_tracer().span("numeric assembly", kind="fem", nnz=self.nnz):
+            D = materials.elasticity_for_elements(mesh.materials)
+            Ke = element_stiffness_from_B(self.B, self.volumes, D)
+            self.element_matrices = Ke
+            data = np.bincount(self.scatter, weights=Ke.ravel(), minlength=self.nnz)
+            self._matrix = sparse.csr_matrix(
+                (data, self.indices, self.indptr), shape=(self.n_dof, self.n_dof)
+            )
 
     def matrix(self) -> sparse.csr_matrix:
         """The assembled global stiffness in CSR form (cached)."""
@@ -146,11 +162,14 @@ class ReductionContext:
 
     def __init__(self, matrix: sparse.csr_matrix, fixed_dofs: np.ndarray):
         n = matrix.shape[0]
-        self.fixed_dofs = np.asarray(fixed_dofs, dtype=np.intp)
-        self.free_dofs = partition_free_fixed(n, self.fixed_dofs)
-        csc = matrix.tocsc()
-        self.coupling = csc[:, self.fixed_dofs][self.free_dofs, :]
-        self.matrix = csc[:, self.free_dofs][self.free_dofs, :].tocsr()
+        with get_tracer().span(
+            "reduction setup", kind="fem", n_dof=int(n), n_fixed=len(fixed_dofs)
+        ):
+            self.fixed_dofs = np.asarray(fixed_dofs, dtype=np.intp)
+            self.free_dofs = partition_free_fixed(n, self.fixed_dofs)
+            csc = matrix.tocsc()
+            self.coupling = csc[:, self.fixed_dofs][self.free_dofs, :]
+            self.matrix = csc[:, self.free_dofs][self.free_dofs, :].tocsr()
 
     @property
     def n_free(self) -> int:
@@ -168,8 +187,11 @@ class ReductionContext:
             raise ShapeError(
                 f"values must be ({len(self.fixed_dofs)},), got {values.shape}"
             )
-        coupled = self.coupling @ values
-        reduced_rhs = -coupled if rhs is None else rhs[self.free_dofs] - coupled
+        with get_tracer().span(
+            "bc application", kind="fem", n_fixed=len(self.fixed_dofs)
+        ):
+            coupled = self.coupling @ values
+            reduced_rhs = -coupled if rhs is None else rhs[self.free_dofs] - coupled
         return ReducedSystem(
             matrix=self.matrix,
             rhs=np.asarray(reduced_rhs).ravel(),

@@ -18,6 +18,7 @@ from repro.fem.bc import DirichletBC, apply_dirichlet
 from repro.fem.context import AssemblyContext, ReductionContext, SolveContext
 from repro.fem.material import BRAIN_HOMOGENEOUS, MaterialMap
 from repro.mesh.tetra import TetrahedralMesh
+from repro.obs.trace import get_tracer
 from repro.solver.cg import conjugate_gradient
 from repro.solver.gmres import GMRESResult, gmres
 from repro.solver.preconditioner import (
@@ -143,12 +144,15 @@ class BiomechanicalModel:
                 n_blocks=self.n_blocks,
             )
             warm = context.prepare(fp)
+        tracer = get_tracer()
         assembly_timer = Timer("assembly")
-        with assembly_timer:
+        with tracer.span("assembly", kind="fem", cache_hit=warm), assembly_timer:
             if context is None:
-                stiffness = assemble_stiffness(self.mesh, self.materials)
-                load = assemble_load_vector(self.mesh, body_force)
-                reduced = apply_dirichlet(stiffness, load, bc)
+                with tracer.span("assemble stiffness", kind="fem"):
+                    stiffness = assemble_stiffness(self.mesh, self.materials)
+                    load = assemble_load_vector(self.mesh, body_force)
+                with tracer.span("bc application", kind="fem"):
+                    reduced = apply_dirichlet(stiffness, load, bc)
             else:
                 if not warm:
                     context.assembly = AssemblyContext(self.mesh, self.materials)
@@ -163,11 +167,19 @@ class BiomechanicalModel:
                 reduced = context.reduction.reduce(bc.dof_values(), load)
 
         solve_timer = Timer("solve")
-        with solve_timer:
+        with tracer.span(
+            "solve", kind="fem", solver=self.solver, n_free=reduced.n_free
+        ), solve_timer:
             if warm and "preconditioner" in context.slots:
                 pre = context.slots["preconditioner"]
             else:
-                pre = self._make_preconditioner(reduced)
+                with tracer.span(
+                    "preconditioner setup",
+                    kind="solver",
+                    preconditioner=self.preconditioner,
+                    n_blocks=self.n_blocks,
+                ):
+                    pre = self._make_preconditioner(reduced)
                 if context is not None:
                     context.slots["preconditioner"] = pre
             x0 = None

@@ -89,12 +89,25 @@ class VirtualCluster(NullTelemetry):
         self.flops_total = 0.0
         self.bytes_total = 0.0
         self.messages_total = 0
+        # Communication vs computation split, per rank: every clock
+        # advance is attributed to exactly one of the two. "Compute" is
+        # local flops; "comm" is message transfer *plus* synchronization
+        # waits (load-imbalance idling at a collective counts as
+        # communication, matching how MPI profilers report it).
+        self.compute_seconds_rank = np.zeros(n_ranks)
+        self.comm_seconds_rank = np.zeros(n_ranks)
+
+    def _charge_comm(self, before: np.ndarray) -> None:
+        """Attribute clock advances since ``before`` to communication."""
+        self.comm_seconds_rank += self.clocks - before
 
     # -- primitive events ---------------------------------------------------
 
     def compute(self, rank: int, flops: float) -> None:
         """Rank-local computation of ``flops`` floating point operations."""
-        self.clocks[rank] += flops / self.spec.flops_rate
+        dt = flops / self.spec.flops_rate
+        self.clocks[rank] += dt
+        self.compute_seconds_rank[rank] += dt
         self.flops_total += flops
 
     def compute_all(self, flops_per_rank) -> None:
@@ -104,7 +117,9 @@ class VirtualCluster(NullTelemetry):
             raise ValidationError(
                 f"flops_per_rank must be ({self.n_ranks},), got {f.shape}"
             )
-        self.clocks += f / self.spec.flops_rate
+        dt = f / self.spec.flops_rate
+        self.clocks += dt
+        self.compute_seconds_rank += dt
         self.flops_total += float(f.sum())
 
     def allreduce(self, nbytes: float) -> None:
@@ -114,7 +129,9 @@ class VirtualCluster(NullTelemetry):
         link = self.spec.collective_link(self.n_ranks)
         rounds = math.ceil(math.log2(self.n_ranks))
         cost = rounds * link.message_time(nbytes)
+        before = self.clocks.copy()
         self.clocks[:] = self.clocks.max() + cost
+        self._charge_comm(before)
         self.bytes_total += nbytes * self.n_ranks * rounds
         self.messages_total += self.n_ranks * rounds
 
@@ -125,7 +142,9 @@ class VirtualCluster(NullTelemetry):
         link = self.spec.collective_link(self.n_ranks)
         rounds = math.ceil(math.log2(self.n_ranks))
         cost = rounds * link.message_time(nbytes)
+        before = self.clocks.copy()
         self.clocks[:] = self.clocks.max() + cost
+        self._charge_comm(before)
         self.bytes_total += nbytes * (self.n_ranks - 1)
         self.messages_total += self.n_ranks - 1
 
@@ -140,16 +159,20 @@ class VirtualCluster(NullTelemetry):
         link = self.spec.collective_link(self.n_ranks)
         share = total_bytes / self.n_ranks
         cost = (self.n_ranks - 1) * link.message_time(share)
+        before = self.clocks.copy()
         self.clocks[:] = self.clocks.max() + cost
+        self._charge_comm(before)
         self.bytes_total += share * (self.n_ranks - 1)
         self.messages_total += self.n_ranks - 1
 
     def point_to_point(self, src: int, dst: int, nbytes: float) -> None:
         """One message; the receiver waits for the sender."""
         link = self.spec.link(src, dst)
+        before = self.clocks.copy()
         arrive = self.clocks[src] + link.message_time(nbytes)
         self.clocks[src] += link.latency_s  # sender-side overhead
         self.clocks[dst] = max(self.clocks[dst], arrive)
+        self._charge_comm(before)
         self.bytes_total += nbytes
         self.messages_total += 1
 
@@ -181,9 +204,12 @@ class VirtualCluster(NullTelemetry):
             if src == dst:
                 continue
             self.clocks[dst] = max(self.clocks[dst], start[src] + sends[src])
+        self._charge_comm(start)
 
     def barrier(self) -> None:
+        before = self.clocks.copy()
         self.clocks[:] = self.clocks.max()
+        self._charge_comm(before)
 
     # -- reporting ------------------------------------------------------------
 
@@ -191,6 +217,23 @@ class VirtualCluster(NullTelemetry):
     def elapsed(self) -> float:
         """Virtual wall-clock so far (slowest rank)."""
         return float(self.clocks.max())
+
+    @property
+    def compute_seconds(self) -> float:
+        """Compute time of the busiest rank (virtual seconds)."""
+        return float(self.compute_seconds_rank.max())
+
+    @property
+    def comm_seconds(self) -> float:
+        """Communication + wait time of the most-communicating rank."""
+        return float(self.comm_seconds_rank.max())
+
+    def comm_compute_split(self) -> dict[str, list[float]]:
+        """Per-rank communication/computation seconds (JSON-friendly)."""
+        return {
+            "compute_s": [float(v) for v in self.compute_seconds_rank],
+            "comm_s": [float(v) for v in self.comm_seconds_rank],
+        }
 
     @contextmanager
     def phase(self, name: str):

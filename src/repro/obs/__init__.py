@@ -1,0 +1,76 @@
+"""Observability: hierarchical tracing, metrics, and time budgets.
+
+The paper's central constraint is *intraoperative latency* — every
+per-scan action has to fit inside the surgical window. This subpackage
+gives the repro the instrumentation layer such a system assumes:
+
+* :mod:`repro.obs.trace` — nested trace spans threaded through the
+  pipeline, FEM, solver and virtual-parallel layers; near-zero-overhead
+  no-op when disabled.
+* :mod:`repro.obs.metrics` — counters, gauges and histograms behind one
+  registry (solve-context cache stats, GMRES convergence, mesh sizes).
+* :mod:`repro.obs.export` — JSONL event log, Chrome ``trace_event``
+  JSON (Perfetto / ``about:tracing``), and a text span-tree perf report
+  with self/total times.
+* :mod:`repro.obs.budget` — real-time per-stage / per-scan time budgets
+  with live headroom, warning events, and per-scan verdicts.
+
+Quick start::
+
+    from repro.obs import Tracer, use_tracer, render_report
+
+    tracer = Tracer()
+    with use_tracer(tracer):
+        result = pipeline.process_scan(scan, preop)
+    print(render_report(tracer))
+
+Like :mod:`repro.util`, this subpackage depends only on
+:mod:`repro.util`; every other subsystem may import from it.
+"""
+
+from repro.obs.budget import (
+    PAPER_SCAN_BUDGET,
+    PAPER_STAGE_BUDGETS,
+    BudgetMonitor,
+    ScanVerdict,
+    StageCheck,
+)
+from repro.obs.export import (
+    chrome_trace,
+    read_jsonl,
+    render_report,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.trace import (
+    Span,
+    SpanRecord,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    "PAPER_SCAN_BUDGET",
+    "PAPER_STAGE_BUDGETS",
+    "BudgetMonitor",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ScanVerdict",
+    "Span",
+    "SpanRecord",
+    "StageCheck",
+    "Tracer",
+    "chrome_trace",
+    "get_tracer",
+    "read_jsonl",
+    "render_report",
+    "set_tracer",
+    "use_tracer",
+    "write_chrome_trace",
+    "write_jsonl",
+]

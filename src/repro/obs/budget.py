@@ -1,0 +1,255 @@
+"""Real-time budget monitor for the intraoperative pipeline.
+
+The paper's claim is not "fast" but *fast enough*: the whole per-scan
+analysis must fit inside the surgical pause while the scanner and the
+surgeon wait, and the biomechanical solve specifically inside ~10 s
+(Fig. 6's timeline, the "<10 s on 16 processors" headline). A
+:class:`BudgetMonitor` makes that constraint executable: give it a
+per-stage and per-scan time budget, feed it stage durations as the scan
+progresses, and it tracks live headroom, emits warning events the
+moment a stage blows its allocation, and records a per-scan
+:class:`ScanVerdict` for the session summary.
+
+Default budgets derive from the paper's reported numbers, with margin:
+
+* ``biomechanical simulation`` — 10 s, the headline claim itself.
+* ``visualization resample`` — 5 s (paper reports ~0.5 s; 10x margin).
+* registration / classification / surface stages — 60 s each: the
+  paper describes these as "a few minutes" of total intraoperative
+  processing, so each stage gets a one-minute slice.
+* scan total — 180 s, the "few minutes" window between acquisition and
+  the surgeon seeing the updated navigation view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer, get_tracer
+from repro.util import ValidationError
+
+#: Per-stage intraoperative budgets (seconds), paper-derived (see module
+#: docstring). Stages absent from the mapping are unbudgeted.
+PAPER_STAGE_BUDGETS: dict[str, float] = {
+    "rigid registration": 60.0,
+    "tissue classification": 60.0,
+    "surface displacement": 60.0,
+    "biomechanical simulation": 10.0,
+    "visualization resample": 5.0,
+}
+
+#: Whole-scan intraoperative budget (seconds).
+PAPER_SCAN_BUDGET: float = 180.0
+
+
+@dataclass
+class StageCheck:
+    """Outcome of one stage against its budget."""
+
+    stage: str
+    seconds: float
+    budget: float | None  # None: stage had no individual budget
+
+    @property
+    def over(self) -> bool:
+        return self.budget is not None and self.seconds > self.budget
+
+
+@dataclass
+class ScanVerdict:
+    """Budget verdict of one processed scan.
+
+    ``within_budget`` requires both the scan total and every budgeted
+    stage to come in under their allocations.
+    """
+
+    scan_index: int
+    total_seconds: float
+    scan_budget: float
+    checks: list[StageCheck] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+
+    @property
+    def over_stages(self) -> list[StageCheck]:
+        return [c for c in self.checks if c.over]
+
+    @property
+    def scan_over(self) -> bool:
+        return self.total_seconds > self.scan_budget
+
+    @property
+    def within_budget(self) -> bool:
+        return not self.scan_over and not self.over_stages
+
+    @property
+    def headroom_seconds(self) -> float:
+        """Remaining scan budget (negative when blown)."""
+        return self.scan_budget - self.total_seconds
+
+    @property
+    def label(self) -> str:
+        """Compact verdict for summary tables: ``ok`` or ``OVER(...)``."""
+        if self.within_budget:
+            return "ok"
+        parts = [c.stage for c in self.over_stages]
+        if self.scan_over:
+            parts.append("scan total")
+        return "OVER(" + ", ".join(parts) + ")"
+
+    def as_dict(self) -> dict:
+        return {
+            "scan": self.scan_index,
+            "total_seconds": self.total_seconds,
+            "scan_budget": self.scan_budget,
+            "within_budget": self.within_budget,
+            "headroom_seconds": self.headroom_seconds,
+            "over_stages": [
+                {"stage": c.stage, "seconds": c.seconds, "budget": c.budget}
+                for c in self.over_stages
+            ],
+            "warnings": list(self.warnings),
+        }
+
+
+class BudgetMonitor:
+    """Tracks per-stage and per-scan time budgets across a session.
+
+    Parameters
+    ----------
+    stage_budgets:
+        Stage name -> allowed seconds; defaults to the paper-derived
+        :data:`PAPER_STAGE_BUDGETS`. Unlisted stages only count toward
+        the scan total.
+    scan_budget:
+        Allowed seconds for one complete scan's processing.
+    tracer:
+        Warning events are recorded on this tracer (``budget.warning``
+        spans/events); defaults to the ambient tracer.
+    metrics:
+        Optional registry: over-budget stages and scans increment
+        ``budget.stage_overruns`` / ``budget.scan_overruns``.
+
+    Usage is one ``begin_scan`` per scan, ``observe_stage`` after each
+    stage, ``finish_scan`` to seal the verdict::
+
+        monitor = BudgetMonitor()
+        monitor.begin_scan(0)
+        monitor.observe_stage("rigid registration", 12.0)
+        verdict = monitor.finish_scan()
+    """
+
+    def __init__(
+        self,
+        stage_budgets: dict[str, float] | None = None,
+        scan_budget: float = PAPER_SCAN_BUDGET,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
+    ):
+        if scan_budget <= 0:
+            raise ValidationError(f"scan_budget must be > 0, got {scan_budget}")
+        self.stage_budgets = dict(
+            PAPER_STAGE_BUDGETS if stage_budgets is None else stage_budgets
+        )
+        for stage, budget in self.stage_budgets.items():
+            if budget <= 0:
+                raise ValidationError(
+                    f"stage budget for {stage!r} must be > 0, got {budget}"
+                )
+        self.scan_budget = float(scan_budget)
+        self._tracer = tracer
+        self.metrics = metrics
+        self.verdicts: list[ScanVerdict] = []
+        self._current: ScanVerdict | None = None
+
+    def _trace(self) -> Tracer:
+        return self._tracer if self._tracer is not None else get_tracer()
+
+    # -- per-scan lifecycle -------------------------------------------------
+
+    def begin_scan(self, scan_index: int | None = None) -> None:
+        """Open accounting for a new scan (auto-sealing any open one)."""
+        if self._current is not None:
+            self.finish_scan()
+        index = len(self.verdicts) if scan_index is None else int(scan_index)
+        self._current = ScanVerdict(
+            scan_index=index, total_seconds=0.0, scan_budget=self.scan_budget
+        )
+
+    def observe_stage(self, stage: str, seconds: float) -> str | None:
+        """Account one finished stage; returns the warning text if any.
+
+        Emits a ``budget.warning`` trace event and increments the
+        overrun metrics the moment a stage exceeds its allocation or
+        the running total exhausts the scan budget, so downstream
+        consumers see the problem *during* the scan, not in the
+        post-mortem.
+        """
+        if self._current is None:
+            self.begin_scan()
+        current = self._current
+        budget = self.stage_budgets.get(stage)
+        check = StageCheck(stage=stage, seconds=float(seconds), budget=budget)
+        current.checks.append(check)
+        current.total_seconds += check.seconds
+
+        warning = None
+        if check.over:
+            warning = (
+                f"stage {stage!r} exceeded its budget: "
+                f"{check.seconds:.2f} s > {budget:.2f} s"
+            )
+        elif current.total_seconds > self.scan_budget:
+            warning = (
+                f"scan budget exhausted after {stage!r}: "
+                f"{current.total_seconds:.2f} s > {self.scan_budget:.2f} s"
+            )
+        if warning is not None:
+            current.warnings.append(warning)
+            self._trace().event(
+                "budget.warning",
+                stage=stage,
+                seconds=check.seconds,
+                budget=budget if budget is not None else self.scan_budget,
+                scan=current.scan_index,
+            )
+            if self.metrics is not None:
+                kind = "stage" if check.over else "scan"
+                self.metrics.counter(f"budget.{kind}_overruns").inc()
+        return warning
+
+    def headroom(self) -> float:
+        """Live remaining seconds in the current scan's budget."""
+        if self._current is None:
+            return self.scan_budget
+        return self.scan_budget - self._current.total_seconds
+
+    def finish_scan(self) -> ScanVerdict:
+        """Seal and return the current scan's verdict."""
+        if self._current is None:
+            raise ValidationError("no scan in progress (call begin_scan first)")
+        verdict = self._current
+        self._current = None
+        self.verdicts.append(verdict)
+        if self.metrics is not None:
+            self.metrics.counter("budget.scans").inc()
+            if not verdict.within_budget:
+                self.metrics.counter("budget.scans_over").inc()
+            self.metrics.histogram("budget.scan_seconds").observe(
+                verdict.total_seconds
+            )
+        return verdict
+
+    # -- session-level reporting --------------------------------------------
+
+    @property
+    def all_within_budget(self) -> bool:
+        return all(v.within_budget for v in self.verdicts)
+
+    def summary(self) -> dict:
+        return {
+            "scan_budget": self.scan_budget,
+            "stage_budgets": dict(self.stage_budgets),
+            "scans": [v.as_dict() for v in self.verdicts],
+            "all_within_budget": self.all_within_budget,
+        }

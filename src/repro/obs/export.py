@@ -1,0 +1,247 @@
+"""Trace exporters: JSONL event log, Chrome ``trace_event``, text report.
+
+Three consumers of the same :class:`~repro.obs.trace.SpanRecord` tree:
+
+* **JSONL** — one self-describing JSON object per line (a ``meta``
+  header, then one ``span`` object per finished span). Greppable,
+  append-friendly, and the interchange format of the ``repro
+  trace-report`` CLI subcommand.
+* **Chrome trace_event JSON** — the ``{"traceEvents": [...]}`` format
+  understood by ``about:tracing`` and Perfetto (complete ``"X"`` events,
+  microsecond timestamps). Span attributes become ``args``.
+* **Text perf report** — renders the span tree with *total* and *self*
+  (total minus direct children) times, the classic profiler view.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.trace import SpanRecord, Tracer
+from repro.util import ValidationError
+
+FORMAT_VERSION = 1
+
+
+def _spans_of(source) -> list[SpanRecord]:
+    """Accept a Tracer or an iterable of SpanRecords; drop open spans."""
+    if isinstance(source, Tracer):
+        return source.finished()
+    return [s for s in source if s.end is not None]
+
+
+# -- JSONL -------------------------------------------------------------------
+
+
+def write_jsonl(source, path) -> Path:
+    """Write the trace as JSON Lines; returns the path written."""
+    spans = _spans_of(source)
+    path = Path(path)
+    with path.open("w") as fh:
+        meta = {
+            "type": "meta",
+            "format": "repro-trace",
+            "version": FORMAT_VERSION,
+            "clock": "perf_counter",
+            "n_spans": len(spans),
+        }
+        fh.write(json.dumps(meta) + "\n")
+        for span in spans:
+            fh.write(json.dumps(span.as_dict()) + "\n")
+    return path
+
+
+def read_jsonl(path) -> list[SpanRecord]:
+    """Load spans from a JSONL trace written by :func:`write_jsonl`."""
+    spans: list[SpanRecord] = []
+    with Path(path).open() as fh:
+        for line_no, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValidationError(
+                    f"{path}:{line_no}: not valid JSON ({exc})"
+                ) from exc
+            kind = obj.get("type")
+            if kind == "meta":
+                if obj.get("format") != "repro-trace":
+                    raise ValidationError(
+                        f"{path}: not a repro trace (format={obj.get('format')!r})"
+                    )
+                continue
+            if kind != "span":
+                continue
+            spans.append(
+                SpanRecord(
+                    span_id=int(obj["id"]),
+                    parent_id=obj.get("parent"),
+                    name=str(obj["name"]),
+                    start=float(obj["start"]),
+                    end=None if obj.get("end") is None else float(obj["end"]),
+                    thread=obj.get("thread", "main"),
+                    attrs=obj.get("attrs", {}),
+                    events=[
+                        (e["ts"], e["name"], e.get("attrs", {}))
+                        for e in obj.get("events", [])
+                    ],
+                )
+            )
+    return spans
+
+
+# -- Chrome trace_event ------------------------------------------------------
+
+
+def chrome_trace(source, process_name: str = "repro") -> dict:
+    """The trace as a Chrome ``trace_event`` JSON object.
+
+    Uses complete (``"ph": "X"``) events with microsecond timestamps
+    relative to the earliest span, one ``tid`` per recorded thread name
+    — loadable in ``about:tracing`` and Perfetto. Span events are
+    emitted as instant (``"ph": "i"``) events.
+    """
+    spans = _spans_of(source)
+    origin = min((s.start for s in spans), default=0.0)
+    tids: dict[str, int] = {}
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    for span in spans:
+        tid = tids.setdefault(span.thread, len(tids) + 1)
+        args = {k: _jsonable(v) for k, v in span.attrs.items()}
+        events.append(
+            {
+                "name": span.name,
+                "cat": str(span.attrs.get("kind", "span")),
+                "ph": "X",
+                "ts": (span.start - origin) * 1e6,
+                "dur": span.duration * 1e6,
+                "pid": 1,
+                "tid": tid,
+                "args": args,
+            }
+        )
+        for ts, name, attrs in span.events:
+            events.append(
+                {
+                    "name": name,
+                    "cat": "event",
+                    "ph": "i",
+                    "ts": (ts - origin) * 1e6,
+                    "pid": 1,
+                    "tid": tid,
+                    "s": "t",
+                    "args": {k: _jsonable(v) for k, v in attrs.items()},
+                }
+            )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(source, path, process_name: str = "repro") -> Path:
+    """Write :func:`chrome_trace` output to ``path``; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(chrome_trace(source, process_name)))
+    return path
+
+
+def _jsonable(value):
+    """Coerce attribute values to JSON-safe scalars."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return str(value)
+
+
+# -- text perf report --------------------------------------------------------
+
+
+def render_report(source, title: str | None = None, min_seconds: float = 0.0) -> str:
+    """Render the span tree with total and self times.
+
+    ``self`` is a span's duration minus its direct children — the time
+    spent in the span's own code, the number a flat stage table cannot
+    show. Spans shorter than ``min_seconds`` are pruned (with their
+    subtrees) to keep reports of chatty traces readable.
+    """
+    spans = _spans_of(source)
+    if not spans:
+        return "(empty trace)"
+    children: dict[int | None, list[SpanRecord]] = {}
+    for span in spans:
+        children.setdefault(span.parent_id, []).append(span)
+    for siblings in children.values():
+        siblings.sort(key=lambda s: s.start)
+    known = {s.span_id for s in spans}
+    # Roots: no parent, or parent missing from this trace (partial load).
+    roots = [
+        s for s in spans if s.parent_id is None or s.parent_id not in known
+    ]
+    roots.sort(key=lambda s: s.start)
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    name_width = max(
+        (len("  " * _depth(s, spans)) + len(s.name) for s in spans),
+        default=20,
+    )
+    name_width = max(name_width, len("span"))
+    lines.append(f"{'span'.ljust(name_width)}   total (s)    self (s)  detail")
+    lines.append("-" * (name_width + 40))
+
+    def walk(span: SpanRecord, depth: int) -> None:
+        if span.duration < min_seconds:
+            return
+        kids = children.get(span.span_id, [])
+        self_s = span.duration - sum(k.duration for k in kids)
+        label = ("  " * depth + span.name).ljust(name_width)
+        detail = _detail(span)
+        lines.append(
+            f"{label}  {span.duration:10.4f}  {max(self_s, 0.0):10.4f}  {detail}"
+        )
+        for kid in kids:
+            walk(kid, depth + 1)
+
+    for root in roots:
+        walk(root, 0)
+    return "\n".join(lines)
+
+
+def _depth(span: SpanRecord, spans: list[SpanRecord]) -> int:
+    by_id = {s.span_id: s for s in spans}
+    depth = 0
+    current = span
+    while current.parent_id is not None and current.parent_id in by_id:
+        current = by_id[current.parent_id]
+        depth += 1
+        if depth > 64:  # defensive: malformed trace with a parent cycle
+            break
+    return depth
+
+
+def _detail(span: SpanRecord) -> str:
+    """Compact one-line rendering of the most informative attributes."""
+    parts = []
+    for key in sorted(span.attrs):
+        if key in ("kind",):
+            continue
+        value = span.attrs[key]
+        if isinstance(value, float):
+            parts.append(f"{key}={value:.4g}")
+        else:
+            parts.append(f"{key}={value}")
+    if span.events:
+        parts.append(f"events={len(span.events)}")
+    return " ".join(parts)

@@ -1,0 +1,187 @@
+"""Metrics registry: counters, gauges and histograms behind one API.
+
+The repro already produces plenty of numbers — :class:`repro.fem.CacheStats`
+hit/miss counters, GMRES iteration/restart/residual records, mesh and
+element counts — but each lives in its own ad-hoc structure. The
+registry absorbs them behind the three standard instrument kinds so
+session summaries, exporters and tests read one interface:
+
+* :class:`Counter` — monotonically increasing total (cache hits, GMRES
+  iterations, bytes on the wire).
+* :class:`Gauge` — last-written value (mesh node count, final residual).
+* :class:`Histogram` — streaming distribution (per-scan solve seconds,
+  per-restart residual drops) with count/sum/min/max/mean.
+
+Instruments are get-or-create by name, so independent modules can
+``registry.counter("gmres.iterations").inc(n)`` without coordination.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from repro.util import ValidationError
+
+
+@dataclass
+class Counter:
+    """Monotonically increasing counter."""
+
+    name: str
+    value: float = 0.0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValidationError(
+                f"counter {self.name!r} cannot decrease (inc by {amount})"
+            )
+        with self._lock:
+            self.value += amount
+
+
+@dataclass
+class Gauge:
+    """Last-written value."""
+
+    name: str
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+@dataclass
+class Histogram:
+    """Streaming distribution summary (count/sum/min/max, no buckets).
+
+    Raw observations are retained (the series are small — one entry per
+    scan or per restart cycle, not per inner iteration) so exporters can
+    compute percentiles.
+    """
+
+    name: str
+    values: list[float] = field(default_factory=list)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self.values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def sum(self) -> float:
+        return float(sum(self.values))
+
+    @property
+    def min(self) -> float:
+        return min(self.values) if self.values else 0.0
+
+    @property
+    def max(self) -> float:
+        return max(self.values) if self.values else 0.0
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.values else 0.0
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """Named instruments, get-or-create, one namespace per registry.
+
+    A name identifies exactly one instrument; asking for the same name
+    with a different kind is an error (it would silently fork state).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: dict[str, object] = {}
+
+    def _get_or_create(self, name: str, cls):
+        with self._lock:
+            inst = self._instruments.get(name)
+            if inst is None:
+                inst = cls(name)
+                self._instruments[name] = inst
+            elif not isinstance(inst, cls):
+                raise ValidationError(
+                    f"metric {name!r} already registered as "
+                    f"{type(inst).__name__}, requested {cls.__name__}"
+                )
+            return inst
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get_or_create(name, Histogram)
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._instruments)
+
+    def get(self, name: str):
+        """The instrument registered under ``name`` (None when absent)."""
+        with self._lock:
+            return self._instruments.get(name)
+
+    def value(self, name: str, default: float = 0.0) -> float:
+        """Scalar value of a counter/gauge (``default`` when absent)."""
+        inst = self.get(name)
+        if inst is None:
+            return default
+        if isinstance(inst, Histogram):
+            raise ValidationError(f"metric {name!r} is a histogram; use .get()")
+        return inst.value
+
+    def as_dict(self) -> dict[str, object]:
+        """All instruments as plain JSON-serializable values."""
+        with self._lock:
+            out: dict[str, object] = {}
+            for name, inst in sorted(self._instruments.items()):
+                if isinstance(inst, Histogram):
+                    out[name] = inst.summary()
+                else:
+                    out[name] = inst.value
+            return out
+
+    def record_cache_stats(self, stats, prefix: str = "solve_context") -> None:
+        """Absorb :class:`repro.fem.CacheStats` into gauge metrics.
+
+        Gauges (not counters) because ``stats`` already *is* the running
+        total — re-recording after every scan must not double-count.
+        """
+        self.gauge(f"{prefix}.hits").set(stats.hits)
+        self.gauge(f"{prefix}.misses").set(stats.misses)
+        self.gauge(f"{prefix}.invalidations").set(stats.invalidations)
+        self.gauge(f"{prefix}.hit_ratio").set(stats.hit_ratio)
+
+    def record_solver_result(self, result, prefix: str = "gmres") -> None:
+        """Absorb a :class:`repro.solver.GMRESResult` convergence record."""
+        self.counter(f"{prefix}.solves").inc()
+        self.counter(f"{prefix}.iterations").inc(result.iterations)
+        self.counter(f"{prefix}.restarts").inc(result.restarts)
+        if not result.converged:
+            self.counter(f"{prefix}.failures").inc()
+        self.gauge(f"{prefix}.last_residual").set(result.residual_norm)
+        self.histogram(f"{prefix}.iterations_per_solve").observe(result.iterations)

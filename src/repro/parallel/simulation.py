@@ -24,6 +24,7 @@ from repro.mesh.partition import (
     partition_work_weighted,
 )
 from repro.mesh.tetra import TetrahedralMesh
+from repro.obs.trace import get_tracer
 from repro.parallel.assembly import DistributedSystem, build_distributed_system
 from repro.parallel.decomposition import Decomposition
 from repro.parallel.solver import DistributedBlockJacobi, DistributedRAS, distributed_gmres
@@ -196,34 +197,42 @@ def simulate_parallel(
     telemetry = (
         VirtualCluster(machine, n_ranks) if machine is not None else NullTelemetry()
     )
+    tracer = get_tracer()
 
-    if warm:
-        # Initialization (mesh scatter, index construction) was done
-        # preoperatively — the phase is recorded but charges nothing.
-        decomposition = context.slots["decomposition"]
-        with telemetry.phase("initialization"):
-            pass
-    else:
-        part = PARTITIONERS[partitioner](mesh, n_ranks)
-        decomposition = Decomposition.from_partition(mesh, part, n_ranks)
-        with telemetry.phase("initialization"):
-            telemetry.compute(
-                0, INIT_FLOPS_PER_ENTITY * (mesh.n_nodes + mesh.n_elements)
-            )
-            telemetry.scatter(mesh_payload_bytes(mesh))
-        if context is not None:
-            context.slots["decomposition"] = decomposition
+    with tracer.span(
+        "initialization", kind="phase", n_ranks=n_ranks, cache_hit=warm
+    ):
+        if warm:
+            # Initialization (mesh scatter, index construction) was done
+            # preoperatively — the phase is recorded but charges nothing.
+            decomposition = context.slots["decomposition"]
+            with telemetry.phase("initialization"):
+                pass
+        else:
+            part = PARTITIONERS[partitioner](mesh, n_ranks)
+            decomposition = Decomposition.from_partition(mesh, part, n_ranks)
+            with telemetry.phase("initialization"):
+                telemetry.compute(
+                    0, INIT_FLOPS_PER_ENTITY * (mesh.n_nodes + mesh.n_elements)
+                )
+                telemetry.scatter(mesh_payload_bytes(mesh))
+            if context is not None:
+                context.slots["decomposition"] = decomposition
 
-    bc_new = DirichletBC(decomposition.old_to_new[bc.node_ids], bc.displacements)
-    system = build_distributed_system(
-        decomposition, materials, bc_new, telemetry, context=context, reuse=warm
-    )
+    with tracer.span("assembly", kind="phase", cache_hit=warm):
+        bc_new = DirichletBC(decomposition.old_to_new[bc.node_ids], bc.displacements)
+        system = build_distributed_system(
+            decomposition, materials, bc_new, telemetry, context=context, reuse=warm
+        )
 
-    with telemetry.phase("solve"):
+    with tracer.span(
+        "solve", kind="phase", n_free=system.n_free, preconditioner=preconditioner
+    ) as solve_span, telemetry.phase("solve"):
         if warm and "preconditioner" in context.slots:
             # Reused subdomain factors: the factorization flops are not
             # charged again — only the per-application triangular solves.
             pre = context.slots["preconditioner"]
+            solve_span.set(preconditioner_reused=True)
         else:
             pre = _make_preconditioner(
                 system.matrix, telemetry, preconditioner, factorization, ras_overlap
@@ -243,6 +252,25 @@ def simulate_parallel(
             max_iter=max_iter,
             telemetry=telemetry,
         )
+
+    if isinstance(telemetry, VirtualCluster) and tracer.enabled:
+        # Machine-model attribution: the virtual communication/compute
+        # split overall and per subdomain (rank), so the trace shows
+        # where the modeled architecture spends its time.
+        solve_span.set(
+            virtual_seconds=telemetry.elapsed,
+            virtual_compute_s=telemetry.compute_seconds,
+            virtual_comm_s=telemetry.comm_seconds,
+        )
+        split = telemetry.comm_compute_split()
+        for rank in range(telemetry.n_ranks):
+            solve_span.event(
+                "subdomain",
+                rank=rank,
+                compute_s=split["compute_s"][rank],
+                comm_s=split["comm_s"][rank],
+                rows=int(system.matrix.ranges[rank, 1] - system.matrix.ranges[rank, 0]),
+            )
 
     if context is not None:
         context.record_solution(result.x)

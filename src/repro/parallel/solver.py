@@ -16,6 +16,7 @@ import numpy as np
 from scipy.sparse import linalg as spla
 
 from repro.machines.cost import NullTelemetry
+from repro.obs.trace import NULL_SPAN, get_tracer
 from repro.parallel.distributed import (
     RowBlockMatrix,
     distributed_axpy_cost,
@@ -65,14 +66,22 @@ class DistributedBlockJacobi:
         self._ranges = matrix.ranges
         self._factors = []
         factor_nnz = np.zeros(matrix.n_ranks)
-        for rank, (a, b) in enumerate(matrix.ranges):
-            block = matrix.local[rank][:, a:b].tocsc()
-            if factorization == "lu":
-                lu = spla.splu(block)
-            else:
-                lu = spla.spilu(block, drop_tol=drop_tol, fill_factor=fill_factor)
-            self._factors.append(lu)
-            factor_nnz[rank] = lu.L.nnz + lu.U.nnz
+        with get_tracer().span(
+            "preconditioner setup",
+            kind="solver",
+            preconditioner="block_jacobi",
+            factorization=factorization,
+            n_ranks=int(matrix.n_ranks),
+        ) as span:
+            for rank, (a, b) in enumerate(matrix.ranges):
+                block = matrix.local[rank][:, a:b].tocsc()
+                if factorization == "lu":
+                    lu = spla.splu(block)
+                else:
+                    lu = spla.spilu(block, drop_tol=drop_tol, fill_factor=fill_factor)
+                self._factors.append(lu)
+                factor_nnz[rank] = lu.L.nnz + lu.U.nnz
+            span.set(factor_nnz=float(factor_nnz.sum()))
         self._factor_nnz = factor_nnz
         telemetry.compute_all(FACTOR_FLOPS_PER_NNZ * factor_nnz)
         self.shape = matrix.shape
@@ -113,22 +122,30 @@ class DistributedRAS:
         self._factors = []
         factor_nnz = np.zeros(matrix.n_ranks)
         halo: dict[tuple[int, int], float] = {}
-        for rank, (a, b) in enumerate(matrix.ranges):
-            indices = np.arange(a, b, dtype=np.intp)
-            grown = grow_subdomain(csr, indices, overlap)
-            external = grown[(grown < a) | (grown >= b)]
-            if len(external):
-                owners = np.searchsorted(stops, external, side="right")
-                for src, count in zip(*np.unique(owners, return_counts=True)):
-                    halo[(int(src), rank)] = halo.get((int(src), rank), 0.0) + float(
-                        count * 8
-                    )
-            block = csr[grown, :][:, grown].tocsc()
-            lu = spla.spilu(block, drop_tol=drop_tol, fill_factor=fill_factor)
-            self._factors.append(lu)
-            factor_nnz[rank] = lu.L.nnz + lu.U.nnz
-            self._subdomains.append(grown)
-            self._own_positions.append(np.searchsorted(grown, indices))
+        with get_tracer().span(
+            "preconditioner setup",
+            kind="solver",
+            preconditioner="ras",
+            overlap=overlap,
+            n_ranks=int(matrix.n_ranks),
+        ) as span:
+            for rank, (a, b) in enumerate(matrix.ranges):
+                indices = np.arange(a, b, dtype=np.intp)
+                grown = grow_subdomain(csr, indices, overlap)
+                external = grown[(grown < a) | (grown >= b)]
+                if len(external):
+                    owners = np.searchsorted(stops, external, side="right")
+                    for src, count in zip(*np.unique(owners, return_counts=True)):
+                        halo[(int(src), rank)] = halo.get(
+                            (int(src), rank), 0.0
+                        ) + float(count * 8)
+                block = csr[grown, :][:, grown].tocsc()
+                lu = spla.spilu(block, drop_tol=drop_tol, fill_factor=fill_factor)
+                self._factors.append(lu)
+                factor_nnz[rank] = lu.L.nnz + lu.U.nnz
+                self._subdomains.append(grown)
+                self._own_positions.append(np.searchsorted(grown, indices))
+            span.set(factor_nnz=float(factor_nnz.sum()))
         self._factor_nnz = factor_nnz
         self._halo = halo
         telemetry.compute_all(FACTOR_FLOPS_PER_NNZ * factor_nnz)
@@ -161,7 +178,46 @@ def distributed_gmres(
 
     Mathematically equivalent to :func:`repro.solver.gmres` (up to the
     Gram-Schmidt variant); the telemetry records the parallel execution.
+    Zero-RHS behaviour matches the serial solver: ``x0`` is
+    shape-validated, the returned solution is zero, ``history`` is
+    ``[0.0]``. Tracing mirrors the serial solver too: a ``gmres`` span
+    with one ``restart`` event per cycle, plus a ``preconditioner
+    applications`` count attribute.
     """
+    tracer = get_tracer()
+    if not tracer.enabled:
+        return _distributed_gmres(
+            matrix, b, preconditioner, x0, tol, restart, max_iter,
+            telemetry, raise_on_fail, NULL_SPAN,
+        )
+    with tracer.span(
+        "gmres", kind="solver", distributed=True, tol=tol, restart=restart
+    ) as span:
+        result = _distributed_gmres(
+            matrix, b, preconditioner, x0, tol, restart, max_iter,
+            telemetry, raise_on_fail, span,
+        )
+        span.set(
+            iterations=result.iterations,
+            restarts=result.restarts,
+            residual=result.residual_norm,
+            converged=result.converged,
+        )
+        return result
+
+
+def _distributed_gmres(
+    matrix: RowBlockMatrix,
+    b: np.ndarray,
+    preconditioner,
+    x0: np.ndarray | None,
+    tol: float,
+    restart: int,
+    max_iter: int,
+    telemetry,
+    raise_on_fail: bool,
+    span,
+) -> GMRESResult:
     n = matrix.n
     ranges = matrix.ranges
     b = np.asarray(b, dtype=float).ravel()
@@ -170,8 +226,18 @@ def distributed_gmres(
     if restart < 1:
         raise ValidationError(f"restart must be >= 1, got {restart}")
     x = np.zeros(n) if x0 is None else np.asarray(x0, dtype=float).copy()
+    if x.shape != (n,):
+        raise ShapeError(f"x0 must be ({n},), got {x.shape}")
+
+    precond_applications = 0
 
     def precond(r: np.ndarray) -> np.ndarray:
+        # The running application count lands on the span immediately
+        # (a dict update; no-op on a disabled tracer) so every return
+        # path reports it without a try/finally around the whole solve.
+        nonlocal precond_applications
+        precond_applications += 1
+        span.set(preconditioner_applications=precond_applications)
         if preconditioner is None:
             return r.copy()
         return preconditioner.solve(r, telemetry)
@@ -191,7 +257,9 @@ def distributed_gmres(
     b_pre = precond(b)
     b_pre_norm = distributed_norm(b_pre, ranges, telemetry)
     if b_pre_norm == 0.0:
-        return GMRESResult(np.zeros(n), True, 0, 0, 0.0, [0.0])
+        # Zero RHS: exact solution is zero regardless of the (already
+        # shape-validated) x0 — same contract as repro.solver.gmres.
+        return GMRESResult(np.zeros_like(x), True, 0, 0, 0.0, [0.0])
     target = tol * b_pre_norm
 
     history: list[float] = []
@@ -214,6 +282,7 @@ def distributed_gmres(
         distributed_axpy_cost(ranges, telemetry)  # b - Ax
         beta = distributed_norm(r, ranges, telemetry)
         history.append(beta)
+        span.event("restart", cycle=restarts, residual=beta, iteration=total_iters)
         if beta <= target:
             return GMRESResult(x, True, total_iters, restarts - 1, beta, history)
 

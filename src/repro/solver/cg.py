@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.obs.trace import get_tracer
 from repro.solver.gmres import GMRESResult
 from repro.solver.operator import AsOperator
 from repro.solver.preconditioner import IdentityPreconditioner
@@ -33,7 +34,33 @@ def conjugate_gradient(
     convergence target ``tol * ||b||`` does not depend on the initial
     guess, so a good ``x0`` — e.g. the previous intraoperative scan's
     solution — strictly shrinks the number of iterations required.
+
+    A zero right-hand side short-circuits exactly like
+    :func:`repro.solver.gmres`: ``x0`` is shape-validated but the
+    returned solution is the zero vector with ``history == [0.0]``.
     """
+    tracer = get_tracer()
+    if not tracer.enabled:
+        return _cg(operator, b, x0, preconditioner, tol, max_iter, raise_on_fail)
+    with tracer.span("cg", kind="solver", tol=tol) as span:
+        result = _cg(operator, b, x0, preconditioner, tol, max_iter, raise_on_fail)
+        span.set(
+            iterations=result.iterations,
+            residual=result.residual_norm,
+            converged=result.converged,
+        )
+        return result
+
+
+def _cg(
+    operator,
+    b: np.ndarray,
+    x0: np.ndarray | None,
+    preconditioner,
+    tol: float,
+    max_iter: int,
+    raise_on_fail: bool,
+) -> GMRESResult:
     A = AsOperator(operator)
     n = A.shape[0]
     b = np.asarray(b, dtype=float).ravel()
@@ -46,13 +73,15 @@ def conjugate_gradient(
     if x.shape != (n,):
         raise ShapeError(f"x0 must be ({n},), got {x.shape}")
 
+    b_norm = float(np.linalg.norm(b))
+    if b_norm == 0.0:
+        # Zero RHS: exact solution is zero regardless of the (already
+        # shape-validated) x0 — same contract as repro.solver.gmres.
+        return GMRESResult(np.zeros_like(x), True, 0, 0, 0.0, [0.0])
     r = b - A.matvec(x)
     z = M.solve(r)
     p = z.copy()
     rz = float(np.dot(r, z))
-    b_norm = float(np.linalg.norm(b))
-    if b_norm == 0.0:
-        return GMRESResult(np.zeros(n), True, 0, 0, 0.0, [0.0])
     target = tol * b_norm
     history = [float(np.linalg.norm(r))]
 

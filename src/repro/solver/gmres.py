@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs.trace import NULL_SPAN, get_tracer
 from repro.solver.operator import AsOperator
 from repro.solver.preconditioner import IdentityPreconditioner
 from repro.util import ConvergenceError, ShapeError, ValidationError
@@ -76,7 +77,52 @@ def gmres(
     raise_on_fail:
         Raise :class:`ConvergenceError` instead of returning a
         non-converged result.
+
+    Notes
+    -----
+    A zero right-hand side (``||M^{-1} b|| == 0``) short-circuits: the
+    exact solution of the (nonsingular) system is the zero vector, so
+    the result is ``x = 0`` regardless of ``x0`` (which is still
+    shape-validated), with ``iterations == 0`` and ``history == [0.0]``
+    (the single entry is the already-converged initial residual of the
+    returned solution).
+
+    When the ambient :class:`repro.obs.Tracer` is enabled, the solve is
+    wrapped in a ``gmres`` span carrying one ``restart`` event per
+    cycle (with the cycle's starting residual) and final convergence
+    attributes; a disabled tracer costs one attribute check.
     """
+    tracer = get_tracer()
+    if not tracer.enabled:
+        return _gmres(
+            operator, b, x0, preconditioner, tol, restart, max_iter,
+            raise_on_fail, NULL_SPAN,
+        )
+    with tracer.span("gmres", kind="solver", tol=tol, restart=restart) as span:
+        result = _gmres(
+            operator, b, x0, preconditioner, tol, restart, max_iter,
+            raise_on_fail, span,
+        )
+        span.set(
+            iterations=result.iterations,
+            restarts=result.restarts,
+            residual=result.residual_norm,
+            converged=result.converged,
+        )
+        return result
+
+
+def _gmres(
+    operator,
+    b: np.ndarray,
+    x0: np.ndarray | None,
+    preconditioner,
+    tol: float,
+    restart: int,
+    max_iter: int,
+    raise_on_fail: bool,
+    span,
+) -> GMRESResult:
     A = AsOperator(operator)
     n = A.shape[0]
     b = np.asarray(b, dtype=float).ravel()
@@ -93,7 +139,10 @@ def gmres(
 
     b_pre_norm = float(np.linalg.norm(M.solve(b)))
     if b_pre_norm == 0.0:
-        return GMRESResult(np.zeros(n), True, 0, 0, 0.0, [0.0])
+        # Zero RHS: the exact solution is zero whatever x0 was (x0 has
+        # already been shape-validated above). Return a fresh zero
+        # vector of the x0 shape, never x0 itself (see docstring).
+        return GMRESResult(np.zeros_like(x), True, 0, 0, 0.0, [0.0])
     target = tol * b_pre_norm
 
     history: list[float] = []
@@ -116,6 +165,7 @@ def gmres(
         r = M.solve(b - A.matvec(x))
         beta = float(np.linalg.norm(r))
         history.append(beta)
+        span.event("restart", cycle=restarts, residual=beta, iteration=total_iters)
         if beta <= target:
             return GMRESResult(x, True, total_iters, restarts - 1, beta, history)
 

@@ -16,6 +16,7 @@ import numpy as np
 from scipy import sparse
 from scipy.sparse import linalg as spla
 
+from repro.obs.trace import get_tracer
 from repro.util import ShapeError, ValidationError
 
 
@@ -80,19 +81,27 @@ class RestrictedAdditiveSchwarz:
         self._subdomains: list[np.ndarray] = []
         self._factors = []
         self._own_positions: list[np.ndarray] = []
-        for a, b in ranges:
-            indices = np.arange(a, b, dtype=np.intp)
-            grown = grow_subdomain(csr, indices, overlap)
-            self._subdomains.append(grown)
-            block = csr[grown, :][:, grown].tocsc()
-            if factorization == "lu":
-                self._factors.append(spla.splu(block))
-            else:
-                self._factors.append(
-                    spla.spilu(block, drop_tol=drop_tol, fill_factor=fill_factor)
-                )
-            # Positions within the subdomain vector that are owned rows.
-            self._own_positions.append(np.searchsorted(grown, indices))
+        with get_tracer().span(
+            "preconditioner setup",
+            kind="solver",
+            preconditioner="ras",
+            overlap=overlap,
+            factorization=factorization,
+            n_blocks=len(ranges),
+        ):
+            for a, b in ranges:
+                indices = np.arange(a, b, dtype=np.intp)
+                grown = grow_subdomain(csr, indices, overlap)
+                self._subdomains.append(grown)
+                block = csr[grown, :][:, grown].tocsc()
+                if factorization == "lu":
+                    self._factors.append(spla.splu(block))
+                else:
+                    self._factors.append(
+                        spla.spilu(block, drop_tol=drop_tol, fill_factor=fill_factor)
+                    )
+                # Positions within the subdomain vector that are owned rows.
+                self._own_positions.append(np.searchsorted(grown, indices))
 
     @property
     def n_blocks(self) -> int:

@@ -39,6 +39,11 @@ class Timer:
     starts: int = 0
     _started_at: float | None = field(default=None, repr=False)
 
+    @property
+    def running(self) -> bool:
+        """Whether the timer is currently started."""
+        return self._started_at is not None
+
     def start(self) -> "Timer":
         if self._started_at is not None:
             raise RuntimeError(f"timer {self.name!r} already running")
@@ -48,7 +53,10 @@ class Timer:
 
     def stop(self) -> float:
         if self._started_at is None:
-            raise RuntimeError(f"timer {self.name!r} not running")
+            raise RuntimeError(
+                f"timer {self.name!r} not running (start() it first, or use "
+                "it as a context manager)"
+            )
         self.elapsed += self.clock.now() - self._started_at
         self._started_at = None
         return self.elapsed
@@ -56,5 +64,14 @@ class Timer:
     def __enter__(self) -> "Timer":
         return self.start()
 
-    def __exit__(self, *exc) -> None:
-        self.stop()
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # Stop only if still running, so an exception raised inside the
+        # with-block propagates instead of being masked by the "not
+        # running" error when the body also stopped the timer manually.
+        if self.running:
+            self.stop()
+        elif exc_type is None:
+            raise RuntimeError(
+                f"timer {self.name!r} was stopped inside its own context "
+                "manager; use either start()/stop() or the with-block, not both"
+            )

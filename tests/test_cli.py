@@ -48,6 +48,32 @@ class TestCommands:
         assert (tmp_path / "fig4_montage.pgm").exists()
         assert (tmp_path / "fig5.ppm").exists()
 
+    def test_pipeline_traced_with_budget(self, capsys, tmp_path):
+        import json
+
+        trace = tmp_path / "t.jsonl"
+        chrome = tmp_path / "t.json"
+        rc = main(
+            [
+                "pipeline",
+                "--shape", "32", "32", "24",
+                "--cell", "8",
+                "--cpus", "2",
+                "--trace", str(trace),
+                "--chrome", str(chrome),
+                "--budget",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Trace report" in out
+        assert "budget verdict:" in out
+        doc = json.loads(chrome.read_text())
+        assert any(e.get("ph") == "X" for e in doc["traceEvents"])
+        rc = main(["trace-report", str(trace), "--min-seconds", "0.001"])
+        assert rc == 0
+        assert "process_scan" in capsys.readouterr().out
+
     def test_scaling_small(self, capsys):
         rc = main(
             [

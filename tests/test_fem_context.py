@@ -209,7 +209,12 @@ class TestCacheStats:
         snap = stats.snapshot()
         stats.hits += 1
         assert snap.hits == 2
-        assert snap.as_dict() == {"hits": 2, "misses": 1, "invalidations": 0}
+        assert snap.as_dict() == {
+            "hits": 2,
+            "misses": 1,
+            "invalidations": 0,
+            "hit_ratio": pytest.approx(2 / 3),
+        }
 
 
 class TestTimelineNotes:

@@ -156,6 +156,39 @@ class TestVirtualCluster:
         vc.compute_all(np.array(flops))
         assert vc.elapsed == pytest.approx(max(flops) / DEEP_FLOW.flops_rate)
 
+    def test_comm_compute_split_pure_compute(self):
+        vc = VirtualCluster(DEEP_FLOW, 4)
+        vc.compute(1, 2 * DEEP_FLOW.flops_rate)
+        assert vc.compute_seconds == pytest.approx(2.0)
+        assert vc.comm_seconds == 0.0
+        split = vc.comm_compute_split()
+        assert split["compute_s"][1] == pytest.approx(2.0)
+        assert split["compute_s"][0] == 0.0
+
+    def test_comm_includes_synchronization_waits(self):
+        # Rank 0 runs ahead; the allreduce makes the laggards wait.
+        # MPI-profiler convention: that wait is communication time.
+        vc = VirtualCluster(DEEP_FLOW, 4)
+        vc.compute(0, DEEP_FLOW.flops_rate)  # one second of work on rank 0
+        vc.allreduce(8)
+        split = vc.comm_compute_split()
+        assert split["compute_s"][0] == pytest.approx(1.0)
+        # Ranks 1-3 spent >= 1 s waiting at the collective.
+        for rank in (1, 2, 3):
+            assert split["comm_s"][rank] >= 1.0
+        assert vc.comm_seconds >= 1.0
+
+    def test_split_partitions_elapsed_per_rank(self):
+        vc = VirtualCluster(ULTRA_HPC_6000, 4)
+        vc.compute_all(np.array([1.0, 2.0, 3.0, 4.0]) * ULTRA_HPC_6000.flops_rate)
+        vc.halo_exchange({(0, 1): 1e6, (2, 3): 2e6})
+        vc.barrier()
+        split = vc.comm_compute_split()
+        for rank in range(4):
+            assert split["compute_s"][rank] + split["comm_s"][rank] == pytest.approx(
+                vc.clocks[rank]
+            )
+
 
 class TestNullTelemetry:
     def test_all_methods_are_noops(self):

@@ -213,3 +213,50 @@ class TestPreconditioners:
             tol=1e-9,
         ).iterations
         assert it1 <= it4
+
+
+class TestZeroRHSContract:
+    """Regression tests for the zero right-hand-side early return.
+
+    The contract (shared by gmres, conjugate_gradient, and
+    distributed_gmres): the exact solution of a nonsingular system with
+    b = 0 is x = 0, so the solvers return a zero vector shaped like the
+    system regardless of x0 — but x0 is still shape-validated, and the
+    residual history carries the single already-converged entry 0.0.
+    """
+
+    def test_gmres_zero_rhs_ignores_nonzero_x0(self):
+        A, _ = spd_matrix(10)
+        x0 = np.full(10, 3.0)
+        result = gmres(A, np.zeros(10), x0=x0)
+        assert result.converged
+        assert result.iterations == 0 and result.restarts == 0
+        assert np.all(result.x == 0)
+        assert result.x.shape == x0.shape
+        assert result.history == [0.0]
+        assert result.residual_norm == 0.0
+
+    def test_gmres_zero_rhs_still_validates_x0_shape(self):
+        A, _ = spd_matrix(10)
+        with pytest.raises(ShapeError):
+            gmres(A, np.zeros(10), x0=np.zeros(7))
+
+    def test_gmres_zero_rhs_does_not_alias_x0(self):
+        A, _ = spd_matrix(10)
+        x0 = np.ones(10)
+        result = gmres(A, np.zeros(10), x0=x0)
+        assert result.x is not x0
+        assert np.all(x0 == 1.0)  # caller's guess untouched
+
+    def test_cg_zero_rhs_ignores_nonzero_x0(self):
+        A, _ = spd_matrix(10)
+        result = conjugate_gradient(A, np.zeros(10), x0=np.full(10, 2.0))
+        assert result.converged
+        assert result.iterations == 0
+        assert np.all(result.x == 0)
+        assert result.history == [0.0]
+
+    def test_cg_zero_rhs_still_validates_x0_shape(self):
+        A, _ = spd_matrix(10)
+        with pytest.raises(ShapeError):
+            conjugate_gradient(A, np.zeros(10), x0=np.zeros(4))

@@ -75,6 +75,57 @@ class TestTimer:
         with pytest.raises(RuntimeError):
             Timer("w").stop()
 
+    def test_running_property(self):
+        timer = Timer("r")
+        assert not timer.running
+        timer.start()
+        assert timer.running
+        timer.stop()
+        assert not timer.running
+
+    def test_double_stop_raises(self):
+        timer = Timer("ds")
+        timer.start()
+        timer.stop()
+        with pytest.raises(RuntimeError):
+            timer.stop()
+
+    def test_context_reentry_accumulates(self):
+        clock = FakeClock()
+        timer = Timer("re", clock=clock)
+        with timer:
+            clock.t = 1.0
+        with timer:
+            clock.t = 3.0
+        assert timer.elapsed == pytest.approx(3.0)
+        assert timer.starts == 2
+        assert not timer.running
+
+    def test_exit_does_not_mask_body_exception(self):
+        timer = Timer("mask")
+        with pytest.raises(KeyError):
+            with timer:
+                timer.stop()  # body stops the timer itself...
+                raise KeyError("the real error")  # ...then fails
+        assert not timer.running
+
+    def test_manual_stop_inside_context_without_exception_raises(self):
+        timer = Timer("manual")
+        with pytest.raises(RuntimeError, match="stopped inside its own context"):
+            with timer:
+                timer.stop()
+
+    def test_context_manager_propagates_exception(self):
+        clock = FakeClock()
+        timer = Timer("exc", clock=clock)
+        with pytest.raises(ValueError):
+            with timer:
+                clock.t = 2.0
+                raise ValueError("boom")
+        # The timer still stopped and recorded the elapsed interval.
+        assert not timer.running
+        assert timer.elapsed == pytest.approx(2.0)
+
 
 class TestValidation:
     def test_check_shape_accepts_wildcards(self):
