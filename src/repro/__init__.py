@@ -44,6 +44,12 @@ from repro.imaging import BrainPhantom, ImageVolume, NeurosurgeryCase, Tissue, m
 from repro.machines import DEEP_FLOW, ULTRA80_CLUSTER, ULTRA_HPC_6000, MachineSpec, VirtualCluster
 from repro.obs import BudgetMonitor, MetricsRegistry, Tracer, use_tracer
 from repro.parallel import simulate_parallel
+from repro.resilience import (
+    DegradationLevel,
+    DegradationReport,
+    FaultPlan,
+    ResiliencePolicy,
+)
 
 __version__ = "1.0.0"
 
@@ -52,7 +58,10 @@ __all__ = [
     "BiomechanicalModel",
     "BrainPhantom",
     "BudgetMonitor",
+    "DegradationLevel",
+    "DegradationReport",
     "DirichletBC",
+    "FaultPlan",
     "ImageVolume",
     "IntraoperativePipeline",
     "IntraoperativeResult",
@@ -63,6 +72,7 @@ __all__ = [
     "NeurosurgeryCase",
     "PipelineConfig",
     "PreoperativeModel",
+    "ResiliencePolicy",
     "SolveContext",
     "Timeline",
     "Tissue",

@@ -56,6 +56,15 @@ def cmd_pipeline(args: argparse.Namespace) -> int:
     )
     machine = MACHINES[args.machine] if args.machine else None
     config = PipelineConfig(mesh_cell_mm=args.cell, n_ranks=args.cpus)
+    if args.faults:
+        from repro.resilience import FaultPlan
+
+        config.fault_plan = FaultPlan.parse(args.faults, seed=args.seed)
+        print(f"fault plan: {config.fault_plan.describe()}")
+    if args.max_degradation:
+        from repro.resilience import parse_level
+
+        config.resilience.max_degradation = parse_level(args.max_degradation)
     tracing = bool(args.trace or args.chrome)
     tracer = Tracer(enabled=tracing)
     monitor = BudgetMonitor(tracer=tracer) if args.budget else None
@@ -81,6 +90,10 @@ def cmd_pipeline(args: argparse.Namespace) -> int:
             f"budget verdict: {verdict.label} "
             f"(headroom {verdict.headroom_seconds:+.1f} s of {verdict.scan_budget:.0f} s)"
         )
+    if result.degradation is not None and (
+        result.degradation.degraded or result.degradation.escalated
+    ):
+        print(f"resilience: {result.degradation.summary()}")
     print()
     print(f"match RMS: rigid {result.match_rigid_rms:.2f} -> simulated {result.match_simulated_rms:.2f}")
     err = np.linalg.norm(result.grid_displacement - case.true_forward_mm, axis=-1)
@@ -199,6 +212,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--machine", choices=sorted(MACHINES), default="deep_flow")
     p.add_argument("--out", default=None, help="directory for figure panels")
     p.add_argument("--trace", default=None, help="write a JSONL trace to this path")
+    p.add_argument(
+        "--faults",
+        default=None,
+        help=(
+            "deterministic fault plan, e.g. "
+            "'0:poison-warm-start;0:kill-rank=1;0:scan-nan=0.1' "
+            "(SCAN:KIND[=PARAM] entries separated by ';')"
+        ),
+    )
+    p.add_argument(
+        "--max-degradation",
+        default=None,
+        choices=["full-fem", "coarse-fem", "previous-field", "rigid-only"],
+        help="deepest graceful-degradation level the pipeline may take",
+    )
     p.add_argument(
         "--chrome", default=None, help="write a Chrome trace_event JSON to this path"
     )

@@ -11,6 +11,8 @@ from dataclasses import dataclass, field
 
 from repro.fem.material import BRAIN_HOMOGENEOUS, MaterialMap
 from repro.imaging.phantom import Tissue
+from repro.resilience.faults import FaultPlan
+from repro.resilience.policy import ResiliencePolicy
 from repro.util import ValidationError
 
 
@@ -42,6 +44,15 @@ class PipelineConfig:
         Seed each scan's Krylov solve with the previous scan's
         displacement field (brain shift evolves incrementally, so the
         previous solution is a good initial guess).
+    resilience:
+        The intraoperative resilience layer's knobs
+        (:class:`repro.resilience.ResiliencePolicy`): per-stage retries,
+        the solver escalation ladder, boundary validators, and the
+        graceful-degradation bound. Enabled by default; set
+        ``resilience.enabled = False`` for the fail-fast pipeline.
+    fault_plan:
+        Optional :class:`repro.resilience.FaultPlan` of deterministic
+        injected faults (testing/drills); ``None`` injects nothing.
     """
 
     # Tissue model
@@ -97,6 +108,10 @@ class PipelineConfig:
     partitioner: str = "block"
     precompute_solve_context: bool = True
     warm_start: bool = True
+
+    # Resilience / fault injection
+    resilience: ResiliencePolicy = field(default_factory=ResiliencePolicy)
+    fault_plan: FaultPlan | None = None
 
     seed: int = 0
 

@@ -19,6 +19,7 @@ Implements the paper's Figure 1 schema end to end:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -44,11 +45,21 @@ from repro.parallel.simulation import (
 )
 from repro.registration.rigid import RegistrationResult, register_rigid
 from repro.registration.transform import RigidTransform
+from repro.resilience.degrade import (
+    DegradationReport,
+    coarse_fem_fallback,
+    previous_field_fallback,
+    rigid_only_fallback,
+    stub_correspondence,
+)
+from repro.resilience.escalation import solve_with_escalation
+from repro.resilience.guards import StageGuard, check_displacement_field
+from repro.resilience.policy import DegradationLevel
 from repro.segmentation.atlas import LocalizationModel
 from repro.segmentation.knn import KNNClassifier
 from repro.segmentation.prototypes import PrototypeSet, select_prototypes
 from repro.surface.correspondence import CorrespondenceResult, surface_correspondence
-from repro.util import ValidationError
+from repro.util import ConvergenceError, ReproError, ValidationError
 
 
 @dataclass
@@ -90,11 +101,13 @@ class PreoperativeModel:
 
         Call after editing the mesh or materials in place; fingerprint
         checking also catches such changes automatically, but an explicit
-        invalidation makes the intent visible and counts separately in
-        :class:`repro.fem.CacheStats`.
+        invalidation makes the intent visible. The warm-start memory is
+        dropped with the cached state, and the hit/miss counters are
+        zeroed so the session never reports stale hit ratios across the
+        rebuild boundary.
         """
         if self.solve_context is not None:
-            self.solve_context.invalidate()
+            self.solve_context.invalidate(reset_stats=True)
 
 
 @dataclass
@@ -127,6 +140,11 @@ class IntraoperativeResult:
     budget_verdict:
         Real-time budget verdict for this scan (``None`` when the
         pipeline ran without a :class:`repro.obs.BudgetMonitor`).
+    degradation:
+        :class:`repro.resilience.DegradationReport` describing what the
+        resilience layer did for this scan — level delivered, escalation
+        rungs tried, injected faults, recovery cost. ``None`` when the
+        pipeline ran with resilience disabled.
     """
 
     deformed_mri: ImageVolume
@@ -143,6 +161,7 @@ class IntraoperativeResult:
     match_rigid_mi: float
     match_simulated_mi: float
     budget_verdict: ScanVerdict | None = None
+    degradation: DegradationReport | None = None
 
 
 @dataclass
@@ -244,6 +263,8 @@ class IntraoperativePipeline:
         preop: PreoperativeModel,
         prototypes: PrototypeSet | None = None,
         reference_labels: ImageVolume | None = None,
+        scan_index: int = 0,
+        previous: IntraoperativeResult | None = None,
     ) -> IntraoperativeResult:
         """Register the preoperative model onto a new intraoperative scan.
 
@@ -261,6 +282,21 @@ class IntraoperativePipeline:
             ``reference_labels`` (defaults to the preoperative
             segmentation, standing in for the clinician's five minutes
             of interaction on the first scan).
+        scan_index:
+            0-based index of this scan within the session; keys the
+            deterministic :class:`repro.resilience.FaultPlan` (if any)
+            and appears in resilience reports.
+        previous:
+            The previous scan's result, enabling the ``previous-field``
+            degradation level when this scan cannot be processed.
+
+        With ``config.resilience.enabled`` (the default) every stage
+        runs under a :class:`repro.resilience.StageGuard`, the solve
+        climbs the escalation ladder on failure, and an unprocessable
+        scan degrades gracefully (coarse FEM / previous field /
+        rigid-only) instead of aborting — the attached
+        :class:`repro.resilience.DegradationReport` records what
+        happened. Disabling resilience restores the fail-fast pipeline.
 
         When the pipeline carries observability hooks (``tracer``,
         ``budget``, ``metrics`` — or an ambient tracer installed via
@@ -290,8 +326,16 @@ class IntraoperativePipeline:
             "process_scan", kind="pipeline"
         ) as scan_span:
             result = self._process_scan(
-                intraop_mri, preop, prototypes, reference_labels, timeline
+                intraop_mri,
+                preop,
+                prototypes,
+                reference_labels,
+                timeline,
+                scan_index=scan_index,
+                previous=previous,
             )
+            if result.degradation is not None and result.degradation.degraded:
+                scan_span.set(degradation=result.degradation.label)
             if monitor is not None:
                 verdict = monitor.finish_scan()
                 result.budget_verdict = verdict
@@ -309,6 +353,14 @@ class IntraoperativePipeline:
             m.record_solver_result(result.simulation.solver)
             if result.simulation.cache_stats is not None:
                 m.record_cache_stats(result.simulation.cache_stats)
+            if result.degradation is not None:
+                m.counter(f"resilience.level.{result.degradation.label}").inc()
+                if result.degradation.escalated:
+                    m.counter("resilience.escalations").inc()
+                if result.degradation.faults:
+                    m.counter("resilience.faults_triggered").inc(
+                        len(result.degradation.faults)
+                    )
         return result
 
     def _process_scan(
@@ -318,26 +370,90 @@ class IntraoperativePipeline:
         prototypes: PrototypeSet | None,
         reference_labels: ImageVolume | None,
         timeline: Timeline,
+        scan_index: int = 0,
+        previous: IntraoperativeResult | None = None,
     ) -> IntraoperativeResult:
         cfg = self.config
+        policy = cfg.resilience
+        resilient = policy is not None and policy.enabled
+        plan = cfg.fault_plan
 
-        # 1. Rigid registration (MI): map intraop points -> preop frame.
-        rigid_result: RegistrationResult | None = None
+        # Fault injection models the world, not the pipeline: scheduled
+        # scan corruption applies whether or not resilience is enabled.
+        if plan is not None:
+            logged = len(plan.log)
+            corrupted = plan.corrupt_volume(intraop_mri, scan_index)
+            if corrupted is not intraop_mri:
+                intraop_mri = corrupted
+                for entry in plan.log[logged:]:
+                    timeline.note(f"fault injected: {entry}")
+
+        # Input hardening: a fail-fast pipeline rejects non-finite
+        # acquisitions outright; a resilient one sanitizes small damage
+        # and degrades when the scan is mostly garbage.
+        unusable: str | None = None
+        if intraop_mri.nonfinite_count():
+            fraction = intraop_mri.nonfinite_fraction()
+            if not resilient:
+                intraop_mri.validate_finite("intraoperative scan")
+            elif policy.sanitize_inputs and fraction <= policy.max_nonfinite_fraction:
+                intraop_mri, n_fixed = intraop_mri.sanitized()
+                timeline.note(
+                    f"input hardening: replaced {n_fixed} non-finite "
+                    f"voxels ({fraction:.2%})"
+                )
+            else:
+                unusable = (
+                    f"intraoperative scan unusable: {fraction:.1%} non-finite "
+                    f"voxels (limit {policy.max_nonfinite_fraction:.0%})"
+                )
+
+        if not resilient:
+            return self._process_scan_plain(
+                intraop_mri, preop, prototypes, reference_labels, timeline
+            )
+        return self._process_scan_resilient(
+            intraop_mri,
+            preop,
+            prototypes,
+            reference_labels,
+            timeline,
+            scan_index,
+            previous,
+            unusable,
+        )
+
+    # -- shared stage implementations (plain and resilient paths) -------------
+
+    def _stage_rigid(
+        self, intraop_mri: ImageVolume, preop: PreoperativeModel, timeline: Timeline
+    ) -> tuple[RegistrationResult | None, RigidTransform]:
+        """Stage 1 — MI rigid registration: intraop points -> preop frame."""
+        cfg = self.config
         with timeline.stage("rigid registration"):
             if cfg.skip_rigid:
-                transform = RigidTransform.identity()
-            else:
-                rigid_result = register_rigid(
-                    intraop_mri,
-                    preop.mri,
-                    levels=cfg.rigid_levels,
-                    max_iter=cfg.rigid_max_iter,
-                    max_samples=cfg.rigid_samples,
-                    seed=cfg.seed,
-                )
-                transform = rigid_result.transform
+                return None, RigidTransform.identity()
+            rigid_result = register_rigid(
+                intraop_mri,
+                preop.mri,
+                levels=cfg.rigid_levels,
+                max_iter=cfg.rigid_max_iter,
+                max_samples=cfg.rigid_samples,
+                seed=cfg.seed,
+            )
+            return rigid_result, rigid_result.transform
 
-        # 2. Tissue classification (k-NN over intensity + localization).
+    def _stage_classify(
+        self,
+        intraop_mri: ImageVolume,
+        preop: PreoperativeModel,
+        prototypes: PrototypeSet | None,
+        reference_labels: ImageVolume | None,
+        transform: RigidTransform,
+        timeline: Timeline,
+    ) -> tuple[PrototypeSet, ImageVolume]:
+        """Stage 2 — k-NN tissue classification over intensity + localization."""
+        cfg = self.config
         with timeline.stage("tissue classification"):
             if prototypes is None:
                 ref = reference_labels if reference_labels is not None else preop.labels
@@ -358,12 +474,23 @@ class IntraoperativePipeline:
             segmentation = classifier.segment(
                 intraop_mri, preop.localization, transform=transform
             )
+        return prototypes, segmentation
 
-        # 3. Surface displacement (two-phase active surface). The target
-        #    brain mask is mapped onto the preoperative grid through the
-        #    rigid transform, so the pipeline supports intraoperative
-        #    grids that differ from the preoperative one (anisotropic
-        #    scanner matrices, patient repositioning).
+    def _stage_surface(
+        self,
+        preop: PreoperativeModel,
+        segmentation: ImageVolume,
+        transform: RigidTransform,
+        timeline: Timeline,
+    ) -> tuple[CorrespondenceResult, np.ndarray, np.ndarray, RigidTransform]:
+        """Stage 3 — two-phase active-surface displacement detection.
+
+        The target brain mask is mapped onto the preoperative grid
+        through the rigid transform, so the pipeline supports
+        intraoperative grids that differ from the preoperative one
+        (anisotropic scanner matrices, patient repositioning).
+        """
+        cfg = self.config
         with timeline.stage("surface displacement"):
             preop_centers = preop.labels.voxel_centers()
             rigid_inverse = transform.inverse()
@@ -384,8 +511,30 @@ class IntraoperativePipeline:
                 step_size=cfg.surface_step,
                 smoothing=cfg.surface_smoothing,
             )
+        return correspondence, target_mask, preop_centers, rigid_inverse
 
-        # 4. Biomechanical simulation of the volumetric deformation.
+    def _note_cache(
+        self, timeline: Timeline, preop: PreoperativeModel, simulation
+    ) -> None:
+        if preop.solve_context is None or simulation.cache_stats is None:
+            return
+        stats = simulation.cache_stats
+        timeline.note(
+            "solve context: "
+            + ("hit (data-only fast path" if simulation.cache_hit else "miss (rebuilt")
+            + (", warm-started solve)" if simulation.warm_started else ")")
+            + f" [hits={stats.hits} misses={stats.misses}"
+            + f" invalidations={stats.invalidations}]"
+        )
+
+    def _stage_simulate(
+        self,
+        preop: PreoperativeModel,
+        correspondence: CorrespondenceResult,
+        timeline: Timeline,
+    ):
+        """Stage 4 — (virtually parallel) biomechanical FEM simulation."""
+        cfg = self.config
         with timeline.stage("biomechanical simulation"):
             bc = DirichletBC(preop.surface.mesh_nodes, correspondence.displacements)
             simulation = simulate_parallel(
@@ -400,37 +549,65 @@ class IntraoperativePipeline:
                 context=preop.solve_context,
                 warm_start=cfg.warm_start,
             )
-        if preop.solve_context is not None:
-            stats = simulation.cache_stats
-            timeline.note(
-                "solve context: "
-                + ("hit (data-only fast path" if simulation.cache_hit else "miss (rebuilt")
-                + (", warm-started solve)" if simulation.warm_started else ")")
-                + f" [hits={stats.hits} misses={stats.misses}"
-                + f" invalidations={stats.invalidations}]"
-            )
+        self._note_cache(timeline, preop, simulation)
+        return simulation
 
-        # 5. Visualization resample: deform the preop MRI onto the new
-        #    configuration (the paper's ~0.5 s resampling step).
+    def _stage_resample(
+        self, preop: PreoperativeModel, displacement: np.ndarray, timeline: Timeline
+    ) -> tuple[np.ndarray, ImageVolume]:
+        """Stage 5 — deform the preop MRI onto the new configuration."""
         with timeline.stage("visualization resample"):
-            grid_disp = preop.mesher.displacement_on_grid(
-                simulation.displacement, preop.mri
-            )
+            grid_disp = preop.mesher.displacement_on_grid(displacement, preop.mri)
             inverse = invert_displacement_field(grid_disp, preop.mri.spacing)
             deformed = warp_volume(preop.mri, inverse, fill_value=0.0)
+        return grid_disp, deformed
 
-        # Match-quality metrics (Fig. 4): compare on the preoperative
-        # grid, with the intraoperative scan rigidly resampled onto it,
-        # restricted to the brain region of either configuration.
+    def _match_metrics(
+        self,
+        preop: PreoperativeModel,
+        intraop_mri: ImageVolume,
+        deformed: ImageVolume,
+        rigid_inverse: RigidTransform,
+        preop_centers: np.ndarray,
+        target_mask: np.ndarray,
+    ) -> tuple[float, float, float, float]:
+        """Match-quality metrics (Fig. 4): rigid-only vs simulated."""
         intraop_on_preop = trilinear_sample(
             intraop_mri, rigid_inverse.apply(preop_centers), fill_value=0.0
         )
         region = target_mask | preop.brain_mask
-        rigid_rms = rms_difference(preop.mri.data, intraop_on_preop, mask=region)
-        sim_rms = rms_difference(deformed.data, intraop_on_preop, mask=region)
-        rigid_mi = mutual_information(preop.mri.data, intraop_on_preop, mask=region)
-        sim_mi = mutual_information(deformed.data, intraop_on_preop, mask=region)
+        return (
+            rms_difference(preop.mri.data, intraop_on_preop, mask=region),
+            rms_difference(deformed.data, intraop_on_preop, mask=region),
+            mutual_information(preop.mri.data, intraop_on_preop, mask=region),
+            mutual_information(deformed.data, intraop_on_preop, mask=region),
+        )
 
+    # -- fail-fast orchestration ----------------------------------------------
+
+    def _process_scan_plain(
+        self,
+        intraop_mri: ImageVolume,
+        preop: PreoperativeModel,
+        prototypes: PrototypeSet | None,
+        reference_labels: ImageVolume | None,
+        timeline: Timeline,
+    ) -> IntraoperativeResult:
+        """The pre-resilience pipeline: any stage failure aborts the scan."""
+        rigid_result, transform = self._stage_rigid(intraop_mri, preop, timeline)
+        prototypes, segmentation = self._stage_classify(
+            intraop_mri, preop, prototypes, reference_labels, transform, timeline
+        )
+        correspondence, target_mask, preop_centers, rigid_inverse = self._stage_surface(
+            preop, segmentation, transform, timeline
+        )
+        simulation = self._stage_simulate(preop, correspondence, timeline)
+        grid_disp, deformed = self._stage_resample(
+            preop, simulation.displacement, timeline
+        )
+        rigid_rms, sim_rms, rigid_mi, sim_mi = self._match_metrics(
+            preop, intraop_mri, deformed, rigid_inverse, preop_centers, target_mask
+        )
         return IntraoperativeResult(
             deformed_mri=deformed,
             nodal_displacement=simulation.displacement,
@@ -445,4 +622,271 @@ class IntraoperativePipeline:
             match_simulated_rms=sim_rms,
             match_rigid_mi=rigid_mi,
             match_simulated_mi=sim_mi,
+        )
+
+    # -- resilient orchestration ----------------------------------------------
+
+    def _process_scan_resilient(
+        self,
+        intraop_mri: ImageVolume,
+        preop: PreoperativeModel,
+        prototypes: PrototypeSet | None,
+        reference_labels: ImageVolume | None,
+        timeline: Timeline,
+        scan_index: int,
+        previous: IntraoperativeResult | None,
+        unusable: str | None,
+    ) -> IntraoperativeResult:
+        """Guarded orchestration: always return a result, never abort.
+
+        Image-side stage failures (after per-stage retries) and solve
+        failures (after the escalation ladder) walk the degradation
+        ladder; the only exception raised is when the required level
+        exceeds ``policy.max_degradation`` — an explicit operator
+        request for fail-fast beyond that point.
+        """
+        cfg = self.config
+        policy = cfg.resilience
+        plan = cfg.fault_plan
+        report = DegradationReport()
+        recovery_seconds = 0.0
+
+        def note(text: str) -> None:
+            report.notes.append(text)
+            timeline.note("resilience: " + text)
+
+        transform = RigidTransform.identity()
+        rigid_result: RegistrationResult | None = None
+        segmentation: ImageVolume | None = None
+        correspondence: CorrespondenceResult | None = None
+        target_mask = preop_centers = rigid_inverse = None
+        failure: ReproError | None = None
+
+        if unusable is not None:
+            failure = ValidationError(unusable)
+            note(unusable)
+        else:
+            # Stages 1-3 under per-stage retry guards. A failed rigid
+            # registration is recoverable in place (identity transform:
+            # same-frame acquisitions are the common case); failures of
+            # classification or surface detection leave no boundary
+            # conditions to simulate from and divert to the
+            # degradation ladder below.
+            guard = StageGuard(
+                "rigid registration", policy.retry_for("rigid registration")
+            )
+            try:
+                rigid_result, transform = guard.run(
+                    self._stage_rigid, intraop_mri, preop, timeline
+                )
+            except ReproError as exc:
+                recovery_seconds += guard.last_report.seconds
+                transform = RigidTransform.identity()
+                rigid_result = None
+                note(f"rigid registration failed ({exc}); using identity transform")
+            try:
+                guard = StageGuard(
+                    "tissue classification", policy.retry_for("tissue classification")
+                )
+                prototypes, segmentation = guard.run(
+                    self._stage_classify,
+                    intraop_mri,
+                    preop,
+                    prototypes,
+                    reference_labels,
+                    transform,
+                    timeline,
+                )
+                guard = StageGuard(
+                    "surface displacement",
+                    policy.retry_for("surface displacement"),
+                    validator=lambda out: check_displacement_field(
+                        out[0].displacements,
+                        policy.displacement_gate_mm,
+                        "surface displacement",
+                    ),
+                )
+                (
+                    correspondence,
+                    target_mask,
+                    preop_centers,
+                    rigid_inverse,
+                ) = guard.run(self._stage_surface, preop, segmentation, transform, timeline)
+            except ReproError as exc:
+                recovery_seconds += guard.last_report.seconds
+                failure = exc
+                note(f"{type(exc).__name__}: {exc}")
+
+        # Stage 4 through the escalation ladder. Emergency rungs run on
+        # isolated contexts, and a poisoned warm start is cleared by the
+        # cold rung — the shared per-patient cache survives either way,
+        # so the next scan still gets its warm fast path.
+        simulation = None
+        fallback = None
+        if failure is None:
+            deadline = policy.solve_deadline_s
+            if deadline is None and self.budget is not None:
+                deadline = max(self.budget.headroom(), 1.0)
+            with timeline.stage("biomechanical simulation"):
+                bc = DirichletBC(
+                    preop.surface.mesh_nodes, correspondence.displacements
+                )
+                outcome = solve_with_escalation(
+                    preop.mesher.mesh,
+                    bc,
+                    n_ranks=cfg.n_ranks,
+                    machine=self.machine,
+                    materials=cfg.materials,
+                    partitioner=cfg.partitioner,
+                    tol=cfg.solver_tol,
+                    restart=cfg.gmres_restart,
+                    max_iter=policy.escalation_max_iter,
+                    context=preop.solve_context,
+                    warm_start=cfg.warm_start,
+                    gate_mm=policy.displacement_gate_mm,
+                    deadline_s=deadline,
+                    faults=plan,
+                    scan_index=scan_index,
+                )
+            report.rungs_tried = outcome.rungs_tried
+            recovery_seconds += sum(a.seconds for a in outcome.attempts if not a.ok)
+            if outcome.succeeded:
+                simulation = outcome.simulation
+                self._note_cache(timeline, preop, simulation)
+                if outcome.escalated:
+                    report.cause = outcome.attempts[0].error or ""
+                    note(
+                        "solver escalation: "
+                        + " -> ".join(
+                            f"{a.rung}({'ok' if a.ok else 'fail'})"
+                            for a in outcome.attempts
+                        )
+                    )
+                if outcome.rank_failed:
+                    note("rank failure: solve completed on 1 rank (no machine model)")
+            else:
+                failure = ConvergenceError(
+                    outcome.cause or "escalation ladder exhausted",
+                    solver="escalation",
+                    stage="biomechanical simulation",
+                )
+                note(outcome.cause or "escalation ladder exhausted")
+
+        # Stage 5 (only meaningful with a full-resolution solution; the
+        # fallbacks produce their own grid field and deformed volume).
+        grid_disp = None
+        deformed = None
+        if simulation is not None:
+            guard = StageGuard(
+                "visualization resample", policy.retry_for("visualization resample")
+            )
+            try:
+                grid_disp, deformed = guard.run(
+                    self._stage_resample, preop, simulation.displacement, timeline
+                )
+            except ReproError as exc:
+                recovery_seconds += guard.last_report.seconds
+                failure = exc
+                simulation = None
+                note(f"visualization resample failed: {exc}")
+
+        # Degradation ladder: coarse FEM needs boundary conditions;
+        # previous-field needs a previous scan; rigid-only always works.
+        if simulation is None:
+            if correspondence is not None and policy.allows(
+                DegradationLevel.COARSE_FEM
+            ):
+                t0 = time.perf_counter()
+                try:
+                    with timeline.stage("coarse-fem fallback"):
+                        fallback = coarse_fem_fallback(
+                            preop.labels,
+                            preop.mri,
+                            preop.mesher,
+                            preop.surface,
+                            correspondence.displacements,
+                            brain_labels=cfg.brain_labels,
+                            materials=cfg.materials,
+                            cell_mm=cfg.mesh_cell_mm,
+                            coarse_factor=policy.coarse_factor,
+                            tol=policy.coarse_tol,
+                            restart=cfg.gmres_restart,
+                            max_iter=policy.escalation_max_iter,
+                            gate_mm=policy.displacement_gate_mm,
+                        )
+                except ReproError as exc:
+                    note(f"coarse-fem fallback failed: {exc}")
+                recovery_seconds += time.perf_counter() - t0
+            if fallback is None and previous is not None and policy.allows(
+                DegradationLevel.PREVIOUS_FIELD
+            ):
+                t0 = time.perf_counter()
+                with timeline.stage("previous-field fallback"):
+                    fallback = previous_field_fallback(previous)
+                recovery_seconds += time.perf_counter() - t0
+            if fallback is None and policy.allows(DegradationLevel.RIGID_ONLY):
+                t0 = time.perf_counter()
+                with timeline.stage("rigid-only fallback"):
+                    fallback = rigid_only_fallback(
+                        preop.mri, preop.mesher.mesh.n_nodes
+                    )
+                recovery_seconds += time.perf_counter() - t0
+            if fallback is None:
+                # The operator bounded degradation above what this scan
+                # needs: honor the fail-fast request.
+                raise failure if failure is not None else ValidationError(
+                    "degradation required but disallowed by max_degradation"
+                )
+            report.level = fallback.level
+            if not report.cause:
+                report.cause = str(failure) if failure is not None else ""
+            note(fallback.note)
+            simulation = fallback.simulation
+            nodal_displacement = fallback.nodal_displacement
+            grid_disp = fallback.grid_displacement
+            deformed = fallback.deformed_mri
+        else:
+            nodal_displacement = simulation.displacement
+
+        # Stubs for whatever the failure path skipped, so every consumer
+        # of IntraoperativeResult keeps working on degraded scans.
+        if segmentation is None:
+            segmentation = ImageVolume(
+                np.zeros(intraop_mri.shape, dtype=np.int16),
+                intraop_mri.spacing,
+                intraop_mri.origin,
+            )
+        if correspondence is None:
+            correspondence = stub_correspondence(preop.surface)
+
+        if rigid_inverse is not None and target_mask is not None:
+            rigid_rms, sim_rms, rigid_mi, sim_mi = self._match_metrics(
+                preop, intraop_mri, deformed, rigid_inverse, preop_centers, target_mask
+            )
+        else:
+            rigid_rms = sim_rms = rigid_mi = sim_mi = float("nan")
+
+        report.wall_seconds = recovery_seconds
+        if plan is not None:
+            report.faults = [
+                s.describe() for s in plan.triggered if s.scan == scan_index
+            ]
+        if report.degraded or report.escalated:
+            timeline.note("resilience summary: " + report.summary())
+
+        return IntraoperativeResult(
+            deformed_mri=deformed,
+            nodal_displacement=nodal_displacement,
+            grid_displacement=grid_disp,
+            segmentation=segmentation,
+            rigid=rigid_result,
+            correspondence=correspondence,
+            simulation=simulation,
+            timeline=timeline,
+            prototypes=prototypes,
+            match_rigid_rms=rigid_rms,
+            match_simulated_rms=sim_rms,
+            match_rigid_mi=rigid_mi,
+            match_simulated_mi=sim_mi,
+            degradation=report,
         )

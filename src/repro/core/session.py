@@ -83,8 +83,15 @@ class SurgicalSession:
                 self.preop,
                 prototypes=self._prototypes,
                 reference_labels=reference_labels,
+                scan_index=self.n_scans,
+                previous=self.history[-1] if self.history else None,
             )
-        self._prototypes = result.prototypes
+        # Scan isolation: a degraded scan must not poison the session's
+        # cross-scan state. Prototypes are only carried forward from
+        # scans whose image stages actually ran (``result.prototypes``
+        # is None when classification never completed).
+        if result.prototypes is not None:
+            self._prototypes = result.prototypes
         self.history.append(result)
         return result
 
@@ -121,6 +128,7 @@ class SurgicalSession:
             else:
                 cache = "miss"
             verdict = result.budget_verdict
+            degradation = result.degradation
             rows.append(
                 [
                     i,
@@ -130,6 +138,7 @@ class SurgicalSession:
                     result.match_simulated_rms,
                     sim.solver.iterations,
                     cache,
+                    "-" if degradation is None else degradation.label,
                     "-" if verdict is None else verdict.label,
                 ]
             )
@@ -142,6 +151,7 @@ class SurgicalSession:
                 "simulated RMS",
                 "GMRES iters",
                 "cache",
+                "result",
                 "budget",
             ],
             rows,

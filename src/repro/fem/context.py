@@ -74,6 +74,12 @@ class CacheStats:
     def snapshot(self) -> "CacheStats":
         return replace(self)
 
+    def reset(self) -> None:
+        """Zero all counters (a fresh accounting epoch after a rebuild)."""
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
     def as_dict(self) -> dict[str, float]:
         return {
             "hits": self.hits,
@@ -268,12 +274,21 @@ class SolveContext:
         self.stats.misses += 1
         return False
 
-    def invalidate(self) -> None:
-        """Explicitly drop all cached state (e.g. after a mesh edit)."""
+    def invalidate(self, reset_stats: bool = False) -> None:
+        """Explicitly drop all cached state (e.g. after a mesh edit).
+
+        The warm-start memory (``last_solution``) is dropped along with
+        the assembly/reduction/preconditioner state. With
+        ``reset_stats=True`` the hit/miss/invalidation counters are also
+        zeroed, so a post-failure rebuild starts a fresh accounting
+        epoch instead of reporting stale hit ratios.
+        """
         if self._fingerprint is not None:
             self.stats.invalidations += 1
         self._clear()
         self._fingerprint = None
+        if reset_stats:
+            self.stats.reset()
 
     def _clear(self) -> None:
         self.assembly = None

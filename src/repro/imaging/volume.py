@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.util import ShapeError, check_volume_like
+from repro.util import ShapeError, ValidationError, check_volume_like
 
 
 @dataclass
@@ -81,6 +81,46 @@ class ImageVolume:
         )
         ijk = np.stack(grids, axis=-1)
         return self.index_to_world(ijk)
+
+    # -- data hygiene ------------------------------------------------------
+
+    def nonfinite_count(self) -> int:
+        """Number of NaN/Inf voxels (0 for integer-typed data)."""
+        if not np.issubdtype(self.data.dtype, np.floating):
+            return 0
+        return int(np.count_nonzero(~np.isfinite(self.data)))
+
+    def nonfinite_fraction(self) -> float:
+        """Fraction of NaN/Inf voxels in ``[0, 1]``."""
+        return self.nonfinite_count() / self.data.size
+
+    def validate_finite(self, name: str = "volume") -> "ImageVolume":
+        """Raise :class:`ValidationError` if any voxel is NaN/Inf.
+
+        Returns ``self`` so the check can be chained inline. A corrupted
+        intraoperative acquisition must fail *here*, loudly, instead of
+        propagating NaNs into a silently garbage deformation field.
+        """
+        bad = self.nonfinite_count()
+        if bad:
+            raise ValidationError(
+                f"{name} contains {bad} non-finite voxels "
+                f"({self.nonfinite_fraction():.1%} of {self.data.size})"
+            )
+        return self
+
+    def sanitized(self, fill: float = 0.0) -> tuple["ImageVolume", int]:
+        """Copy with NaN/Inf voxels replaced by ``fill``.
+
+        Returns ``(volume, n_replaced)``; when the data is already
+        finite the volume itself is returned unchanged (no copy).
+        """
+        bad = self.nonfinite_count()
+        if bad == 0:
+            return self, 0
+        data = self.data.copy()
+        data[~np.isfinite(data)] = fill
+        return ImageVolume(data, self.spacing, self.origin), bad
 
     # -- construction helpers ---------------------------------------------
 

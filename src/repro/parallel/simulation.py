@@ -8,6 +8,7 @@ the per-phase virtual times alongside the (numerically real) solution.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
 
 import numpy as np
@@ -29,12 +30,16 @@ from repro.parallel.assembly import DistributedSystem, build_distributed_system
 from repro.parallel.decomposition import Decomposition
 from repro.parallel.solver import DistributedBlockJacobi, DistributedRAS, distributed_gmres
 from repro.solver.gmres import GMRESResult
-from repro.util import ValidationError
+from repro.util import RankFailure, ValidationError
 
 #: Rank-0 setup work per mesh entity during initialization (mesh load,
 #: index construction). Initialization "can be overlapped with earlier
 #: image processing" per the paper; it is reported separately.
 INIT_FLOPS_PER_ENTITY = 5.0e2
+
+#: Extra virtual compute charged to a rank by an injected ``stall-rank``
+#: fault (models one CPU of the cluster briefly dropping out of step).
+STALL_VIRTUAL_SECONDS = 30.0
 
 PARTITIONERS = {
     "block": partition_block,
@@ -147,6 +152,7 @@ def simulate_parallel(
     ras_overlap: int = 1,
     context: SolveContext | None = None,
     warm_start: bool = True,
+    faults: Sequence[object] | None = None,
 ) -> ParallelSimulation:
     """Run the distributed biomechanical simulation at ``n_ranks`` CPUs.
 
@@ -178,6 +184,13 @@ def simulate_parallel(
         Start GMRES from the previous scan's displacement field held by
         the context (brain shift evolves incrementally, so the previous
         solution is a good initial guess). Only active on a cache hit.
+    faults:
+        Injected solver faults to execute at the start of the solve
+        phase — objects exposing ``kind``/``param`` (duck-typed so this
+        layer does not import :mod:`repro.resilience`). ``kill-rank``
+        raises :class:`repro.util.RankFailure`; ``stall-rank`` charges
+        the targeted virtual rank :data:`STALL_VIRTUAL_SECONDS` of extra
+        compute before the solve proceeds.
     """
     if partitioner not in PARTITIONERS:
         raise ValidationError(
@@ -228,6 +241,25 @@ def simulate_parallel(
     with tracer.span(
         "solve", kind="phase", n_free=system.n_free, preconditioner=preconditioner
     ) as solve_span, telemetry.phase("solve"):
+        for spec in faults or ():
+            kind = getattr(spec, "kind", None)
+            if kind == "kill-rank":
+                rank = int(getattr(spec, "param", None) or 0) % max(n_ranks, 1)
+                solve_span.event("fault.kill-rank", rank=rank)
+                raise RankFailure(
+                    f"injected fault: rank {rank} died during the solve phase",
+                    rank=rank,
+                    phase="solve",
+                )
+            if kind == "stall-rank":
+                rank = int(getattr(spec, "param", None) or 0) % max(n_ranks, 1)
+                solve_span.event(
+                    "fault.stall-rank", rank=rank, seconds=STALL_VIRTUAL_SECONDS
+                )
+                if isinstance(telemetry, VirtualCluster):
+                    telemetry.compute(
+                        rank, STALL_VIRTUAL_SECONDS * telemetry.spec.flops_rate
+                    )
         if warm and "preconditioner" in context.slots:
             # Reused subdomain factors: the factorization flops are not
             # charged again — only the per-application triangular solves.

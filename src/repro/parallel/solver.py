@@ -225,9 +225,18 @@ def _distributed_gmres(
         raise ShapeError(f"b must be ({n},), got {b.shape}")
     if restart < 1:
         raise ValidationError(f"restart must be >= 1, got {restart}")
+    if not np.all(np.isfinite(b)):
+        raise ValidationError(
+            f"b contains {int(np.count_nonzero(~np.isfinite(b)))} non-finite entries"
+        )
     x = np.zeros(n) if x0 is None else np.asarray(x0, dtype=float).copy()
     if x.shape != (n,):
         raise ShapeError(f"x0 must be ({n},), got {x.shape}")
+    if x0 is not None and not np.all(np.isfinite(x)):
+        raise ValidationError(
+            f"x0 contains {int(np.count_nonzero(~np.isfinite(x)))} non-finite "
+            "entries (poisoned warm start?)"
+        )
 
     precond_applications = 0
 
@@ -352,6 +361,7 @@ def _distributed_gmres(
                     "reaching the tolerance; the operator may be singular",
                     iterations=total_iters,
                     residual=final,
+                    solver="distributed_gmres",
                 )
             return GMRESResult(
                 x, final <= target, total_iters, restarts, final, history
@@ -368,5 +378,6 @@ def _distributed_gmres(
             f"distributed GMRES failed to reach tol={tol} in {total_iters} iterations",
             iterations=total_iters,
             residual=final,
+            solver="distributed_gmres",
         )
     return GMRESResult(x, final <= target, total_iters, restarts, final, history)

@@ -1,0 +1,230 @@
+"""Deterministic fault injection for the intraoperative pipeline.
+
+An operating-room system cannot be declared fault tolerant until every
+failure path has been *executed*; the DDDAS follow-up work makes
+injectable faults a first-class testing requirement for exactly this
+pipeline. A :class:`FaultPlan` is a seeded, reproducible schedule of
+faults keyed by intraoperative scan index:
+
+* ``scan-nan`` / ``scan-spike`` / ``scan-motion`` — corrupt the newly
+  acquired volume (NaN voxels, intensity spikes, motion-like stripe
+  noise) before any processing sees it.
+* ``kill-rank`` / ``stall-rank`` — kill a virtual compute rank during
+  the distributed solve (raises :class:`repro.util.RankFailure`) or
+  charge it a stall of extra virtual seconds.
+* ``poison-warm-start`` — overwrite entries of the cached warm-start
+  vector with NaNs, so the next warm solve trips the solver's
+  finite-input guard.
+* ``stagnate-solver`` — force Krylov stagnation by clamping the
+  iteration budget (and failing the direct rung), driving the solve
+  through the full escalation ladder into graceful degradation.
+
+Plans parse from compact CLI strings (``--faults "1:stagnate-solver;
+1:kill-rank=2;2:scan-nan=0.4"``), are installed on
+:class:`repro.core.PipelineConfig`, and record every fault they actually
+trigger so tests and benchmarks can assert the injection happened.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.imaging.volume import ImageVolume
+from repro.util import ValidationError, default_rng
+
+#: Fault kinds that corrupt the intraoperative acquisition.
+SCAN_FAULTS = ("scan-nan", "scan-spike", "scan-motion")
+#: Fault kinds aimed at the distributed solve.
+SOLVER_FAULTS = ("kill-rank", "stall-rank", "poison-warm-start", "stagnate-solver")
+FAULT_KINDS = SCAN_FAULTS + SOLVER_FAULTS
+
+#: Kinds consumed on first trigger (the fault is transient: the retry
+#: after recovery does not hit it again).
+ONE_SHOT_KINDS = frozenset({"kill-rank", "stall-rank", "poison-warm-start"})
+
+
+@dataclass
+class FaultSpec:
+    """One scheduled fault.
+
+    Attributes
+    ----------
+    scan:
+        0-based intraoperative scan index the fault fires on.
+    kind:
+        One of :data:`FAULT_KINDS`.
+    param:
+        Kind-specific parameter: corrupted-voxel fraction for scan
+        faults, rank index for ``kill-rank``/``stall-rank``, poisoned
+        entry count for ``poison-warm-start``, iteration clamp for
+        ``stagnate-solver``. ``None`` uses the kind's default.
+    """
+
+    scan: int
+    kind: str
+    param: float | None = None
+    triggered: bool = field(default=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValidationError(
+                f"unknown fault kind {self.kind!r}; options: {sorted(FAULT_KINDS)}"
+            )
+        if self.scan < 0:
+            raise ValidationError(f"fault scan index must be >= 0, got {self.scan}")
+
+    @property
+    def one_shot(self) -> bool:
+        return self.kind in ONE_SHOT_KINDS
+
+    def describe(self) -> str:
+        tail = "" if self.param is None else f"={self.param:g}"
+        return f"scan {self.scan}: {self.kind}{tail}"
+
+
+class FaultPlan:
+    """A seeded, reproducible schedule of :class:`FaultSpec` entries.
+
+    The plan is *deterministic*: the same specs and seed always corrupt
+    the same voxels and poison the same vector entries, so failure-path
+    tests are exact, not flaky.
+    """
+
+    def __init__(self, specs: list[FaultSpec] | None = None, seed: int = 0):
+        self.specs: list[FaultSpec] = list(specs or [])
+        self.seed = int(seed)
+        self.log: list[str] = []
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def add(self, scan: int, kind: str, param: float | None = None) -> "FaultPlan":
+        """Append one fault; returns ``self`` for chaining."""
+        self.specs.append(FaultSpec(scan=scan, kind=kind, param=param))
+        return self
+
+    # -- querying -----------------------------------------------------------
+
+    def for_scan(self, scan: int) -> list[FaultSpec]:
+        """Every fault scheduled for ``scan`` (triggered or not)."""
+        return [s for s in self.specs if s.scan == scan]
+
+    def peek(self, scan: int, kind: str) -> FaultSpec | None:
+        """The active (untriggered or persistent) fault of this kind."""
+        for spec in self.specs:
+            if spec.scan == scan and spec.kind == kind:
+                if spec.one_shot and spec.triggered:
+                    continue
+                return spec
+        return None
+
+    def take(self, scan: int, kind: str) -> FaultSpec | None:
+        """Like :meth:`peek`, but marks the fault as triggered.
+
+        One-shot kinds will not fire again; persistent kinds keep
+        firing for the scan but still record the trigger.
+        """
+        spec = self.peek(scan, kind)
+        if spec is not None:
+            spec.triggered = True
+            self.log.append(spec.describe())
+        return spec
+
+    @property
+    def triggered(self) -> list[FaultSpec]:
+        return [s for s in self.specs if s.triggered]
+
+    # -- scan corruption ----------------------------------------------------
+
+    def _rng(self, scan: int) -> np.random.Generator:
+        return default_rng(self.seed * 10007 + scan)
+
+    def corrupt_volume(self, volume: ImageVolume, scan: int) -> ImageVolume:
+        """Apply every scheduled scan-corruption fault for ``scan``.
+
+        Returns the (possibly unchanged) volume; corruption operates on
+        a copy, never on the caller's data.
+        """
+        out = volume
+        for kind in SCAN_FAULTS:
+            spec = self.take(scan, kind)
+            if spec is None:
+                continue
+            rng = self._rng(scan)
+            data = np.asarray(out.data, dtype=float).copy()
+            n = data.size
+            if kind == "scan-nan":
+                fraction = 0.05 if spec.param is None else float(spec.param)
+                k = max(1, int(round(fraction * n)))
+                idx = rng.choice(n, size=min(k, n), replace=False)
+                data.ravel()[idx] = np.nan
+            elif kind == "scan-spike":
+                fraction = 0.01 if spec.param is None else float(spec.param)
+                k = max(1, int(round(fraction * n)))
+                idx = rng.choice(n, size=min(k, n), replace=False)
+                peak = float(np.nanmax(np.abs(data))) or 1.0
+                data.ravel()[idx] = peak * 50.0 * rng.choice([-1.0, 1.0], size=len(idx))
+            else:  # scan-motion: periodic stripe ghosting along one axis
+                amplitude = (0.3 if spec.param is None else float(spec.param)) * (
+                    float(np.nanstd(data)) or 1.0
+                )
+                phase = rng.uniform(0.0, 2 * np.pi)
+                stripes = amplitude * np.sin(
+                    np.arange(data.shape[1]) * (2 * np.pi / 4.0) + phase
+                )
+                data += stripes[None, :, None]
+            out = ImageVolume(data, out.spacing, out.origin)
+        return out
+
+    # -- warm-start poisoning ----------------------------------------------
+
+    def poison_vector(self, vector: np.ndarray, scan: int) -> np.ndarray | None:
+        """NaN-poison entries of a copy of ``vector`` (None if inactive)."""
+        spec = self.take(scan, "poison-warm-start")
+        if spec is None or vector is None:
+            return None
+        rng = self._rng(scan)
+        poisoned = np.asarray(vector, dtype=float).copy()
+        k = max(1, int(spec.param or 3))
+        idx = rng.choice(poisoned.size, size=min(k, poisoned.size), replace=False)
+        poisoned[idx] = np.nan
+        return poisoned
+
+    # -- parsing ------------------------------------------------------------
+
+    @classmethod
+    def parse(cls, text: str, seed: int = 0) -> "FaultPlan":
+        """Parse ``"SCAN:KIND[=PARAM];..."`` (e.g. ``"1:kill-rank=2"``).
+
+        Entries are separated by ``;`` or ``,``; whitespace is ignored.
+        """
+        specs: list[FaultSpec] = []
+        for chunk in text.replace(",", ";").split(";"):
+            chunk = chunk.strip()
+            if not chunk:
+                continue
+            try:
+                scan_part, kind_part = chunk.split(":", 1)
+                if "=" in kind_part:
+                    kind, param_part = kind_part.split("=", 1)
+                    param: float | None = float(param_part)
+                else:
+                    kind, param = kind_part, None
+                specs.append(
+                    FaultSpec(scan=int(scan_part), kind=kind.strip(), param=param)
+                )
+            except (ValueError, TypeError) as exc:
+                if isinstance(exc, ValidationError):
+                    raise
+                raise ValidationError(
+                    f"cannot parse fault entry {chunk!r} "
+                    "(expected SCAN:KIND or SCAN:KIND=PARAM)"
+                ) from exc
+        return cls(specs, seed=seed)
+
+    def describe(self) -> str:
+        if not self.specs:
+            return "(empty fault plan)"
+        return "; ".join(s.describe() for s in self.specs)

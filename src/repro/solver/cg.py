@@ -68,10 +68,19 @@ def _cg(
         raise ShapeError(f"b must be ({n},), got {b.shape}")
     if tol <= 0:
         raise ValidationError(f"tol must be > 0, got {tol}")
+    if not np.all(np.isfinite(b)):
+        raise ValidationError(
+            f"b contains {int(np.count_nonzero(~np.isfinite(b)))} non-finite entries"
+        )
     M = preconditioner if preconditioner is not None else IdentityPreconditioner(n)
     x = np.zeros(n) if x0 is None else np.asarray(x0, dtype=float).copy()
     if x.shape != (n,):
         raise ShapeError(f"x0 must be ({n},), got {x.shape}")
+    if x0 is not None and not np.all(np.isfinite(x)):
+        raise ValidationError(
+            f"x0 contains {int(np.count_nonzero(~np.isfinite(x)))} non-finite "
+            "entries (poisoned warm start?)"
+        )
 
     b_norm = float(np.linalg.norm(b))
     if b_norm == 0.0:
@@ -93,6 +102,7 @@ def _cg(
                 "CG encountered a non-positive curvature direction: operator is not SPD",
                 iterations=it,
                 residual=history[-1],
+                solver="cg",
             )
         alpha = rz / pAp
         x += alpha * p
@@ -111,5 +121,6 @@ def _cg(
             f"CG failed to reach tol={tol} in {max_iter} iterations",
             iterations=max_iter,
             residual=history[-1],
+            solver="cg",
         )
     return GMRESResult(x, False, max_iter, 0, history[-1], history)

@@ -132,10 +132,19 @@ def _gmres(
         raise ValidationError(f"restart must be >= 1, got {restart}")
     if tol <= 0:
         raise ValidationError(f"tol must be > 0, got {tol}")
+    if not np.all(np.isfinite(b)):
+        raise ValidationError(
+            f"b contains {int(np.count_nonzero(~np.isfinite(b)))} non-finite entries"
+        )
     M = preconditioner if preconditioner is not None else IdentityPreconditioner(n)
     x = np.zeros(n) if x0 is None else np.asarray(x0, dtype=float).copy()
     if x.shape != (n,):
         raise ShapeError(f"x0 must be ({n},), got {x.shape}")
+    if x0 is not None and not np.all(np.isfinite(x)):
+        raise ValidationError(
+            f"x0 contains {int(np.count_nonzero(~np.isfinite(x)))} non-finite "
+            "entries (poisoned warm start?)"
+        )
 
     b_pre_norm = float(np.linalg.norm(M.solve(b)))
     if b_pre_norm == 0.0:
@@ -236,6 +245,7 @@ def _gmres(
                     "the operator may be singular",
                     iterations=total_iters,
                     residual=final,
+                    solver="gmres",
                 )
             return GMRESResult(
                 x, final <= target, total_iters, restarts, final, history
@@ -253,5 +263,6 @@ def _gmres(
             f"(residual {final / b_pre_norm:.3e} relative)",
             iterations=total_iters,
             residual=final,
+            solver="gmres",
         )
     return GMRESResult(x, final <= target, total_iters, restarts, final, history)

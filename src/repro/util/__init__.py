@@ -6,7 +6,9 @@ This subpackage deliberately has no dependency on the rest of
 
 from repro.util.errors import (
     ConvergenceError,
+    DeadlineExceeded,
     MeshError,
+    RankFailure,
     ReproError,
     ShapeError,
     ValidationError,
@@ -23,7 +25,9 @@ from repro.util.validation import (
 
 __all__ = [
     "ConvergenceError",
+    "DeadlineExceeded",
     "MeshError",
+    "RankFailure",
     "ReproError",
     "ShapeError",
     "Timer",

@@ -33,9 +33,66 @@ class ConvergenceError(ReproError):
         Number of iterations performed before giving up.
     residual:
         Final residual (algorithm specific norm), if known.
+    solver:
+        Which algorithm failed (``"gmres"``, ``"cg"``,
+        ``"distributed_gmres"``, ``"direct"``, ...), so recovery code
+        can attribute the failure without parsing the message.
+    stage:
+        Pipeline stage the failure occurred in, when known (filled by
+        the resilience layer's stage guards).
     """
 
-    def __init__(self, message: str, iterations: int = -1, residual: float = float("nan")):
+    def __init__(
+        self,
+        message: str,
+        iterations: int = -1,
+        residual: float = float("nan"),
+        solver: str | None = None,
+        stage: str | None = None,
+    ):
         super().__init__(message)
         self.iterations = iterations
         self.residual = residual
+        self.solver = solver
+        self.stage = stage
+
+
+class RankFailure(ReproError):
+    """A (virtual) compute rank died or became unreachable mid-phase.
+
+    The distributed layer raises this when a fault plan kills a rank;
+    the resilience layer responds with dynamic resource substitution
+    (re-solving on the surviving resources — typically ``n_ranks=1``).
+
+    Attributes
+    ----------
+    rank:
+        Index of the failed rank.
+    phase:
+        Execution phase the failure surfaced in (``"solve"``, ...).
+    """
+
+    def __init__(self, message: str, rank: int = -1, phase: str = ""):
+        super().__init__(message)
+        self.rank = rank
+        self.phase = phase
+
+
+class DeadlineExceeded(ReproError):
+    """A guarded stage ran out of its real-time allowance.
+
+    Attributes
+    ----------
+    stage:
+        The guarded stage name.
+    elapsed / deadline:
+        Seconds spent vs. seconds allowed.
+    """
+
+    def __init__(
+        self, message: str, stage: str = "", elapsed: float = 0.0, deadline: float = 0.0
+    ):
+        super().__init__(message)
+        self.stage = stage
+        self.elapsed = elapsed
+        self.deadline = deadline

@@ -97,6 +97,18 @@ class TestSolverFailures:
         # Breakdown may end the run before the budget is spent.
         assert 0 < excinfo.value.iterations <= 7
         assert np.isfinite(excinfo.value.residual)
+        # The error names its algorithm so recovery code can attribute
+        # the failure without parsing the message.
+        assert excinfo.value.solver == "gmres"
+
+    def test_cg_raise_on_fail_names_its_solver(self):
+        from repro.solver.cg import conjugate_gradient
+
+        A = sparse.diags([1.0, 1.0, 1e-14]).tocsr()
+        with pytest.raises(ConvergenceError) as excinfo:
+            conjugate_gradient(A, np.ones(3), tol=1e-14, max_iter=2, raise_on_fail=True)
+        assert excinfo.value.solver == "cg"
+        assert excinfo.value.iterations > 0
 
     def test_history_length_matches_iterations(self):
         rng = np.random.RandomState(0)
@@ -123,3 +135,36 @@ class TestInconsistentGeometry:
 
         with pytest.raises(ShapeError):
             warp_volume(small_case.preop_mri, np.zeros((2, 2, 2, 3)))
+
+
+class TestFailFastWithoutResilience:
+    """``resilience.enabled = False`` restores the loud, precise pipeline."""
+
+    def test_nonfinite_scan_rejected_outright(self, small_case):
+        from repro.core.config import PipelineConfig
+        from repro.core.pipeline import IntraoperativePipeline
+        from repro.resilience import FaultPlan
+
+        config = PipelineConfig(
+            mesh_cell_mm=9.0,
+            rigid_levels=1,
+            rigid_max_iter=2,
+            rigid_samples=2000,
+            fault_plan=FaultPlan.parse("0:scan-nan=0.1", seed=0),
+        )
+        config.resilience.enabled = False
+        pipeline = IntraoperativePipeline(config)
+        preop = pipeline.prepare_preoperative(
+            small_case.preop_mri, small_case.preop_labels
+        )
+        with pytest.raises(ValidationError, match="non-finite"):
+            pipeline.process_scan(small_case.intraop_mri, preop)
+
+    def test_volume_sanitized_reports_fill_count(self):
+        data = np.ones((4, 4, 4))
+        data[0, 0, :2] = np.nan
+        volume = ImageVolume(data)
+        fixed, n_fixed = volume.sanitized()
+        assert n_fixed == 2
+        assert np.isfinite(fixed.data).all()
+        assert np.isnan(volume.data).any()  # original untouched
