@@ -4,6 +4,9 @@ Usage (after installation)::
 
     python -m repro.cli pipeline --shape 64 64 48 --shift 6 --out results/
     python -m repro.cli pipeline --trace trace.jsonl --chrome trace.json --budget
+    python -m repro.cli pipeline --scans 3 --checkpoint-dir session/
+    python -m repro.cli pipeline --resume --checkpoint-dir session/
+    python -m repro.cli replay session/
     python -m repro.cli scaling --equations 77511 --machine deep_flow
     python -m repro.cli experiments --fast
     python -m repro.cli predict --shape 56 56 42
@@ -40,8 +43,25 @@ def _add_shape(parser: argparse.ArgumentParser, default=(64, 64, 48)) -> None:
     parser.add_argument("--seed", type=int, default=0)
 
 
+def _phantom_case(shape, shift, seed, index, total):
+    """Deterministic phantom for scan ``index`` of a ``total``-scan session.
+
+    Brain shift grows linearly over the procedure (scan ``total - 1``
+    reaches the full ``shift``); the noise seed varies per scan like a
+    real scanner. For a single-scan session this is exactly the
+    original ``make_neurosurgery_case(shape, shift, seed)`` call, so
+    inputs regenerated from checkpointed app metadata are bit-identical
+    to the originals.
+    """
+    fraction = (index + 1) / max(total, 1)
+    return make_neurosurgery_case(
+        shape=tuple(shape), shift_mm=shift * fraction, seed=seed + index
+    )
+
+
 def cmd_pipeline(args: argparse.Namespace) -> int:
     """Run the full intraoperative pipeline on a phantom case."""
+    from repro.core.session import SurgicalSession
     from repro.obs import (
         BudgetMonitor,
         Tracer,
@@ -51,29 +71,73 @@ def cmd_pipeline(args: argparse.Namespace) -> int:
         write_jsonl,
     )
 
-    case = make_neurosurgery_case(
-        shape=tuple(args.shape), shift_mm=args.shift, seed=args.seed
-    )
     machine = MACHINES[args.machine] if args.machine else None
-    config = PipelineConfig(mesh_cell_mm=args.cell, n_ranks=args.cpus)
-    if args.faults:
-        from repro.resilience import FaultPlan
-
-        config.fault_plan = FaultPlan.parse(args.faults, seed=args.seed)
-        print(f"fault plan: {config.fault_plan.describe()}")
-    if args.max_degradation:
-        from repro.resilience import parse_level
-
-        config.resilience.max_degradation = parse_level(args.max_degradation)
     tracing = bool(args.trace or args.chrome)
     tracer = Tracer(enabled=tracing)
     monitor = BudgetMonitor(tracer=tracer) if args.budget else None
-    pipeline = IntraoperativePipeline(
-        config, machine=machine, tracer=tracer if tracing else None, budget=monitor
-    )
-    with use_tracer(tracer) if tracing else _no_context():
-        preop = pipeline.prepare_preoperative(case.preop_mri, case.preop_labels)
-        result = pipeline.process_scan(case.intraop_mri, preop)
+
+    if args.resume:
+        if not args.checkpoint_dir:
+            print("--resume requires --checkpoint-dir", file=sys.stderr)
+            return 2
+        from repro.persist import SessionStore, config_from_manifest
+
+        # The manifest is authoritative on resume: config and app
+        # metadata (shape/shift/seed/scans) come from the checkpoint,
+        # so the regenerated inputs match the interrupted run exactly.
+        probe = SessionStore.open(args.checkpoint_dir)
+        app = probe.manifest.get("app", {})
+        shape = app.get("shape", list(args.shape))
+        shift = float(app.get("shift", args.shift))
+        seed = int(app.get("seed", args.seed))
+        total = int(app.get("scans", args.scans))
+        config = config_from_manifest(probe.manifest.get("config", {}))
+        pipeline = IntraoperativePipeline(
+            config, machine=machine, tracer=tracer if tracing else None, budget=monitor
+        )
+        with use_tracer(tracer) if tracing else _no_context():
+            session = SurgicalSession.resume(pipeline, args.checkpoint_dir)
+            print(f"resumed checkpoint: {session.store.describe()}")
+            case = None
+            for index in range(session.n_scans, total):
+                case = _phantom_case(shape, shift, seed, index, total)
+                session.process(case.intraop_mri)
+        result = session.latest()
+    else:
+        total = args.scans
+        config = PipelineConfig(mesh_cell_mm=args.cell, n_ranks=args.cpus)
+        if args.faults:
+            from repro.resilience import FaultPlan
+
+            config.fault_plan = FaultPlan.parse(args.faults, seed=args.seed)
+            print(f"fault plan: {config.fault_plan.describe()}")
+        if args.max_degradation:
+            from repro.resilience import parse_level
+
+            config.resilience.max_degradation = parse_level(args.max_degradation)
+        pipeline = IntraoperativePipeline(
+            config, machine=machine, tracer=tracer if tracing else None, budget=monitor
+        )
+        app = {
+            "shape": list(args.shape),
+            "shift": args.shift,
+            "seed": args.seed,
+            "scans": total,
+        }
+        with use_tracer(tracer) if tracing else _no_context():
+            case = _phantom_case(args.shape, args.shift, args.seed, 0, total)
+            session = SurgicalSession.begin(
+                pipeline,
+                case.preop_mri,
+                case.preop_labels,
+                checkpoint_dir=args.checkpoint_dir,
+                app=app,
+            )
+            result = session.process(case.intraop_mri)
+            for index in range(1, total):
+                case = _phantom_case(args.shape, args.shift, args.seed, index, total)
+                result = session.process(case.intraop_mri)
+    preop = session.preop
 
     print(result.timeline.as_table("Intraoperative processing timeline"))
     if args.trace:
@@ -84,7 +148,7 @@ def cmd_pipeline(args: argparse.Namespace) -> int:
     if tracing:
         print()
         print(render_report(tracer, title="Trace report (self/total seconds)"))
-    if monitor is not None:
+    if monitor is not None and result.budget_verdict is not None:
         verdict = result.budget_verdict
         print(
             f"budget verdict: {verdict.label} "
@@ -96,17 +160,23 @@ def cmd_pipeline(args: argparse.Namespace) -> int:
         print(f"resilience: {result.degradation.summary()}")
     print()
     print(f"match RMS: rigid {result.match_rigid_rms:.2f} -> simulated {result.match_simulated_rms:.2f}")
-    err = np.linalg.norm(result.grid_displacement - case.true_forward_mm, axis=-1)
-    brain = case.brain_mask()
-    print(f"field error (brain): mean {err[brain].mean():.2f} mm, p95 {np.percentile(err[brain], 95):.2f} mm")
-    if machine is not None:
+    if case is not None and not result.restored:
+        err = np.linalg.norm(result.grid_displacement - case.true_forward_mm, axis=-1)
+        brain = case.brain_mask()
+        print(f"field error (brain): mean {err[brain].mean():.2f} mm, p95 {np.percentile(err[brain], 95):.2f} mm")
+    if total > 1 or args.resume:
+        print()
+        print(session.summary_table())
+    if session.store is not None:
+        print(f"checkpoint: {session.store.root} ({session.store.describe()})")
+    if machine is not None and not result.restored:
         sim = result.simulation
         print(
             f"virtual biomech time on {machine.name} at {args.cpus} CPUs: "
             f"{sim.total_seconds:.2f} s (init {sim.initialization_seconds:.2f} + "
             f"assembly {sim.assembly_seconds:.2f} + solve {sim.solve_seconds:.2f})"
         )
-    if args.out:
+    if args.out and case is not None and not result.restored:
         out = Path(args.out)
         out.mkdir(parents=True, exist_ok=True)
         from repro.viz.figures import figure4_panels, figure5_render
@@ -125,6 +195,15 @@ from contextlib import contextmanager
 def _no_context():
     """Placeholder context when tracing is off."""
     yield
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    """Deterministically replay a checkpoint and verify its checksums."""
+    from repro.persist import replay_session
+
+    report = replay_session(args.checkpoint_dir)
+    print(report.render())
+    return 0 if report.ok else 1
 
 
 def cmd_trace_report(args: argparse.Namespace) -> int:
@@ -235,6 +314,26 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="check stage/scan durations against the paper-derived time budget",
     )
+    p.add_argument(
+        "--scans",
+        type=int,
+        default=1,
+        help="number of intraoperative scans in the session (default 1)",
+    )
+    p.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="make the session durable: journal + checkpoint into this directory",
+    )
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "recover an interrupted session from --checkpoint-dir and process "
+            "its remaining scans (config/inputs come from the manifest; "
+            "--faults etc. are ignored)"
+        ),
+    )
     p.set_defaults(func=cmd_pipeline)
 
     p = sub.add_parser("scaling", help=cmd_scaling.__doc__)
@@ -255,6 +354,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--buoyancy", type=float, default=0.85)
     p.add_argument("--heterogeneous", action="store_true")
     p.set_defaults(func=cmd_predict)
+
+    p = sub.add_parser("replay", help=cmd_replay.__doc__)
+    p.add_argument("checkpoint_dir", help="checkpoint directory to replay-verify")
+    p.set_defaults(func=cmd_replay)
 
     p = sub.add_parser("trace-report", help=cmd_trace_report.__doc__)
     p.add_argument("path", help="JSONL trace written by --trace or write_jsonl")

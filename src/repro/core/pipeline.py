@@ -145,6 +145,12 @@ class IntraoperativeResult:
         resilience layer did for this scan — level delivered, escalation
         rungs tried, injected faults, recovery cost. ``None`` when the
         pipeline ran with resilience disabled.
+    restored:
+        ``True`` when this result was reconstructed from a session
+        checkpoint rather than computed in this process. Restored
+        results carry the journaled essentials (displacements, match
+        metrics, timeline) but synthetic solver/segmentation stand-ins;
+        ``deformed_mri`` is only rehydrated on demand.
     """
 
     deformed_mri: ImageVolume
@@ -162,6 +168,7 @@ class IntraoperativeResult:
     match_simulated_mi: float
     budget_verdict: ScanVerdict | None = None
     degradation: DegradationReport | None = None
+    restored: bool = False
 
 
 @dataclass

@@ -7,6 +7,20 @@ owns the state that persists between scans: the preoperative model
 first scan, automatically re-used afterwards — "the spatial location of
 the prototype voxels is recorded and is used to update the statistical
 model automatically when further intraoperative images are acquired").
+
+Sessions can be made **durable** by attaching a checkpoint directory
+(``checkpoint_dir=`` on :meth:`SurgicalSession.begin`, or a post-hoc
+:meth:`SurgicalSession.checkpoint`). Every scan is then journaled
+write-ahead and committed atomically through
+:class:`repro.persist.SessionStore`; after a crash,
+:meth:`SurgicalSession.resume` reopens the directory, rebuilds the
+preoperative model deterministically, restores the prototype set and
+the solve-context warm state (so the first resumed scan still takes the
+cache-hit + warm-start fast path), and reconstructs the committed
+history — including the ``previous`` result the degradation ladder and
+warm-start chain need. :func:`repro.persist.replay_session` verifies a
+checkpoint end-to-end by re-running it and demanding bit-exact
+displacement fields.
 """
 
 from __future__ import annotations
@@ -20,6 +34,7 @@ from repro.core.pipeline import (
 )
 from repro.imaging.volume import ImageVolume
 from repro.obs.trace import get_tracer
+from repro.persist.store import SessionStore
 from repro.segmentation.prototypes import PrototypeSet
 from repro.util import ValidationError, format_table
 
@@ -35,12 +50,18 @@ class SurgicalSession:
     preop:
         The preoperative model (mesh, localization, surface).
     history:
-        Results of every processed scan, in order.
+        Results of every processed scan, in order. After
+        :meth:`resume`, entries recovered from the checkpoint have
+        ``restored=True``.
+    store:
+        The attached :class:`repro.persist.SessionStore`, or ``None``
+        for an in-memory (non-durable) session.
     """
 
     pipeline: IntraoperativePipeline
     preop: PreoperativeModel
     history: list[IntraoperativeResult] = field(default_factory=list)
+    store: SessionStore | None = field(default=None, repr=False)
     _prototypes: PrototypeSet | None = field(default=None, repr=False)
 
     @classmethod
@@ -49,10 +70,75 @@ class SurgicalSession:
         pipeline: IntraoperativePipeline,
         preop_mri: ImageVolume,
         preop_labels: ImageVolume,
+        checkpoint_dir=None,
+        app: dict | None = None,
     ) -> "SurgicalSession":
-        """Prepare the preoperative model and open the session."""
+        """Prepare the preoperative model and open the session.
+
+        With ``checkpoint_dir``, the session is durable from the first
+        scan: the preoperative volumes and config land in a fresh
+        checkpoint directory (refusing to clobber an existing one) and
+        every processed scan is journaled and committed atomically.
+        ``app`` is free-form application metadata (e.g. CLI arguments)
+        stored in the manifest so a resume can regenerate its inputs.
+        """
         preop = pipeline.prepare_preoperative(preop_mri, preop_labels)
-        return cls(pipeline=pipeline, preop=preop)
+        store = None
+        if checkpoint_dir is not None:
+            store = SessionStore.create(
+                checkpoint_dir,
+                pipeline.config,
+                preop_mri,
+                preop_labels,
+                app=app,
+                tracer=pipeline.tracer,
+                metrics=pipeline.metrics,
+            )
+        return cls(pipeline=pipeline, preop=preop, store=store)
+
+    @classmethod
+    def resume(
+        cls,
+        pipeline: IntraoperativePipeline,
+        checkpoint_dir,
+        rehydrate: str = "latest",
+    ) -> "SurgicalSession":
+        """Recover a session from its checkpoint directory.
+
+        The preoperative model is rebuilt deterministically from the
+        checkpointed volumes (the heavyweight FEM state is recomputed,
+        not deserialized), then the stored warm state is grafted onto it
+        when the context fingerprint still matches — so the next
+        :meth:`process` call takes the same cache-hit + warm-start fast
+        path an uninterrupted session would. Committed scans come back
+        as ``restored=True`` history entries; interrupted scans (begun
+        but never committed) are simply re-processed when their input is
+        re-submitted. Journaled ``crash-after`` faults are marked fired
+        on the pipeline's fault plan so they do not kill the process a
+        second time.
+
+        ``pipeline`` should be configured compatibly with the
+        checkpoint — build its config with
+        :func:`repro.persist.config_from_manifest` (the CLI does) to
+        guarantee it. Raises :class:`~repro.util.ValidationError` when
+        ``checkpoint_dir`` is missing, empty, or corrupted.
+        """
+        store = SessionStore.open(
+            checkpoint_dir, tracer=pipeline.tracer, metrics=pipeline.metrics
+        )
+        preop_mri, preop_labels = store.load_preop()
+        preop = pipeline.prepare_preoperative(preop_mri, preop_labels)
+        if preop.solve_context is not None:
+            store.restore_context(preop.solve_context)
+        history = store.load_history(preop, rehydrate=rehydrate)
+        store.attach_plan(pipeline.config.fault_plan)
+        return cls(
+            pipeline=pipeline,
+            preop=preop,
+            history=history,
+            store=store,
+            _prototypes=store.load_prototypes(),
+        )
 
     @property
     def n_scans(self) -> int:
@@ -71,19 +157,27 @@ class SurgicalSession:
 
         Each scan is wrapped in a ``scan`` trace span (index attribute)
         so traced sessions nest scan → stage → solver internals.
+
+        Durable sessions additionally journal the input write-ahead
+        before processing and commit the result atomically after — a
+        crash at any point leaves the checkpoint resumable at the last
+        committed scan.
         """
+        scan = self.n_scans
+        if self.store is not None:
+            self.store.journal_begin(scan, intraop_mri)
         tracer = (
             self.pipeline.tracer
             if self.pipeline.tracer is not None
             else get_tracer()
         )
-        with tracer.span("scan", kind="session", index=self.n_scans):
+        with tracer.span("scan", kind="session", index=scan):
             result = self.pipeline.process_scan(
                 intraop_mri,
                 self.preop,
                 prototypes=self._prototypes,
                 reference_labels=reference_labels,
-                scan_index=self.n_scans,
+                scan_index=scan,
                 previous=self.history[-1] if self.history else None,
             )
         # Scan isolation: a degraded scan must not poison the session's
@@ -93,7 +187,56 @@ class SurgicalSession:
         if result.prototypes is not None:
             self._prototypes = result.prototypes
         self.history.append(result)
+        if self.store is not None:
+            self.store.crash_point(scan, "solve")
+            self.store.commit_scan(
+                scan,
+                result,
+                prototypes=self._prototypes,
+                context=self.preop.solve_context,
+            )
+            self.store.crash_point(scan, "commit")
         return result
+
+    def checkpoint(self, checkpoint_dir=None):
+        """Persist the session's current state; returns the store's root.
+
+        For a session begun without a checkpoint directory, pass one
+        here to create the store post-hoc: every already-processed scan
+        is committed from its in-memory result. Post-hoc commits carry
+        no journaled input volume (the scans were never written ahead),
+        so they can be resumed and summarized but not replay-verified.
+
+        For an already-durable session this re-commits anything
+        uncommitted and refreshes the solve-context snapshot + manifest
+        — cheap, and idempotent.
+        """
+        if self.store is None:
+            if checkpoint_dir is None:
+                raise ValidationError(
+                    "session has no checkpoint directory; pass checkpoint_dir="
+                )
+            self.store = SessionStore.create(
+                checkpoint_dir,
+                self.pipeline.config,
+                self.preop.mri,
+                self.preop.labels,
+                tracer=self.pipeline.tracer,
+                metrics=self.pipeline.metrics,
+            )
+        committed = {record.scan for record in self.store.committed()}
+        for scan, result in enumerate(self.history):
+            if scan in committed:
+                continue
+            self.store.journal_begin(scan, None)
+            self.store.commit_scan(
+                scan,
+                result,
+                prototypes=self._prototypes,
+                context=self.preop.solve_context,
+            )
+        self.store.sync_manifest()
+        return self.store.root
 
     def invalidate_solve_context(self) -> None:
         """Drop the cached FEM state (e.g. after an intraoperative mesh edit).
@@ -114,14 +257,17 @@ class SurgicalSession:
         When the pipeline ran with a :class:`repro.obs.BudgetMonitor`,
         the ``budget`` column records each scan's verdict (``ok`` or
         ``OVER(...)``); the solve-context cache hit *ratio* across the
-        session is appended below the table.
+        session is appended below the table. Scans recovered from a
+        checkpoint show ``restored`` in the cache column.
         """
         if not self.history:
             return "(no scans processed)"
         rows = []
         for i, result in enumerate(self.history, start=1):
             sim = result.simulation
-            if sim.cache_stats is None:
+            if getattr(result, "restored", False):
+                cache = "restored"
+            elif sim.cache_stats is None:
                 cache = "off"
             elif sim.cache_hit:
                 cache = "hit+warm" if sim.warm_started else "hit"

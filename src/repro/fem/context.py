@@ -296,6 +296,53 @@ class SolveContext:
         self.slots.clear()
         self.last_solution = None
 
+    # -- persistence (durable sessions) ---------------------------------------
+
+    def warm_state(self) -> dict | None:
+        """Serializable warm-start state, or ``None`` when unprepared.
+
+        Covers everything a resumed session needs to recover the warm
+        fast path without re-running a scan: the fingerprint the cached
+        build corresponds to, the previous solution vector, and the
+        hit/miss/invalidation counters (so cross-crash accounting stays
+        continuous). The heavyweight assembly/reduction/preconditioner
+        state is deliberately *not* serialized — it rebuilds
+        deterministically from the checkpointed preoperative inputs.
+        """
+        if self._fingerprint is None:
+            return None
+        return {
+            "fingerprint": self._fingerprint,
+            "last_solution": (
+                None if self.last_solution is None else self.last_solution.copy()
+            ),
+            "stats": self.stats.as_dict(),
+        }
+
+    def restore_warm_state(
+        self,
+        fingerprint: bytes,
+        last_solution: np.ndarray | None,
+        stats: dict | None = None,
+    ) -> bool:
+        """Adopt persisted warm-start memory if it matches this build.
+
+        Returns ``True`` when the stored fingerprint equals the
+        context's current one (the deterministic preoperative rebuild
+        produced the same state the checkpoint was taken against) and
+        the warm memory was installed; ``False`` leaves the context
+        untouched — a cold-but-correct resume.
+        """
+        if self._fingerprint is None or fingerprint != self._fingerprint:
+            return False
+        if last_solution is not None:
+            self.last_solution = np.asarray(last_solution, dtype=float).copy()
+        if stats is not None:
+            self.stats.hits = int(stats.get("hits", 0))
+            self.stats.misses = int(stats.get("misses", 0))
+            self.stats.invalidations = int(stats.get("invalidations", 0))
+        return True
+
     def warm_start_vector(self, n_free: int) -> np.ndarray | None:
         """Previous scan's reduced solution, if compatible (else None)."""
         if self.last_solution is not None and self.last_solution.shape == (n_free,):

@@ -3,7 +3,13 @@
 A downstream user needs to move data between sessions (preoperative
 models are prepared hours before surgery). Volumes and meshes are
 stored as compressed ``.npz`` archives carrying their geometry metadata,
-with format versioning for forward compatibility.
+with format versioning and a content checksum for forward compatibility
+and corruption detection. Writes are atomic (temp file + fsync +
+``os.replace``), so a crash mid-save never leaves a torn archive at the
+target path, and every load failure — truncated file, foreign format,
+flipped bytes — surfaces as a :class:`~repro.util.ValidationError`
+naming the file and the reason instead of a raw numpy/zipfile
+exception.
 """
 
 from __future__ import annotations
@@ -15,66 +21,142 @@ import numpy as np
 from repro.imaging.volume import ImageVolume
 from repro.mesh.tetra import TetrahedralMesh
 from repro.util import ValidationError
+from repro.util.atomicio import atomic_payload, checksum_array, checksum_bytes
 
-_VOLUME_FORMAT = 1
-_MESH_FORMAT = 1
+#: Format 2 adds the ``checksum`` field; format-1 archives (no checksum)
+#: still load, they just skip integrity verification.
+_VOLUME_FORMAT = 2
+_MESH_FORMAT = 2
+
+
+def _npz_target(path: str | Path) -> Path:
+    """The path ``np.savez`` semantics would actually produce."""
+    path = Path(path)
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def _save_archive(path: str | Path, **fields) -> Path:
+    target = _npz_target(path)
+    with atomic_payload(target, suffix=".npz") as tmp:
+        np.savez_compressed(tmp, **fields)
+    return target
+
+
+def _volume_checksum(volume: ImageVolume) -> str:
+    return checksum_array(volume.data)
+
+
+def _mesh_checksum(mesh: TetrahedralMesh) -> str:
+    parts = [
+        checksum_array(mesh.nodes),
+        checksum_array(mesh.elements),
+        checksum_array(np.ascontiguousarray(mesh.materials)),
+    ]
+    return checksum_bytes("".join(parts).encode())
 
 
 def save_volume(path: str | Path, volume: ImageVolume) -> Path:
     """Save an :class:`ImageVolume` to a compressed ``.npz`` file."""
-    path = Path(path)
-    np.savez_compressed(
+    return _save_archive(
         path,
         format=np.int64(_VOLUME_FORMAT),
         kind=np.bytes_(b"volume"),
+        checksum=np.bytes_(_volume_checksum(volume).encode()),
         data=volume.data,
         spacing=np.asarray(volume.spacing, dtype=float),
         origin=np.asarray(volume.origin, dtype=float),
     )
-    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
 
 
 def load_volume(path: str | Path) -> ImageVolume:
     """Load an :class:`ImageVolume` saved by :func:`save_volume`."""
-    with np.load(path) as archive:
-        _check(archive, b"volume", _VOLUME_FORMAT)
-        return ImageVolume(
-            archive["data"],
-            tuple(archive["spacing"].tolist()),
-            tuple(archive["origin"].tolist()),
-        )
+    fields = _load_archive(
+        path, b"volume", _VOLUME_FORMAT, ("data", "spacing", "origin")
+    )
+    volume = ImageVolume(
+        fields["data"],
+        tuple(fields["spacing"].tolist()),
+        tuple(fields["origin"].tolist()),
+    )
+    _verify_checksum(path, fields, _volume_checksum(volume))
+    return volume
 
 
 def save_mesh(path: str | Path, mesh: TetrahedralMesh) -> Path:
     """Save a :class:`TetrahedralMesh` to a compressed ``.npz`` file."""
-    path = Path(path)
-    np.savez_compressed(
+    return _save_archive(
         path,
         format=np.int64(_MESH_FORMAT),
         kind=np.bytes_(b"mesh"),
+        checksum=np.bytes_(_mesh_checksum(mesh).encode()),
         nodes=mesh.nodes,
         elements=mesh.elements,
         materials=mesh.materials,
     )
-    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
 
 
 def load_mesh(path: str | Path) -> TetrahedralMesh:
     """Load a :class:`TetrahedralMesh` saved by :func:`save_mesh`."""
-    with np.load(path) as archive:
-        _check(archive, b"mesh", _MESH_FORMAT)
-        return TetrahedralMesh(
-            archive["nodes"], archive["elements"], archive["materials"]
+    fields = _load_archive(
+        path, b"mesh", _MESH_FORMAT, ("nodes", "elements", "materials")
+    )
+    mesh = TetrahedralMesh(fields["nodes"], fields["elements"], fields["materials"])
+    _verify_checksum(path, fields, _mesh_checksum(mesh))
+    return mesh
+
+
+def _load_archive(
+    path: str | Path, kind: bytes, expected_format: int, keys: tuple[str, ...]
+) -> dict:
+    """Read + validate an archive; every failure is a ValidationError.
+
+    Materializes all required fields while the zip is open so a
+    truncated member surfaces here (with the file name and reason)
+    rather than as a deferred zlib error at first array access.
+    """
+    path = Path(path)
+    if not path.is_file():
+        raise ValidationError(f"{path}: no such file")
+    try:
+        with np.load(path) as archive:
+            _check(archive, kind, expected_format, path)
+            fields = {}
+            for key in keys:
+                if key not in archive:
+                    raise ValidationError(
+                        f"{path}: missing field {key!r} "
+                        "(truncated or foreign archive)"
+                    )
+                fields[key] = archive[key]
+            if "checksum" in archive:
+                fields["checksum"] = bytes(archive["checksum"]).decode()
+            return fields
+    except ValidationError:
+        raise
+    except Exception as exc:  # zipfile/zlib/pickle/OS errors -> typed, named
+        raise ValidationError(
+            f"{path}: cannot read {kind.decode()} archive "
+            f"({type(exc).__name__}: {exc})"
+        ) from exc
+
+
+def _verify_checksum(path: str | Path, fields: dict, recomputed: str) -> None:
+    stored = fields.get("checksum")
+    if stored is not None and stored != recomputed:
+        raise ValidationError(
+            f"{Path(path)}: checksum mismatch "
+            f"(stored {stored}, recomputed {recomputed}) — file corrupted?"
         )
 
 
-def _check(archive, kind: bytes, expected_format: int) -> None:
+def _check(archive, kind: bytes, expected_format: int, path: Path) -> None:
     if "kind" not in archive or bytes(archive["kind"]) != kind:
         raise ValidationError(
-            f"file is not a repro {kind.decode()} archive"
+            f"{path}: not a repro {kind.decode()} archive"
         )
     version = int(archive["format"])
     if version > expected_format:
         raise ValidationError(
-            f"archive format {version} is newer than supported ({expected_format})"
+            f"{path}: archive format {version} is newer than supported "
+            f"({expected_format})"
         )

@@ -20,6 +20,7 @@ from pathlib import Path
 
 from repro.obs.trace import SpanRecord, Tracer
 from repro.util import ValidationError
+from repro.util.atomicio import atomic_write_text, atomic_writer
 
 FORMAT_VERSION = 1
 
@@ -35,10 +36,15 @@ def _spans_of(source) -> list[SpanRecord]:
 
 
 def write_jsonl(source, path) -> Path:
-    """Write the trace as JSON Lines; returns the path written."""
+    """Write the trace as JSON Lines; returns the path written.
+
+    The write is atomic (temp file + fsync + ``os.replace`` via
+    :func:`repro.util.atomic_writer`): a crash mid-export leaves either
+    the previous report or no file, never a half-written trace.
+    """
     spans = _spans_of(source)
     path = Path(path)
-    with path.open("w") as fh:
+    with atomic_writer(path) as fh:
         meta = {
             "type": "meta",
             "format": "repro-trace",
@@ -148,10 +154,11 @@ def chrome_trace(source, process_name: str = "repro") -> dict:
 
 
 def write_chrome_trace(source, path, process_name: str = "repro") -> Path:
-    """Write :func:`chrome_trace` output to ``path``; returns the path."""
-    path = Path(path)
-    path.write_text(json.dumps(chrome_trace(source, process_name)))
-    return path
+    """Write :func:`chrome_trace` output to ``path``; returns the path.
+
+    Crash-safe like :func:`write_jsonl`: the JSON appears atomically.
+    """
+    return atomic_write_text(path, json.dumps(chrome_trace(source, process_name)))
 
 
 def _jsonable(value):

@@ -1,0 +1,36 @@
+"""Atomic file writes and content checksums (persistence public face).
+
+The implementations live in :mod:`repro.util.atomicio` (so layers below
+the persistence package — imaging I/O, trace exporters — can use them
+without importing ``repro.persist``); this module re-exports them as
+the durable-session layer's documented API.
+
+The core primitive is :func:`atomic_payload`: write to a temp file in
+the target directory, ``fsync`` it, ``os.replace`` it over the target,
+then ``fsync`` the directory. A reader never observes a torn file — it
+sees the old bytes or the new bytes, nothing in between.
+"""
+
+from __future__ import annotations
+
+from repro.util.atomicio import (
+    atomic_payload,
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_text,
+    atomic_writer,
+    checksum_array,
+    checksum_bytes,
+    checksum_file,
+)
+
+__all__ = [
+    "atomic_payload",
+    "atomic_write_bytes",
+    "atomic_write_json",
+    "atomic_write_text",
+    "atomic_writer",
+    "checksum_array",
+    "checksum_bytes",
+    "checksum_file",
+]

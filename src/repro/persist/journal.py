@@ -1,0 +1,156 @@
+"""Write-ahead scan journal with atomic rename-based commits.
+
+The journal is the durable spine of a surgical session. Before a scan
+is processed, a ``begin`` entry (with the saved input volume's path and
+checksum) is made durable; after the scan's payloads are on disk, a
+``commit`` entry carrying the :class:`~repro.persist.checkpoint.ScanRecord`
+follows; an injected ``crash-after`` fault appends a ``crash`` entry in
+its last act before killing the process.
+
+Every append rewrites the whole journal file through
+:func:`repro.util.atomic_payload` (temp file + fsync + ``os.replace``),
+so a crash at any byte offset leaves either the previous or the next
+consistent journal — never a torn one. Journals are small (JSON
+metadata only; bulk arrays live in separate payload files), so the
+rewrite costs microseconds. Loading is additionally lenient about a
+torn *trailing* line, so journals produced by foreign tools that
+append in place still recover everything committed.
+
+Recovery semantics: only ``commit`` entries count. A ``begin`` without
+a matching ``commit`` is an interrupted scan — its input is preserved
+for the postmortem but the scan is re-processed on resume. A re-run of
+an interrupted scan appends fresh ``begin``/``commit`` entries; the
+latest ``commit`` per scan index wins.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.persist.checkpoint import ScanRecord
+from repro.util import ValidationError
+from repro.util.atomicio import atomic_writer
+
+JOURNAL_FORMAT = "repro-journal"
+JOURNAL_VERSION = 1
+
+
+class ScanJournal:
+    """The session's ordered, durable event log."""
+
+    def __init__(self, path: str | Path, entries: list[dict] | None = None):
+        self.path = Path(path)
+        self.entries: list[dict] = list(entries or [])
+        if not self.entries:
+            self.entries.append(
+                {
+                    "type": "meta",
+                    "format": JOURNAL_FORMAT,
+                    "version": JOURNAL_VERSION,
+                }
+            )
+
+    # -- durability ---------------------------------------------------------
+
+    def append(self, entry: dict) -> None:
+        """Append one entry and atomically persist the whole journal."""
+        self.entries.append(entry)
+        self.flush()
+
+    def flush(self) -> None:
+        with atomic_writer(self.path) as fh:
+            for entry in self.entries:
+                fh.write(json.dumps(entry) + "\n")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ScanJournal":
+        """Load a journal; raises :class:`ValidationError` when unusable.
+
+        A torn trailing line (possible only for journals written by
+        in-place appenders, not by this class) is dropped with a
+        recovery note rather than failing the whole resume.
+        """
+        path = Path(path)
+        if not path.is_file():
+            raise ValidationError(f"{path}: no session journal found")
+        entries: list[dict] = []
+        torn = False
+        with path.open() as fh:
+            lines = fh.read().splitlines()
+        for line_no, line in enumerate(lines, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entries.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                if line_no == len(lines):
+                    torn = True
+                    break
+                raise ValidationError(
+                    f"{path}:{line_no}: journal entry is not valid JSON ({exc})"
+                ) from exc
+        if not entries or entries[0].get("format") != JOURNAL_FORMAT:
+            raise ValidationError(f"{path}: not a repro session journal")
+        if int(entries[0].get("version", 0)) > JOURNAL_VERSION:
+            raise ValidationError(
+                f"{path}: journal version {entries[0].get('version')} is newer "
+                f"than supported ({JOURNAL_VERSION})"
+            )
+        journal = cls(path, entries)
+        if torn:
+            journal.entries.append(
+                {"type": "note", "text": "recovery: dropped torn trailing line"}
+            )
+        return journal
+
+    # -- writing ------------------------------------------------------------
+
+    def begin_scan(self, scan: int, input_file: str | None, input_sha: str | None) -> None:
+        """Durably record intent to process ``scan`` (the write-ahead step)."""
+        self.append(
+            {
+                "type": "begin",
+                "scan": int(scan),
+                "input_file": input_file,
+                "input_sha": input_sha,
+            }
+        )
+
+    def commit_scan(self, record: ScanRecord) -> None:
+        """Durably record a fully-persisted scan (the commit point)."""
+        self.append({"type": "commit", "scan": record.scan, "record": record.as_dict()})
+
+    def record_crash(self, scan: int, stage: str) -> None:
+        """Last act of an injected crash: journal it, then die."""
+        self.append({"type": "crash", "scan": int(scan), "stage": stage})
+
+    # -- querying -----------------------------------------------------------
+
+    def committed(self) -> list[ScanRecord]:
+        """Committed scan records in scan order; the latest commit wins."""
+        by_scan: dict[int, ScanRecord] = {}
+        for entry in self.entries:
+            if entry.get("type") == "commit":
+                record = ScanRecord.from_dict(entry["record"])
+                by_scan[record.scan] = record
+        return [by_scan[scan] for scan in sorted(by_scan)]
+
+    def begun(self) -> list[dict]:
+        return [e for e in self.entries if e.get("type") == "begin"]
+
+    def crashes(self) -> list[tuple[int, str]]:
+        """(scan, stage) of every journaled injected crash."""
+        return [
+            (int(e["scan"]), str(e.get("stage", "solve")))
+            for e in self.entries
+            if e.get("type") == "crash"
+        ]
+
+    def interrupted(self) -> list[int]:
+        """Scans with a ``begin`` but no ``commit`` (crashed mid-flight)."""
+        committed = {r.scan for r in self.committed()}
+        return sorted(
+            {int(e["scan"]) for e in self.begun() if int(e["scan"]) not in committed}
+        )

@@ -36,7 +36,9 @@ from repro.resilience.escalation import (
     solve_with_escalation,
 )
 from repro.resilience.faults import (
+    CRASH_STAGES,
     FAULT_KINDS,
+    PROCESS_FAULTS,
     SCAN_FAULTS,
     SOLVER_FAULTS,
     FaultPlan,
@@ -58,7 +60,9 @@ from repro.resilience.policy import (
 )
 
 __all__ = [
+    "CRASH_STAGES",
     "FAULT_KINDS",
+    "PROCESS_FAULTS",
     "SCAN_FAULTS",
     "SOLVER_FAULTS",
     "DegradationLevel",

@@ -18,6 +18,12 @@ faults keyed by intraoperative scan index:
 * ``stagnate-solver`` — force Krylov stagnation by clamping the
   iteration budget (and failing the direct rung), driving the solve
   through the full escalation ladder into graceful degradation.
+* ``crash-after`` — kill the whole process (``os._exit``) at a named
+  persistence barrier of the scan (``begin``, ``solve``, ``commit``,
+  ``mid-write``), proving the durable-session layer's torn-state
+  immunity: a checkpoint directory must be consistently resumable no
+  matter where the crash lands. Fired crashes are journaled first, so
+  a resumed session does not re-fire them.
 
 Plans parse from compact CLI strings (``--faults "1:stagnate-solver;
 1:kill-rank=2;2:scan-nan=0.4"``), are installed on
@@ -38,11 +44,20 @@ from repro.util import ValidationError, default_rng
 SCAN_FAULTS = ("scan-nan", "scan-spike", "scan-motion")
 #: Fault kinds aimed at the distributed solve.
 SOLVER_FAULTS = ("kill-rank", "stall-rank", "poison-warm-start", "stagnate-solver")
-FAULT_KINDS = SCAN_FAULTS + SOLVER_FAULTS
+#: Fault kinds that kill the whole process (durable-session drills).
+PROCESS_FAULTS = ("crash-after",)
+FAULT_KINDS = SCAN_FAULTS + SOLVER_FAULTS + PROCESS_FAULTS
 
 #: Kinds consumed on first trigger (the fault is transient: the retry
 #: after recovery does not hit it again).
-ONE_SHOT_KINDS = frozenset({"kill-rank", "stall-rank", "poison-warm-start"})
+ONE_SHOT_KINDS = frozenset({"kill-rank", "stall-rank", "poison-warm-start", "crash-after"})
+
+#: Persistence barriers a ``crash-after`` fault can target, in scan
+#: order: after the write-ahead ``begin`` record, after the solve (all
+#: processing done, commit record not yet durable), after the ``commit``
+#: record, and in the middle of an atomic manifest write (temp file
+#: written, ``os.replace`` not yet issued).
+CRASH_STAGES = ("begin", "solve", "commit", "mid-write")
 
 
 @dataclass
@@ -59,12 +74,14 @@ class FaultSpec:
         Kind-specific parameter: corrupted-voxel fraction for scan
         faults, rank index for ``kill-rank``/``stall-rank``, poisoned
         entry count for ``poison-warm-start``, iteration clamp for
-        ``stagnate-solver``. ``None`` uses the kind's default.
+        ``stagnate-solver``, persistence stage name (one of
+        :data:`CRASH_STAGES`) for ``crash-after``. ``None`` uses the
+        kind's default.
     """
 
     scan: int
     kind: str
-    param: float | None = None
+    param: float | str | None = None
     triggered: bool = field(default=False, compare=False)
 
     def __post_init__(self) -> None:
@@ -74,13 +91,34 @@ class FaultSpec:
             )
         if self.scan < 0:
             raise ValidationError(f"fault scan index must be >= 0, got {self.scan}")
+        if self.kind == "crash-after":
+            if self.param is not None and self.param not in CRASH_STAGES:
+                raise ValidationError(
+                    f"crash-after stage must be one of {sorted(CRASH_STAGES)}, "
+                    f"got {self.param!r}"
+                )
+        elif isinstance(self.param, str):
+            raise ValidationError(
+                f"fault kind {self.kind!r} takes a numeric parameter, "
+                f"got {self.param!r}"
+            )
 
     @property
     def one_shot(self) -> bool:
         return self.kind in ONE_SHOT_KINDS
 
+    @property
+    def crash_stage(self) -> str:
+        """Persistence barrier a ``crash-after`` fault fires at."""
+        return str(self.param) if self.param is not None else "solve"
+
     def describe(self) -> str:
-        tail = "" if self.param is None else f"={self.param:g}"
+        if self.param is None:
+            tail = ""
+        elif isinstance(self.param, str):
+            tail = f"={self.param}"
+        else:
+            tail = f"={self.param:g}"
         return f"scan {self.scan}: {self.kind}{tail}"
 
 
@@ -135,6 +173,42 @@ class FaultPlan:
     @property
     def triggered(self) -> list[FaultSpec]:
         return [s for s in self.specs if s.triggered]
+
+    def crash_spec(self, scan: int, stage: str) -> FaultSpec | None:
+        """The live ``crash-after`` fault for this scan + barrier, if any."""
+        for spec in self.specs:
+            if (
+                spec.kind == "crash-after"
+                and spec.scan == scan
+                and not spec.triggered
+                and spec.crash_stage == stage
+            ):
+                return spec
+        return None
+
+    def mark_crashed(self, scan: int, stage: str) -> None:
+        """Mark a journaled crash as already fired (resume bookkeeping).
+
+        A resumed session re-installs the original fault plan; crashes
+        the previous process already executed must not fire again when
+        the interrupted scan is re-processed.
+        """
+        for spec in self.specs:
+            if (
+                spec.kind == "crash-after"
+                and spec.scan == scan
+                and spec.crash_stage == stage
+            ):
+                spec.triggered = True
+
+    def strip_process_faults(self) -> "FaultPlan":
+        """A copy without process-killing faults (for deterministic replay)."""
+        keep = [
+            FaultSpec(scan=s.scan, kind=s.kind, param=s.param)
+            for s in self.specs
+            if s.kind not in PROCESS_FAULTS
+        ]
+        return FaultPlan(keep, seed=self.seed)
 
     # -- scan corruption ----------------------------------------------------
 
@@ -209,7 +283,11 @@ class FaultPlan:
                 scan_part, kind_part = chunk.split(":", 1)
                 if "=" in kind_part:
                     kind, param_part = kind_part.split("=", 1)
-                    param: float | None = float(param_part)
+                    param: float | str | None
+                    if kind.strip() == "crash-after":
+                        param = param_part.strip()
+                    else:
+                        param = float(param_part)
                 else:
                     kind, param = kind_part, None
                 specs.append(

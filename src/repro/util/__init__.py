@@ -4,6 +4,16 @@ This subpackage deliberately has no dependency on the rest of
 :mod:`repro`; everything else is allowed to import from it.
 """
 
+from repro.util.atomicio import (
+    atomic_payload,
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_text,
+    atomic_writer,
+    checksum_array,
+    checksum_bytes,
+    checksum_file,
+)
 from repro.util.errors import (
     ConvergenceError,
     DeadlineExceeded,
@@ -33,6 +43,14 @@ __all__ = [
     "Timer",
     "ValidationError",
     "WallClock",
+    "atomic_payload",
+    "atomic_write_bytes",
+    "atomic_write_json",
+    "atomic_write_text",
+    "atomic_writer",
+    "checksum_array",
+    "checksum_bytes",
+    "checksum_file",
     "check_finite",
     "check_positive",
     "check_shape",

@@ -1,0 +1,151 @@
+"""Atomic, durable file writes and content checksums.
+
+An operating-room session must survive a process crash at *any* byte
+offset: every file the persistence layer writes is produced with the
+classic temp-file + flush + ``fsync`` + ``os.replace`` dance, so the
+visible path always holds either the previous or the next consistent
+content, never a torn mixture. The same helpers back the trace
+exporters (:mod:`repro.obs.export`) and the imaging archives
+(:mod:`repro.imaging.io`); :mod:`repro.persist` re-exports them as its
+public face.
+
+Checksums are 128-bit BLAKE2b digests (hex). Array checksums cover the
+dtype and shape alongside the raw bytes, so a reinterpreted buffer does
+not silently verify.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from contextlib import contextmanager
+from pathlib import Path
+
+import numpy as np
+
+__all__ = [
+    "atomic_payload",
+    "atomic_write_bytes",
+    "atomic_write_json",
+    "atomic_write_text",
+    "atomic_writer",
+    "checksum_array",
+    "checksum_bytes",
+    "checksum_file",
+]
+
+_DIGEST_SIZE = 16
+
+
+def checksum_bytes(data: bytes) -> str:
+    """Hex BLAKE2b digest of a byte string."""
+    return hashlib.blake2b(data, digest_size=_DIGEST_SIZE).hexdigest()
+
+
+def checksum_array(array: np.ndarray) -> str:
+    """Hex digest of an array's dtype, shape and contents.
+
+    Bit-exact: two arrays match iff they hold identical bytes under the
+    same dtype and shape — the property deterministic replay verifies.
+    """
+    arr = np.ascontiguousarray(array)
+    h = hashlib.blake2b(digest_size=_DIGEST_SIZE)
+    h.update(str(arr.dtype).encode())
+    h.update(repr(arr.shape).encode())
+    h.update(arr.tobytes())
+    return h.hexdigest()
+
+
+def checksum_file(path: str | Path, chunk_bytes: int = 1 << 20) -> str:
+    """Hex digest of a file's contents, read in chunks."""
+    h = hashlib.blake2b(digest_size=_DIGEST_SIZE)
+    with Path(path).open("rb") as fh:
+        while True:
+            chunk = fh.read(chunk_bytes)
+            if not chunk:
+                break
+            h.update(chunk)
+    return h.hexdigest()
+
+
+def _fsync_dir(directory: Path) -> None:
+    """Flush a directory entry so a rename survives power loss (POSIX)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # platforms/filesystems without directory fds
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+@contextmanager
+def atomic_payload(path: str | Path, suffix: str = ".tmp"):
+    """Yield a temp path in ``path``'s directory; commit it atomically.
+
+    The body writes the temp file however it likes (e.g. hand it to
+    ``np.savez_compressed``). On normal exit the temp file is fsynced
+    and renamed over ``path`` with :func:`os.replace` — the atomic
+    commit point. On error the temp file is removed and ``path`` is
+    left untouched.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + ".", suffix=suffix
+    )
+    os.close(fd)
+    tmp = Path(tmp_name)
+    try:
+        yield tmp
+        with tmp.open("rb") as fh:
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+        _fsync_dir(path.parent)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+
+
+@contextmanager
+def atomic_writer(path: str | Path, mode: str = "w"):
+    """Open a file handle whose contents appear atomically at ``path``.
+
+    ``mode`` must be a write mode (``"w"`` or ``"wb"``). The handle
+    writes to a temp file; flush + fsync + ``os.replace`` happen on
+    clean exit, nothing on error.
+    """
+    if mode not in ("w", "wb"):
+        raise ValueError(f"atomic_writer requires mode 'w' or 'wb', got {mode!r}")
+    with atomic_payload(path) as tmp:
+        with tmp.open(mode) as fh:
+            yield fh
+            fh.flush()
+            os.fsync(fh.fileno())
+
+
+def atomic_write_bytes(path: str | Path, data: bytes) -> Path:
+    """Atomically write ``data`` to ``path``; returns the path."""
+    with atomic_writer(path, "wb") as fh:
+        fh.write(data)
+    return Path(path)
+
+
+def atomic_write_text(path: str | Path, text: str) -> Path:
+    """Atomically write ``text`` to ``path``; returns the path."""
+    with atomic_writer(path, "w") as fh:
+        fh.write(text)
+    return Path(path)
+
+
+def atomic_write_json(path: str | Path, obj, indent: int | None = 2) -> Path:
+    """Atomically serialize ``obj`` as JSON to ``path``; returns the path."""
+    with atomic_writer(path, "w") as fh:
+        json.dump(obj, fh, indent=indent, sort_keys=True)
+        fh.write("\n")
+    return Path(path)
