@@ -9,6 +9,7 @@ live; pytest captures otherwise) and appended to
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import pytest
@@ -21,16 +22,26 @@ from repro.experiments.common import (
 
 RESULTS_PATH = pathlib.Path(__file__).with_name("results.txt")
 
+#: ``REPRO_BENCH_SMOKE=1`` (the CI bench-smoke job) swaps the paper-scale
+#: systems for small ones: every benchmark still runs end-to-end and
+#: writes its ``BENCH_*.json`` record, but in minutes, not hours. The
+#: records are marked unofficial by the reduced system sizes they embed.
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
 
 @pytest.fixture(scope="session")
 def system77():
     """The paper's 77,511-equation clinical system (25,837 nodes)."""
+    if SMOKE:
+        return build_clinical_system(12000, shape=(48, 48, 36))
     return build_clinical_system(PAPER_SYSTEM_SMALL)
 
 
 @pytest.fixture(scope="session")
 def system253():
     """The paper's 253,308-equation high-resolution system."""
+    if SMOKE:
+        return build_clinical_system(20000, shape=(56, 56, 42))
     return build_clinical_system(PAPER_SYSTEM_LARGE, shape=(128, 128, 96))
 
 

@@ -10,6 +10,8 @@ import pytest
 from repro.experiments import ablations
 from repro.experiments.common import build_clinical_system
 
+pytestmark = pytest.mark.bench
+
 
 @pytest.fixture(scope="module")
 def medium_system():

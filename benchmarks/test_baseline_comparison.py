@@ -13,6 +13,8 @@ from repro.experiments import baseline
 from repro.imaging.phantom import make_neurosurgery_case
 from repro.registration.nonrigid import register_demons
 
+pytestmark = pytest.mark.bench
+
 
 @pytest.fixture(scope="module")
 def report():

@@ -9,6 +9,9 @@ from __future__ import annotations
 
 from repro.experiments import fig3
 
+import pytest
+
+pytestmark = pytest.mark.bench
 
 def test_fig3_machine_spec_tables(benchmark, record_report):
     reports = benchmark(fig3.run_all)

@@ -13,6 +13,8 @@ import pytest
 from repro.experiments import fig4
 from repro.imaging.resample import invert_displacement_field, warp_volume
 
+pytestmark = pytest.mark.bench
+
 
 @pytest.fixture(scope="module")
 def outcome():

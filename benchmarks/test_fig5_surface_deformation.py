@@ -13,6 +13,8 @@ from repro.experiments import fig4, fig5
 from repro.imaging.phantom import Tissue
 from repro.surface.correspondence import surface_correspondence
 
+pytestmark = pytest.mark.bench
+
 
 @pytest.fixture(scope="module")
 def outcome():

@@ -14,6 +14,8 @@ from repro.experiments import fig6
 from repro.imaging.phantom import make_neurosurgery_case
 from repro.machines.spec import DEEP_FLOW
 
+pytestmark = pytest.mark.bench
+
 
 def test_fig6_timeline(record_report, benchmark):
     report = fig6.run(shape=(64, 64, 48), seed=12, machine=DEEP_FLOW, n_ranks=16)

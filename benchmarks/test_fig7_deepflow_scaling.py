@@ -13,6 +13,8 @@ from repro.experiments import fig7
 from repro.machines.spec import DEEP_FLOW
 from repro.parallel.simulation import simulate_parallel
 
+pytestmark = pytest.mark.bench
+
 
 @pytest.fixture(scope="module")
 def sweep(system77):

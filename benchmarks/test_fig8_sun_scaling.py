@@ -13,6 +13,8 @@ from repro.experiments import fig7, fig8
 from repro.machines.spec import ULTRA_HPC_6000
 from repro.parallel.simulation import simulate_parallel
 
+pytestmark = pytest.mark.bench
+
 
 @pytest.fixture(scope="module")
 def smp_report(system77):

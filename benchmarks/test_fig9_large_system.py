@@ -12,6 +12,8 @@ import pytest
 from repro.experiments import fig7, fig9
 from repro.machines.spec import ULTRA_HPC_6000
 
+pytestmark = pytest.mark.bench
+
 
 @pytest.fixture(scope="module")
 def sweep(system253):

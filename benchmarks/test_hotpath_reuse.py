@@ -30,6 +30,8 @@ from repro.experiments.common import build_clinical_system
 from repro.fem.bc import DirichletBC
 from repro.parallel.simulation import prepare_solve_context, simulate_parallel
 
+pytestmark = pytest.mark.bench
+
 RESULT_PATH = pathlib.Path(__file__).with_name("BENCH_hotpath.json")
 
 #: Scaling of the surface displacement field per scan: the brain shift

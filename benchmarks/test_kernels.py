@@ -21,6 +21,8 @@ from repro.imaging.volume import ImageVolume
 from repro.mesh.generator import mesh_labeled_volume
 from repro.parallel.solver import DistributedBlockJacobi
 
+pytestmark = pytest.mark.bench
+
 
 @pytest.fixture(scope="module")
 def medium(system77):

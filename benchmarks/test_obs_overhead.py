@@ -36,6 +36,10 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import NULL_SPAN, Tracer
 from repro.solver.gmres import _gmres, gmres
 
+import pytest
+
+pytestmark = pytest.mark.bench
+
 RESULT_PATH = pathlib.Path(__file__).with_name("BENCH_obs.json")
 
 #: Acceptance bound on the disabled-tracer overhead of a solve.

@@ -33,6 +33,8 @@ from repro.core.session import SurgicalSession
 from repro.imaging.phantom import make_neurosurgery_case
 from repro.persist import SessionStore, config_from_manifest
 
+pytestmark = pytest.mark.bench
+
 RESULT_PATH = pathlib.Path(__file__).with_name("BENCH_recovery.json")
 
 SHAPES = ((28, 28, 20), (40, 40, 30))

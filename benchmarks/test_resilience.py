@@ -27,6 +27,8 @@ from repro.core.session import SurgicalSession
 from repro.imaging.phantom import make_neurosurgery_case
 from repro.resilience import DegradationLevel, FaultPlan
 
+pytestmark = pytest.mark.bench
+
 RESULT_PATH = pathlib.Path(__file__).with_name("BENCH_resilience.json")
 
 #: One representative plan per fault class, aimed at scan index 1 (the

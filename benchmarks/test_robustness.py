@@ -7,6 +7,8 @@ import pytest
 from repro.experiments import convergence, robustness
 from repro.experiments.common import build_clinical_system
 
+pytestmark = pytest.mark.bench
+
 
 def test_shift_robustness(record_report, benchmark):
     report = robustness.shift_sweep(shifts=(2.0, 4.0, 8.0))

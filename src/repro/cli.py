@@ -7,6 +7,8 @@ Usage (after installation)::
     python -m repro.cli pipeline --scans 3 --checkpoint-dir session/
     python -m repro.cli pipeline --resume --checkpoint-dir session/
     python -m repro.cli replay session/
+    python -m repro.cli serve --cases 4 --workers 2 --scans 2
+    python -m repro.cli bench-throughput --cases 4 --workers 4 --json BENCH_throughput.json
     python -m repro.cli scaling --equations 77511 --machine deep_flow
     python -m repro.cli experiments --fast
     python -m repro.cli predict --shape 56 56 42
@@ -20,6 +22,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import contextmanager
 from pathlib import Path
 
 import numpy as np
@@ -188,9 +191,6 @@ def cmd_pipeline(args: argparse.Namespace) -> int:
     return 0
 
 
-from contextlib import contextmanager
-
-
 @contextmanager
 def _no_context():
     """Placeholder context when tracing is off."""
@@ -248,6 +248,84 @@ def cmd_experiments(args: argparse.Namespace) -> int:
     path = generate(fast=args.fast, out_path=Path(args.out) if args.out else None)
     print(f"wrote {path}")
     return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Serve concurrent phantom surgical cases through a worker pool."""
+    from repro.obs.metrics import MetricsRegistry
+    from repro.serving import CaseRequest, SessionServer
+
+    config = PipelineConfig(mesh_cell_mm=args.cell)
+    metrics = MetricsRegistry()
+    server = SessionServer(
+        n_workers=args.workers,
+        queue_capacity=args.queue_capacity,
+        policy=args.policy,
+        metrics=metrics,
+    )
+    try:
+        # args.patients distinct patients, round-robin over the cases:
+        # same-patient cases exercise the preop-model cache, distinct
+        # patients exercise scheduling.
+        patients = [
+            make_neurosurgery_case(
+                shape=tuple(args.shape), shift_mm=args.shift, seed=args.seed + p
+            )
+            for p in range(min(args.patients, args.cases))
+        ]
+        for index in range(args.cases):
+            patient = patients[index % len(patients)]
+            scans = [
+                _phantom_case(
+                    args.shape, args.shift, args.seed + 100 + index, s, args.scans
+                ).intraop_mri
+                for s in range(args.scans)
+            ]
+            checkpoint_dir = None
+            if args.checkpoint_root:
+                checkpoint_dir = str(Path(args.checkpoint_root) / f"case-{index:02d}")
+            rejected = server.submit(
+                CaseRequest(
+                    case_id=f"case-{index:02d}",
+                    preop_mri=patient.preop_mri,
+                    preop_labels=patient.preop_labels,
+                    scans=scans,
+                    config=config,
+                    deadline_s=args.deadline,
+                    checkpoint_dir=checkpoint_dir,
+                )
+            )
+            if rejected is not None:
+                print(f"rejected case-{index:02d}: {rejected.detail}")
+        results = server.run()
+        print(server.summary_table())
+        completed = sum(1 for r in results.values() if r.ok)
+        return 0 if completed == args.cases else 1
+    finally:
+        server.shutdown()
+
+
+def cmd_bench_throughput(args: argparse.Namespace) -> int:
+    """Benchmark pool serving against serial sessions (same patient)."""
+    import json
+
+    from repro.serving import run_throughput_benchmark
+
+    report = run_throughput_benchmark(
+        n_cases=args.cases,
+        n_workers=args.workers,
+        scans_per_case=args.scans,
+        shape=tuple(args.shape),
+        mesh_cell_mm=args.cell,
+        shift_mm=args.shift,
+        seed=args.seed,
+    )
+    print(report.table())
+    if args.json:
+        path = Path(args.json)
+        path.write_text(json.dumps(report.as_dict(), indent=2) + "\n")
+        print(f"wrote {path}")
+    return 0 if report.bit_identical else 1
 
 
 def cmd_predict(args: argparse.Namespace) -> int:
@@ -354,6 +432,41 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--buoyancy", type=float, default=0.85)
     p.add_argument("--heterogeneous", action="store_true")
     p.set_defaults(func=cmd_predict)
+
+    p = sub.add_parser("serve", help=cmd_serve.__doc__)
+    _add_shape(p, default=(32, 32, 24))
+    p.add_argument("--cases", type=int, default=4, help="cases to submit")
+    p.add_argument(
+        "--patients",
+        type=int,
+        default=1,
+        help="distinct patients among the cases (1 = all share one preop model)",
+    )
+    p.add_argument("--scans", type=int, default=1, help="scans per case")
+    p.add_argument("--workers", type=int, default=2)
+    p.add_argument("--policy", choices=["fifo", "deadline"], default="fifo")
+    p.add_argument("--queue-capacity", type=int, default=16)
+    p.add_argument("--shift", type=float, default=5.0)
+    p.add_argument("--cell", type=float, default=5.0, help="mesh cell size (mm)")
+    p.add_argument(
+        "--deadline", type=float, default=None, help="per-case deadline (s)"
+    )
+    p.add_argument(
+        "--checkpoint-root",
+        default=None,
+        help="make cases durable: per-case checkpoint dirs under this root",
+    )
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("bench-throughput", help=cmd_bench_throughput.__doc__)
+    _add_shape(p, default=(32, 32, 24))
+    p.add_argument("--cases", type=int, default=4)
+    p.add_argument("--workers", type=int, default=4)
+    p.add_argument("--scans", type=int, default=1, help="scans per case")
+    p.add_argument("--cell", type=float, default=3.0, help="mesh cell size (mm)")
+    p.add_argument("--shift", type=float, default=5.0)
+    p.add_argument("--json", default=None, help="write the report as JSON here")
+    p.set_defaults(func=cmd_bench_throughput)
 
     p = sub.add_parser("replay", help=cmd_replay.__doc__)
     p.add_argument("checkpoint_dir", help="checkpoint directory to replay-verify")

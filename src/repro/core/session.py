@@ -72,6 +72,7 @@ class SurgicalSession:
         preop_labels: ImageVolume,
         checkpoint_dir=None,
         app: dict | None = None,
+        preop: PreoperativeModel | None = None,
     ) -> "SurgicalSession":
         """Prepare the preoperative model and open the session.
 
@@ -81,8 +82,17 @@ class SurgicalSession:
         every processed scan is journaled and committed atomically.
         ``app`` is free-form application metadata (e.g. CLI arguments)
         stored in the manifest so a resume can regenerate its inputs.
+
+        ``preop`` skips the (expensive) preoperative preparation by
+        adopting an already-built model — the serving layer's per-patient
+        cache. The caller guarantees it was prepared from exactly
+        ``preop_mri``/``preop_labels`` under this pipeline's config, and
+        should reset its solve-context warm memory
+        (:meth:`repro.fem.SolveContext.reset_warm_state`) when the model
+        was used by a previous case.
         """
-        preop = pipeline.prepare_preoperative(preop_mri, preop_labels)
+        if preop is None:
+            preop = pipeline.prepare_preoperative(preop_mri, preop_labels)
         store = None
         if checkpoint_dir is not None:
             store = SessionStore.create(

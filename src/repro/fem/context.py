@@ -343,6 +343,22 @@ class SolveContext:
             self.stats.invalidations = int(stats.get("invalidations", 0))
         return True
 
+    def reset_warm_state(self) -> None:
+        """Drop the warm memory but keep the expensive cached build.
+
+        The assembly/reduction/preconditioner state is patient-specific
+        and scan-invariant; the warm-start memory and the hit/miss
+        counters belong to one *case* (one session's scan chain). When a
+        cached context is handed to a new case of the same patient
+        (:class:`repro.serving.SessionWorkerPool`'s preop-model cache),
+        resetting the warm state makes the reuse numerically invisible:
+        the new case's first solve starts cold, exactly like a fresh
+        session, so its displacement fields are bit-identical to a
+        from-scratch run — while still skipping the rebuild.
+        """
+        self.last_solution = None
+        self.stats.reset()
+
     def warm_start_vector(self, n_free: int) -> np.ndarray | None:
         """Previous scan's reduced solution, if compatible (else None)."""
         if self.last_solution is not None and self.last_solution.shape == (n_free,):

@@ -58,7 +58,6 @@ def trilinear_sample(
         return result.reshape(out_shape)
 
     floor = np.floor(idx).astype(np.intp)
-    frac = idx - floor
     valid = (
         (idx[:, 0] >= 0) & (idx[:, 0] <= nx - 1)
         & (idx[:, 1] >= 0) & (idx[:, 1] <= ny - 1)

@@ -19,7 +19,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
-from scipy import sparse
 
 from repro.fem.assembly import assemble_stiffness
 from repro.fem.bc import DirichletBC, apply_dirichlet

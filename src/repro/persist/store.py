@@ -599,5 +599,6 @@ def _restored_result(
         match_simulated_rms=record.match_simulated_rms,
         match_rigid_mi=record.match_rigid_mi,
         match_simulated_mi=record.match_simulated_mi,
+        degradation=degradation,
         restored=True,
     )

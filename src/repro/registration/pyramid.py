@@ -7,8 +7,6 @@ spacing scaled to preserve world geometry.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.imaging.volume import ImageVolume
 from repro.util import ValidationError
 

@@ -98,7 +98,6 @@ class RigidTransform:
         else:  # gimbal lock
             rx = np.arctan2(-RT[1, 2], RT[1, 1])
             rz = 0.0
-        c = np.asarray(self.center)
         t = np.asarray(self.translation)
         new_t = -(RT @ t)
         return RigidTransform(tuple(new_t), (float(rx), float(ry), float(rz)), self.center)

@@ -1,0 +1,46 @@
+"""Concurrent multi-patient serving of surgical sessions.
+
+The paper's pipeline serves one patient under operating-room latency;
+this package re-architects it as a *service*: a bounded admission queue
+with budget-verdict backpressure (:mod:`repro.serving.admission`),
+FIFO / earliest-deadline-first scheduling with preop-model affinity
+(:mod:`repro.serving.scheduler`), a ``multiprocessing`` worker pool
+whose workers host resumable sessions and share prepared patient
+models via a checksum-keyed cache (:mod:`repro.serving.pool`), and the
+single-threaded control loop tying them together
+(:mod:`repro.serving.server`). Worker deaths re-admit durable cases
+through their persistence journal; graceful drain checkpoints in-flight
+sessions. ``repro serve`` and ``repro bench-throughput`` drive it from
+the command line.
+"""
+
+from repro.serving.admission import AdmissionQueue, QueuedCase, ServiceEstimator
+from repro.serving.bench import ThroughputReport, run_throughput_benchmark
+from repro.serving.pool import SessionWorkerPool, WorkerHandle
+from repro.serving.protocol import (
+    CASE_STATUSES,
+    CaseRequest,
+    CaseResult,
+    ScanOutcome,
+    outcome_from_result,
+)
+from repro.serving.scheduler import POLICIES, Scheduler
+from repro.serving.server import SessionServer
+
+__all__ = [
+    "AdmissionQueue",
+    "CASE_STATUSES",
+    "CaseRequest",
+    "CaseResult",
+    "POLICIES",
+    "QueuedCase",
+    "ScanOutcome",
+    "Scheduler",
+    "ServiceEstimator",
+    "SessionServer",
+    "SessionWorkerPool",
+    "ThroughputReport",
+    "WorkerHandle",
+    "outcome_from_result",
+    "run_throughput_benchmark",
+]

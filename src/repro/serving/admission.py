@@ -1,0 +1,196 @@
+"""Bounded admission queue with backpressure and deadline control.
+
+Admission reuses the :mod:`repro.obs.budget` vocabulary: every decision
+is expressed as a :class:`repro.obs.ScanVerdict` whose checks are the
+estimated *queue wait* and *case service* components, judged against the
+case's deadline. A case is admitted when the queue has capacity and its
+estimated completion fits the deadline; otherwise the verdict's ``label``
+(``ok`` / ``OVER(...)``) travels back to the caller as the rejection
+reason — the same compact language the intraoperative budget monitor
+uses for scan verdicts.
+
+Service estimates start at zero (admit-everything) and calibrate online
+from observed preoperative-build and per-scan durations via an
+exponentially weighted moving average, so backpressure tightens as the
+server learns the actual workload.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.obs.budget import ScanVerdict, StageCheck
+from repro.serving.protocol import CaseRequest
+from repro.util import ValidationError
+
+
+@dataclass
+class ServiceEstimator:
+    """Online EWMA estimates of preop-build and per-scan seconds."""
+
+    alpha: float = 0.4
+    preop_seconds: float = 0.0
+    scan_seconds: float = 0.0
+    _preop_n: int = field(default=0, repr=False)
+    _scan_n: int = field(default=0, repr=False)
+
+    def observe_preop(self, seconds: float) -> None:
+        self.preop_seconds = self._blend(self.preop_seconds, seconds, self._preop_n)
+        self._preop_n += 1
+
+    def observe_scan(self, seconds: float) -> None:
+        self.scan_seconds = self._blend(self.scan_seconds, seconds, self._scan_n)
+        self._scan_n += 1
+
+    def _blend(self, current: float, seconds: float, n: int) -> float:
+        if n == 0:
+            return float(seconds)
+        return (1.0 - self.alpha) * current + self.alpha * float(seconds)
+
+    def case_seconds(self, n_scans: int, preop_cached: bool) -> float:
+        """Expected service time of a case (0.0 until calibrated)."""
+        preop = 0.0 if preop_cached else self.preop_seconds
+        return preop + n_scans * self.scan_seconds
+
+
+@dataclass
+class QueuedCase:
+    """A case waiting for a worker slot."""
+
+    request: CaseRequest
+    admitted_monotonic: float
+
+    @property
+    def deadline_monotonic(self) -> float | None:
+        if self.request.deadline_s is None:
+            return None
+        return self.admitted_monotonic + self.request.deadline_s
+
+    def waited(self, now: float | None = None) -> float:
+        return (time.monotonic() if now is None else now) - self.admitted_monotonic
+
+    def expired(self, now: float | None = None) -> bool:
+        deadline = self.deadline_monotonic
+        if deadline is None:
+            return False
+        return (time.monotonic() if now is None else now) > deadline
+
+
+class AdmissionQueue:
+    """Bounded FIFO of queued cases with verdict-based admission.
+
+    ``capacity`` bounds the number of *queued* (not yet dispatched)
+    cases — the server's backpressure boundary. :meth:`admit` renders
+    the decision as a :class:`repro.obs.ScanVerdict`; :meth:`evict_expired`
+    implements the queue half of deadline enforcement.
+    """
+
+    def __init__(self, capacity: int, estimator: ServiceEstimator | None = None):
+        if capacity < 1:
+            raise ValidationError(f"queue capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self.estimator = estimator if estimator is not None else ServiceEstimator()
+        self._items: list[QueuedCase] = []
+
+    # -- state ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def full(self) -> bool:
+        return len(self._items) >= self.capacity
+
+    def items(self) -> list[QueuedCase]:
+        """The queued cases, admission order (do not mutate)."""
+        return list(self._items)
+
+    # -- admission -----------------------------------------------------------
+
+    def admission_verdict(
+        self,
+        request: CaseRequest,
+        backlog_seconds: float = 0.0,
+        preop_cached: bool = False,
+    ) -> ScanVerdict:
+        """Judge a candidate case against its deadline, budget-monitor style.
+
+        ``backlog_seconds`` is the estimated work queued/running ahead of
+        the case; the verdict's checks break the estimate into its queue
+        wait and service components. A case without a deadline is judged
+        against an infinite budget — always ``ok``.
+        """
+        service = self.estimator.case_seconds(request.n_scans, preop_cached)
+        deadline = (
+            float("inf") if request.deadline_s is None else float(request.deadline_s)
+        )
+        verdict = ScanVerdict(
+            scan_index=len(self._items),
+            total_seconds=backlog_seconds + service,
+            scan_budget=deadline,
+            checks=[
+                StageCheck("queue wait", float(backlog_seconds), None),
+                StageCheck("case service", float(service), None),
+            ],
+        )
+        if verdict.scan_over:
+            verdict.warnings.append(
+                f"case {request.case_id!r}: estimated completion "
+                f"{verdict.total_seconds:.1f} s exceeds deadline {deadline:.1f} s"
+            )
+        return verdict
+
+    def admit(
+        self,
+        request: CaseRequest,
+        backlog_seconds: float = 0.0,
+        preop_cached: bool = False,
+    ) -> tuple[bool, ScanVerdict | None, str]:
+        """Try to enqueue; returns ``(admitted, verdict, detail)``.
+
+        A full queue rejects immediately with ``verdict=None`` (hard
+        backpressure — no estimate involved); otherwise the budget-style
+        verdict decides, and an admitted case is appended FIFO.
+        """
+        if self.full:
+            return False, None, f"queue full (capacity {self.capacity})"
+        verdict = self.admission_verdict(request, backlog_seconds, preop_cached)
+        if not verdict.within_budget:
+            return False, verdict, verdict.warnings[-1] if verdict.warnings else (
+                f"admission verdict {verdict.label}"
+            )
+        self._items.append(QueuedCase(request, time.monotonic()))
+        return True, verdict, "admitted"
+
+    # -- dispatch / eviction -------------------------------------------------
+
+    def pop(self, index: int = 0) -> QueuedCase:
+        """Remove and return the queued case at ``index``."""
+        if not self._items:
+            raise ValidationError("admission queue is empty")
+        return self._items.pop(index)
+
+    def requeue_front(self, request: CaseRequest) -> QueuedCase:
+        """Put a re-admitted case at the head of the queue.
+
+        Used after a worker death: the case already earned its admission
+        once, so it bypasses the verdict (and the capacity bound, which
+        only shields *new* work) and restarts its deadline clock.
+        """
+        queued = QueuedCase(request, time.monotonic())
+        self._items.insert(0, queued)
+        return queued
+
+    def clear(self) -> list[QueuedCase]:
+        """Remove and return every queued case (drain/shutdown path)."""
+        items, self._items = self._items, []
+        return items
+
+    def evict_expired(self, now: float | None = None) -> list[QueuedCase]:
+        """Remove and return every queued case past its deadline."""
+        now = time.monotonic() if now is None else now
+        expired = [q for q in self._items if q.expired(now)]
+        if expired:
+            self._items = [q for q in self._items if not q.expired(now)]
+        return expired

@@ -1,0 +1,396 @@
+"""Process-pool of session workers: GIL-free concurrent surgical cases.
+
+Each worker is a separate OS process hosting :class:`repro.core.SurgicalSession`
+instances, so concurrent FEM solves run truly in parallel. A worker
+keeps a **checksum-keyed preoperative-model cache**: cases whose
+(preoperative volumes, config) BLAKE2b key matches a model already
+prepared by that worker skip the whole preoperative rebuild —
+localization models, meshing, assembly, Dirichlet elimination,
+preconditioner factorization — and only reset the solve-context warm
+memory so their results stay bit-identical to a from-scratch session
+(:meth:`repro.fem.SolveContext.reset_warm_state`).
+
+Reliability contract:
+
+* **Durable cases** (``checkpoint_dir`` set) are journaled through
+  :class:`repro.persist.SessionStore`; a worker death mid-case leaves
+  the checkpoint resumable, and re-dispatching the same request makes
+  the replacement worker *resume* it — committed scans come back from
+  the journal (bit-exact, ``restored=True``), only the remainder is
+  recomputed.
+* **Graceful drain**: setting the pool's drain event makes busy workers
+  finish their current scan, checkpoint the in-flight session (to the
+  case's own checkpoint directory, or the pool's drain spool), and
+  report a ``drained`` result before exiting.
+* **Death detection** is the parent's job: :meth:`SessionWorkerPool.reap`
+  finds exited workers, respawns their slot (fresh process, empty
+  cache) and hands the interrupted request back to the caller for
+  re-admission.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_module
+import tempfile
+import time
+import traceback
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.serving.protocol import (
+    STATUS_COMPLETED,
+    STATUS_DRAINED,
+    STATUS_FAILED,
+    CaseRequest,
+    CaseResult,
+    outcome_from_result,
+)
+from repro.util import ValidationError
+
+
+def _build_pipeline(config):
+    """A fresh pipeline for one case (workers run untraced)."""
+    from repro.core.config import PipelineConfig
+    from repro.core.pipeline import IntraoperativePipeline
+
+    return IntraoperativePipeline(config=config if config is not None else PipelineConfig())
+
+
+def _resume_case(request: CaseRequest, worker_id: int) -> tuple[object, list, float]:
+    """Reopen a case's checkpoint; returns (session, outcomes, preop_s).
+
+    The manifest is authoritative for the numeric configuration (the
+    committed scans were produced under it); the request's fault plan
+    and resilience policy — never serialized — are grafted back on, so
+    journaled crash faults are marked fired instead of re-firing.
+    """
+    from repro.core.config import PipelineConfig
+    from repro.core.session import SurgicalSession
+    from repro.persist.checkpoint import config_from_manifest
+    from repro.persist.store import SessionStore
+
+    store = SessionStore.open(request.checkpoint_dir)
+    config = config_from_manifest(store.manifest.get("config", {}))
+    base = request.config if request.config is not None else PipelineConfig()
+    config.fault_plan = base.fault_plan
+    config.resilience = base.resilience
+    t0 = time.perf_counter()
+    session = SurgicalSession.resume(
+        _build_pipeline(config), request.checkpoint_dir
+    )
+    preop_seconds = time.perf_counter() - t0
+    outcomes = [
+        outcome_from_result(i, result) for i, result in enumerate(session.history)
+    ]
+    return session, outcomes, preop_seconds
+
+
+def _serve_case(
+    request: CaseRequest,
+    preop_cache: dict,
+    drain_event,
+    drain_dir: str,
+    worker_id: int,
+) -> CaseResult:
+    """Run one case to completion (or drain) inside a worker process."""
+    from repro.core.session import SurgicalSession
+
+    t_start = time.perf_counter()
+    outcomes = []
+    preop_seconds = 0.0
+    cache_hit = False
+    checkpoint = request.checkpoint_dir
+    try:
+        resuming = (
+            checkpoint is not None and (Path(checkpoint) / "MANIFEST.json").is_file()
+        )
+        if resuming:
+            session, outcomes, preop_seconds = _resume_case(request, worker_id)
+        else:
+            key = request.preop_key()
+            preop = preop_cache.get(key)
+            cache_hit = preop is not None
+            pipeline = _build_pipeline(request.config)
+            if cache_hit and preop.solve_context is not None:
+                # Case isolation: the cached build is patient state, the
+                # warm memory is case state. Reset makes reuse
+                # numerically invisible (bit-identical to a cold build).
+                preop.solve_context.reset_warm_state()
+            if not cache_hit:
+                t0 = time.perf_counter()
+                preop = pipeline.prepare_preoperative(
+                    request.preop_mri, request.preop_labels
+                )
+                preop_seconds = time.perf_counter() - t0
+                preop_cache[key] = preop
+            session = SurgicalSession.begin(
+                pipeline,
+                request.preop_mri,
+                request.preop_labels,
+                checkpoint_dir=checkpoint,
+                app={"case_id": request.case_id},
+                preop=preop,
+            )
+        for index in range(session.n_scans, request.n_scans):
+            if drain_event.is_set():
+                root = session.checkpoint(
+                    None
+                    if session.store is not None
+                    else str(Path(drain_dir) / request.case_id)
+                )
+                return CaseResult(
+                    case_id=request.case_id,
+                    status=STATUS_DRAINED,
+                    detail=f"drained after scan {index - 1} -> {root}",
+                    worker=worker_id,
+                    scans=outcomes,
+                    service_seconds=time.perf_counter() - t_start,
+                    preop_cache_hit=cache_hit,
+                    preop_seconds=preop_seconds,
+                    checkpoint=str(root),
+                )
+            result = session.process(request.scans[index])
+            outcomes.append(outcome_from_result(index, result))
+        return CaseResult(
+            case_id=request.case_id,
+            status=STATUS_COMPLETED,
+            detail="ok",
+            worker=worker_id,
+            scans=outcomes,
+            service_seconds=time.perf_counter() - t_start,
+            preop_cache_hit=cache_hit,
+            preop_seconds=preop_seconds,
+            checkpoint=checkpoint,
+        )
+    except Exception as exc:  # noqa: BLE001 - the boundary must not leak
+        return CaseResult(
+            case_id=request.case_id,
+            status=STATUS_FAILED,
+            detail=f"{type(exc).__name__}: {exc}",
+            worker=worker_id,
+            scans=outcomes,
+            service_seconds=time.perf_counter() - t_start,
+            preop_cache_hit=cache_hit,
+            preop_seconds=preop_seconds,
+            checkpoint=checkpoint,
+            error_traceback=traceback.format_exc(limit=8),
+        )
+
+
+def _worker_main(worker_id: int, task_queue, result_queue, drain_event, drain_dir):
+    """Worker process entry point: serve cases until told to stop."""
+    preop_cache: dict = {}
+    while True:
+        message = task_queue.get()
+        kind = message[0]
+        if kind == "stop":
+            return
+        if kind == "case":
+            result = _serve_case(
+                message[1], preop_cache, drain_event, drain_dir, worker_id
+            )
+            result_queue.put(("result", worker_id, result))
+
+
+@dataclass
+class WorkerHandle:
+    """Parent-side view of one worker process."""
+
+    worker_id: int
+    process: object = field(repr=False)
+    task_queue: object = field(repr=False)
+    busy: CaseRequest | None = None
+    busy_since: float | None = None
+    busy_deadline: float | None = None
+    dispatched: int = 0
+    cached_keys: set = field(default_factory=set)
+
+    @property
+    def idle(self) -> bool:
+        return self.busy is None
+
+    @property
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+
+class SessionWorkerPool:
+    """A fixed-size pool of session worker processes.
+
+    Parameters
+    ----------
+    n_workers:
+        Worker process count (each a separate interpreter — solves run
+        GIL-free).
+    start_method:
+        ``multiprocessing`` start method; default prefers ``fork``
+        (instant worker spawn, inherits the parent's imports) and falls
+        back to the platform default elsewhere.
+    drain_dir:
+        Spool directory where drained non-durable cases are
+        checkpointed; a temp directory is created when omitted.
+    """
+
+    def __init__(
+        self,
+        n_workers: int,
+        start_method: str | None = None,
+        drain_dir: str | None = None,
+    ):
+        if n_workers < 1:
+            raise ValidationError(f"n_workers must be >= 1, got {n_workers}")
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        self._ctx = multiprocessing.get_context(start_method)
+        self.start_method = start_method
+        self.drain_dir = (
+            drain_dir
+            if drain_dir is not None
+            else tempfile.mkdtemp(prefix="repro-serving-drain-")
+        )
+        self.result_queue = self._ctx.Queue()
+        self.drain_event = self._ctx.Event()
+        self.workers: list[WorkerHandle] = [
+            self._spawn(worker_id) for worker_id in range(n_workers)
+        ]
+        self.deaths = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _spawn(self, worker_id: int) -> WorkerHandle:
+        task_queue = self._ctx.Queue()
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(
+                worker_id,
+                task_queue,
+                self.result_queue,
+                self.drain_event,
+                self.drain_dir,
+            ),
+            daemon=True,
+            name=f"repro-serving-worker-{worker_id}",
+        )
+        process.start()
+        return WorkerHandle(worker_id=worker_id, process=process, task_queue=task_queue)
+
+    @property
+    def n_workers(self) -> int:
+        return len(self.workers)
+
+    def idle_workers(self) -> list[WorkerHandle]:
+        return [w for w in self.workers if w.idle and w.alive]
+
+    def busy_workers(self) -> list[WorkerHandle]:
+        return [w for w in self.workers if not w.idle]
+
+    # -- dispatch ------------------------------------------------------------
+
+    def dispatch(self, handle: WorkerHandle, request: CaseRequest) -> None:
+        """Hand a case to an idle worker."""
+        if not handle.idle:
+            raise ValidationError(
+                f"worker {handle.worker_id} is already serving "
+                f"{handle.busy.case_id!r}"
+            )
+        handle.busy = request
+        handle.busy_since = time.monotonic()
+        handle.busy_deadline = None
+        handle.dispatched += 1
+        handle.cached_keys.add(request.preop_key())
+        handle.task_queue.put(("case", request))
+
+    def poll_results(self, timeout: float = 0.05) -> list[CaseResult]:
+        """Collect every finished case currently in the result queue.
+
+        Blocks up to ``timeout`` seconds for the first result, then
+        drains without blocking. Marks the producing workers idle.
+        """
+        results = []
+        block = timeout > 0
+        while True:
+            try:
+                _, worker_id, result = self.result_queue.get(
+                    block=block, timeout=timeout if block else None
+                )
+            except queue_module.Empty:
+                break
+            block = False
+            handle = self.workers[worker_id]
+            handle.busy = None
+            handle.busy_since = None
+            handle.busy_deadline = None
+            results.append(result)
+        return results
+
+    # -- failure handling ----------------------------------------------------
+
+    def reap(self) -> list[tuple[int, CaseRequest | None]]:
+        """Find dead workers, respawn their slots, return interrupted work.
+
+        Call after :meth:`poll_results` (a worker that delivered its
+        result and then died loses nothing). Each entry is
+        ``(worker_id, request)`` where ``request`` is the case the
+        worker died serving (``None`` for an idle death). Respawned
+        workers start with an empty preop cache.
+        """
+        interrupted = []
+        for slot, handle in enumerate(self.workers):
+            if handle.alive:
+                continue
+            self.deaths += 1
+            interrupted.append((handle.worker_id, handle.busy))
+            handle.process.join(timeout=1.0)
+            self.workers[slot] = self._spawn(handle.worker_id)
+        return interrupted
+
+    def terminate_worker(self, worker_id: int) -> CaseRequest | None:
+        """Forcibly kill one worker (deadline enforcement); respawn its slot.
+
+        Returns the case it was serving, if any. The caller decides what
+        to record (the server marks it evicted, not re-admitted).
+        """
+        for slot, handle in enumerate(self.workers):
+            if handle.worker_id != worker_id:
+                continue
+            request = handle.busy
+            if handle.alive:
+                handle.process.terminate()
+                handle.process.join(timeout=5.0)
+            self.workers[slot] = self._spawn(worker_id)
+            return request
+        raise ValidationError(f"no worker with id {worker_id}")
+
+    # -- drain / shutdown ----------------------------------------------------
+
+    def drain(self, timeout: float = 60.0) -> list[CaseResult]:
+        """Graceful stop: checkpoint in-flight cases, collect their results.
+
+        Sets the drain event (busy workers finish the current scan,
+        checkpoint, report ``drained``), sends every worker its stop
+        sentinel, and gathers the final results until all workers exit
+        or ``timeout`` elapses.
+        """
+        self.drain_event.set()
+        for handle in self.workers:
+            handle.task_queue.put(("stop",))
+        results = []
+        deadline = time.monotonic() + timeout
+        while any(not w.idle for w in self.workers) and time.monotonic() < deadline:
+            results.extend(self.poll_results(timeout=0.1))
+        for handle in self.workers:
+            handle.process.join(timeout=max(0.0, deadline - time.monotonic()))
+        return results
+
+    def shutdown(self) -> None:
+        """Stop all workers immediately (no checkpointing)."""
+        for handle in self.workers:
+            if handle.alive:
+                handle.task_queue.put(("stop",))
+        for handle in self.workers:
+            handle.process.join(timeout=2.0)
+            if handle.alive:
+                handle.process.terminate()
+                handle.process.join(timeout=2.0)

@@ -1,0 +1,393 @@
+"""The session server: admission -> scheduling -> worker pool -> results.
+
+:class:`SessionServer` multiplexes concurrent surgical cases over a
+:class:`repro.serving.SessionWorkerPool`. The control loop is
+single-threaded and runs in the caller (:meth:`SessionServer.run`), so
+serving is deterministic and trivially testable; the concurrency lives
+in the worker processes.
+
+Per iteration the loop: evicts queued cases whose deadline expired,
+dispatches queued cases onto idle workers (scheduler policy + preop
+affinity), collects finished results, terminates+evicts running cases
+past their deadline, and re-admits cases interrupted by a worker death
+(durable cases resume from their journal — committed scans are *not*
+recomputed). Every transition lands in the metrics registry
+(``serving.*``) and as events on the ambient tracer.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer, get_tracer
+from repro.serving.admission import AdmissionQueue, ServiceEstimator
+from repro.serving.pool import SessionWorkerPool
+from repro.serving.protocol import (
+    STATUS_EVICTED,
+    STATUS_FAILED,
+    STATUS_REJECTED,
+    CaseRequest,
+    CaseResult,
+)
+from repro.serving.scheduler import Scheduler
+from repro.util import ValidationError, format_table
+
+
+class SessionServer:
+    """Concurrent multi-patient serving of surgical sessions.
+
+    Parameters
+    ----------
+    n_workers:
+        Size of the worker process pool.
+    queue_capacity:
+        Bound of the admission queue (backpressure boundary).
+    policy:
+        Case-ordering policy: ``"fifo"`` or ``"deadline"`` (EDF).
+    max_attempts:
+        Dispatch attempts per case before a worker-death loop marks it
+        failed (>= 1).
+    metrics / tracer:
+        Observability hooks; a private registry / the ambient tracer
+        are used when omitted.
+    start_method / drain_dir:
+        Forwarded to :class:`repro.serving.SessionWorkerPool`.
+    """
+
+    def __init__(
+        self,
+        n_workers: int = 2,
+        queue_capacity: int = 16,
+        policy: str = "fifo",
+        max_attempts: int = 2,
+        metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+        start_method: str | None = None,
+        drain_dir: str | None = None,
+    ):
+        if max_attempts < 1:
+            raise ValidationError(f"max_attempts must be >= 1, got {max_attempts}")
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer
+        self.estimator = ServiceEstimator()
+        self.queue = AdmissionQueue(queue_capacity, self.estimator)
+        self.scheduler = Scheduler(policy)
+        self.pool = SessionWorkerPool(
+            n_workers, start_method=start_method, drain_dir=drain_dir
+        )
+        self.max_attempts = int(max_attempts)
+        self.results: dict[str, CaseResult] = {}
+        self._attempts: dict[str, int] = {}
+        self._admitted_at: dict[str, float] = {}
+        self._known_keys: set[str] = set()
+        self._closed = False
+
+    def _trace(self) -> Tracer:
+        return self.tracer if self.tracer is not None else get_tracer()
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(self, request: CaseRequest) -> CaseResult | None:
+        """Offer a case for admission.
+
+        Returns ``None`` when the case was admitted (its terminal
+        :class:`CaseResult` will appear in :attr:`results` after
+        :meth:`run`), or the immediate ``rejected`` result when
+        backpressure or the deadline-feasibility verdict refused it.
+        """
+        if self._closed:
+            raise ValidationError("server is shut down")
+        if request.case_id in self.results or any(
+            q.request.case_id == request.case_id for q in self.queue.items()
+        ):
+            raise ValidationError(f"duplicate case_id {request.case_id!r}")
+        backlog = self._backlog_seconds()
+        preop_cached = request.preop_key() in self._known_keys
+        admitted, verdict, detail = self.queue.admit(
+            request, backlog_seconds=backlog, preop_cached=preop_cached
+        )
+        self.metrics.gauge("serving.queue_depth").set(len(self.queue))
+        if not admitted:
+            self.metrics.counter("serving.rejected").inc()
+            self._trace().event(
+                "serving.rejected", case=request.case_id, detail=detail
+            )
+            result = CaseResult(
+                case_id=request.case_id, status=STATUS_REJECTED, detail=detail
+            )
+            self.results[request.case_id] = result
+            return result
+        self.metrics.counter("serving.admitted").inc()
+        self._admitted_at[request.case_id] = time.monotonic()
+        self._attempts.setdefault(request.case_id, 0)
+        self._trace().event(
+            "serving.admitted",
+            case=request.case_id,
+            verdict=verdict.label if verdict is not None else "ok",
+            queue_depth=len(self.queue),
+        )
+        return None
+
+    def _backlog_seconds(self) -> float:
+        """Estimated seconds of work queued or running ahead of a new case."""
+        est = self.estimator
+        total = 0.0
+        for queued in self.queue.items():
+            total += est.case_seconds(queued.request.n_scans, preop_cached=False)
+        for handle in self.pool.busy_workers():
+            total += est.case_seconds(handle.busy.n_scans, preop_cached=True) / 2.0
+        return total
+
+    # -- the control loop ----------------------------------------------------
+
+    def run(self, poll_seconds: float = 0.05) -> dict[str, CaseResult]:
+        """Serve until the queue is empty and every worker is idle.
+
+        Returns :attr:`results` (case_id -> terminal result). Safe to
+        call repeatedly: each call serves whatever was submitted since
+        the last one.
+        """
+        if self._closed:
+            raise ValidationError("server is shut down")
+        t0 = time.perf_counter()
+        scans_before = self.metrics.value("serving.scans", 0.0)
+        with self._trace().span("serve.run", kind="serving") as span:
+            while len(self.queue) or self.pool.busy_workers():
+                self._evict_expired_queued()
+                self._dispatch_ready()
+                for result in self.pool.poll_results(timeout=poll_seconds):
+                    self._record(result)
+                self._enforce_running_deadlines()
+                self._handle_deaths()
+            elapsed = time.perf_counter() - t0
+            scans = self.metrics.value("serving.scans", 0.0) - scans_before
+            if elapsed > 0 and scans:
+                self.metrics.gauge("serving.throughput_scans_per_s").set(
+                    scans / elapsed
+                )
+            span.set(seconds=elapsed, scans=int(scans))
+        return self.results
+
+    def _evict_expired_queued(self) -> None:
+        for queued in self.queue.evict_expired():
+            request = queued.request
+            self.metrics.counter("serving.evicted").inc()
+            self.metrics.gauge("serving.queue_depth").set(len(self.queue))
+            self._trace().event(
+                "serving.evicted", case=request.case_id, where="queued"
+            )
+            self.results[request.case_id] = CaseResult(
+                case_id=request.case_id,
+                status=STATUS_EVICTED,
+                detail=(
+                    f"deadline {request.deadline_s:.1f} s expired after "
+                    f"{queued.waited():.1f} s in queue"
+                ),
+                queue_seconds=queued.waited(),
+                attempts=self._attempts.get(request.case_id, 0),
+            )
+
+    def _dispatch_ready(self) -> None:
+        held: set[str] = set()
+        while len(self.queue) > len(held):
+            idle = self.pool.idle_workers()
+            if not idle:
+                return
+            items = self.queue.items()
+            candidates = [
+                i for i, q in enumerate(items) if q.request.case_id not in held
+            ]
+            index = candidates[
+                self.scheduler.next_index([items[i] for i in candidates])
+            ]
+            key = items[index].request.preop_key()
+            if self.scheduler.should_hold(idle, self.pool.busy_workers(), key):
+                # Single-flight: the model is being built on a busy
+                # worker — wait for it instead of rebuilding elsewhere.
+                held.add(items[index].request.case_id)
+                continue
+            queued = self.queue.pop(index)
+            request = queued.request
+            handle = self.scheduler.pick_worker(idle, request.preop_key())
+            self._attempts[request.case_id] = self._attempts.get(request.case_id, 0) + 1
+            self._known_keys.add(request.preop_key())
+            self.pool.dispatch(handle, request)
+            handle.busy_deadline = queued.deadline_monotonic
+            wait = queued.waited()
+            self.metrics.histogram("serving.queue_wait_seconds").observe(wait)
+            self.metrics.gauge("serving.queue_depth").set(len(self.queue))
+            self._trace().event(
+                "serving.dispatch",
+                case=request.case_id,
+                worker=handle.worker_id,
+                attempt=self._attempts[request.case_id],
+                waited=wait,
+            )
+
+    def _record(self, result: CaseResult) -> None:
+        result.attempts = self._attempts.get(result.case_id, 1)
+        admitted = self._admitted_at.get(result.case_id)
+        if admitted is not None:
+            result.queue_seconds = max(
+                0.0, time.monotonic() - admitted - result.service_seconds
+            )
+        self.results[result.case_id] = result
+        m = self.metrics
+        m.counter(f"serving.{result.status}").inc()
+        m.histogram("serving.case_seconds").observe(result.service_seconds)
+        m.counter("serving.scans").inc(len([s for s in result.scans if not s.restored]))
+        if result.preop_cache_hit:
+            m.counter("serving.preop_cache_hits").inc()
+        elif result.preop_seconds > 0:
+            self.estimator.observe_preop(result.preop_seconds)
+        for outcome in result.scans:
+            if not outcome.restored:
+                self.estimator.observe_scan(outcome.seconds)
+                m.histogram("serving.scan_seconds").observe(outcome.seconds)
+        self._trace().event(
+            "serving.case",
+            case=result.case_id,
+            status=result.status,
+            worker=result.worker,
+            scans=len(result.scans),
+            seconds=result.service_seconds,
+        )
+
+    def _enforce_running_deadlines(self) -> None:
+        now = time.monotonic()
+        for handle in list(self.pool.busy_workers()):
+            if handle.busy_deadline is None or now <= handle.busy_deadline:
+                continue
+            request = self.pool.terminate_worker(handle.worker_id)
+            if request is None:
+                continue
+            self.metrics.counter("serving.evicted").inc()
+            self._trace().event(
+                "serving.evicted", case=request.case_id, where="running"
+            )
+            self.results[request.case_id] = CaseResult(
+                case_id=request.case_id,
+                status=STATUS_EVICTED,
+                detail=(
+                    f"deadline {request.deadline_s:.1f} s expired mid-service; "
+                    "worker terminated"
+                ),
+                worker=handle.worker_id,
+                attempts=self._attempts.get(request.case_id, 1),
+                checkpoint=request.checkpoint_dir,
+            )
+
+    def _handle_deaths(self) -> None:
+        for worker_id, request in self.pool.reap():
+            self.metrics.counter("serving.worker_deaths").inc()
+            self._trace().event(
+                "serving.worker_death",
+                worker=worker_id,
+                case=None if request is None else request.case_id,
+            )
+            if request is None:
+                continue
+            attempts = self._attempts.get(request.case_id, 1)
+            if attempts >= self.max_attempts:
+                self.metrics.counter("serving.failed").inc()
+                self.results[request.case_id] = CaseResult(
+                    case_id=request.case_id,
+                    status=STATUS_FAILED,
+                    detail=(
+                        f"worker {worker_id} died; "
+                        f"re-admission budget exhausted ({attempts} attempts)"
+                    ),
+                    worker=worker_id,
+                    attempts=attempts,
+                    checkpoint=request.checkpoint_dir,
+                )
+                continue
+            # Re-admission goes to the head of the queue: a durable case
+            # resumes from its journal (committed scans come back
+            # restored, only the remainder is recomputed).
+            self.metrics.counter("serving.readmitted").inc()
+            self.queue.requeue_front(request)
+            self._trace().event(
+                "serving.readmitted", case=request.case_id, attempt=attempts + 1
+            )
+
+    # -- drain / shutdown ----------------------------------------------------
+
+    def drain(self, timeout: float = 60.0) -> dict[str, CaseResult]:
+        """Gracefully stop: checkpoint in-flight cases, then shut down.
+
+        Busy workers finish their current scan, checkpoint the session
+        through :class:`repro.persist.SessionStore` (the case's own
+        checkpoint directory, or the pool's drain spool) and report
+        ``drained`` results. Queued cases that never started are marked
+        evicted with a ``drained before dispatch`` detail. The server is
+        closed afterwards.
+        """
+        for queued in self.queue.clear():
+            request = queued.request
+            self.metrics.counter("serving.evicted").inc()
+            self.results[request.case_id] = CaseResult(
+                case_id=request.case_id,
+                status=STATUS_EVICTED,
+                detail="drained before dispatch",
+                queue_seconds=queued.waited(),
+            )
+        for result in self.pool.drain(timeout=timeout):
+            self._record(result)
+        self.metrics.counter("serving.drains").inc()
+        self._closed = True
+        return self.results
+
+    def shutdown(self) -> None:
+        """Stop the pool immediately (no checkpointing)."""
+        self.pool.shutdown()
+        self._closed = True
+
+    # -- reporting -----------------------------------------------------------
+
+    def summary_table(self) -> str:
+        """Per-case serving summary (status, worker, timings, cache)."""
+        if not self.results:
+            return "(no cases served)"
+        rows = []
+        for case_id in sorted(self.results):
+            r = self.results[case_id]
+            rows.append(
+                [
+                    case_id,
+                    r.status,
+                    "-" if r.worker is None else r.worker,
+                    len(r.scans),
+                    f"{r.queue_seconds:.2f}",
+                    f"{r.service_seconds:.2f}",
+                    r.attempts,
+                    "hit" if r.preop_cache_hit else "miss",
+                    r.detail,
+                ]
+            )
+        table = format_table(
+            [
+                "case",
+                "status",
+                "worker",
+                "scans",
+                "queued (s)",
+                "service (s)",
+                "attempts",
+                "preop",
+                "detail",
+            ],
+            rows,
+            title="Serving summary",
+        )
+        throughput = self.metrics.value("serving.throughput_scans_per_s", 0.0)
+        completed = sum(1 for r in self.results.values() if r.ok)
+        table += (
+            f"\n  completed: {completed}/{len(self.results)}"
+            f" | workers: {self.pool.n_workers}"
+            f" | worker deaths: {self.pool.deaths}"
+        )
+        if throughput:
+            table += f" | throughput: {throughput:.3f} scans/s"
+        return table
