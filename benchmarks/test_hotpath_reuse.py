@@ -26,9 +26,12 @@ import time
 import numpy as np
 import pytest
 
+from repro.backend import get_backend
 from repro.experiments.common import build_clinical_system
 from repro.fem.bc import DirichletBC
 from repro.parallel.simulation import prepare_solve_context, simulate_parallel
+
+from bench_io import update_bench_record
 
 pytestmark = pytest.mark.bench
 
@@ -102,6 +105,10 @@ def run_hotpath_benchmark(system, tol: float = TOL, n_ranks: int = N_RANKS) -> d
             "n_ranks": n_ranks,
             "tol": tol,
         },
+        # Which compute backend produced this record; the per-backend
+        # kernel columns live under the separate "kernels" key (written
+        # by benchmarks/test_kernels.py into the same file).
+        "backend": get_backend().name,
         "prepare_seconds": prepare_seconds,
         "scans": [],
     }
@@ -143,7 +150,7 @@ def check_acceptance(record: dict) -> None:
 
 def test_hotpath_reuse(bench_system):
     record = run_hotpath_benchmark(bench_system)
-    RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    update_bench_record(RESULT_PATH, record)
     check_acceptance(record)
     lines = [
         "Cross-scan hot-path reuse (cold vs warm FEM stage)",
@@ -163,7 +170,7 @@ def test_hotpath_reuse(bench_system):
 
 def main() -> None:
     record = run_hotpath_benchmark(build_clinical_system(BENCH_EQUATIONS))
-    RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    update_bench_record(RESULT_PATH, record)
     check_acceptance(record)
     print(json.dumps(record, indent=2))
 

@@ -1,0 +1,115 @@
+"""The compute-backend kernel surface.
+
+Every numeric kernel on the pipeline's hot path — batched element
+stiffness, strain/stress products, COO triplet accumulation, CSR
+mat-vec, and block-wise preconditioner application — is routed through a
+:class:`ComputeBackend`. The numpy reference implementation
+(:mod:`repro.backend.numpy_backend`) is always importable; accelerated
+implementations (:mod:`repro.backend.numba_backend`, and a future
+GPU/cupy port) implement the same surface and are selected at runtime
+through :func:`repro.backend.get_backend`.
+
+The contract for every kernel is *numerical agreement with the numpy
+reference to <= 1e-10* on well-conditioned inputs; the parity tests in
+``tests/test_backend.py`` enforce it kernel by kernel and end to end.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+
+class BlockApply(abc.ABC):
+    """Callable applying a factorized block-diagonal preconditioner.
+
+    Built once per preconditioner by
+    :meth:`ComputeBackend.prepare_block_apply` (so a backend can compile
+    or repack the per-block factors), then invoked on every Krylov
+    iteration with a preallocated output buffer.
+    """
+
+    @abc.abstractmethod
+    def __call__(self, r: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """Write ``out[a:b] = solve(block_k, r[a:b])`` for every block."""
+
+
+class ComputeBackend(abc.ABC):
+    """Abstract kernel surface shared by all compute backends.
+
+    Implementations must be stateless apart from compilation caches so a
+    single instance can be shared process-wide; all kernels take and
+    return plain numpy arrays (accelerator backends convert internally).
+    """
+
+    #: Registry identity; also hashed into solve-context fingerprints so
+    #: cached numeric state never mixes outputs of different backends.
+    name: str = "abstract"
+
+    # -- element kernels ---------------------------------------------------
+
+    @abc.abstractmethod
+    def shape_gradients(self, coords: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Shape-function gradients ``(m, 4, 3)`` and signed volumes ``(m,)``.
+
+        ``coords`` is ``(m, 4, 3)`` node coordinates per tetrahedron.
+        Raises :class:`repro.util.ValidationError` on degenerate
+        (zero-volume) elements.
+        """
+
+    @abc.abstractmethod
+    def element_stiffness_from_B(
+        self, B: np.ndarray, volumes: np.ndarray, elasticity: np.ndarray
+    ) -> np.ndarray:
+        """Batched ``K_e = |V| B^T D B``, shape ``(m, 12, 12)``.
+
+        ``volumes`` are already absolute values; ``elasticity`` is
+        ``(m, 6, 6)``.
+        """
+
+    @abc.abstractmethod
+    def element_strains(self, B: np.ndarray, u: np.ndarray) -> np.ndarray:
+        """Voigt strains ``(m, 6)`` from ``(m, 6, 12)`` B and ``(m, 12)`` u."""
+
+    @abc.abstractmethod
+    def element_stress(self, elasticity: np.ndarray, strains: np.ndarray) -> np.ndarray:
+        """Voigt stresses ``(m, 6)``: ``sigma_e = D_e eps_e``."""
+
+    # -- sparse kernels ----------------------------------------------------
+
+    @abc.abstractmethod
+    def coo_accumulate(
+        self, scatter: np.ndarray, values: np.ndarray, nnz: int
+    ) -> np.ndarray:
+        """Accumulate COO triplet values into CSR data slots.
+
+        ``scatter[i]`` is the position of triplet ``i`` inside the
+        canonical CSR ``data`` array (duplicates share a slot); returns
+        the dense ``(nnz,)`` data vector. The numpy reference is a
+        weighted bincount.
+        """
+
+    @abc.abstractmethod
+    def csr_matvec(self, matrix, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """``y = A @ x`` for a scipy CSR matrix (rectangular allowed).
+
+        Writes into ``out`` when given (a contiguous view is fine) and
+        returns the result either way.
+        """
+
+    # -- preconditioner kernels --------------------------------------------
+
+    @abc.abstractmethod
+    def prepare_block_apply(self, ranges, factors) -> BlockApply:
+        """Pack per-block LU/ILU factors for repeated application.
+
+        ``ranges`` is a sequence of half-open ``(start, stop)`` row
+        ranges tiling ``[0, n)``; ``factors[k]`` is the SuperLU object
+        of block ``k`` (``scipy.sparse.linalg.splu``/``spilu`` result).
+        Backends may repack the factors into their own format; they must
+        reproduce ``factors[k].solve`` to <= 1e-10 or fall back to it.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} name={self.name!r}>"

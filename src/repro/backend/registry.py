@@ -1,0 +1,152 @@
+"""Runtime backend selection.
+
+Resolution order for the active backend:
+
+1. An explicit :func:`set_backend` / :func:`use_backend` call
+   (the CLI's ``--backend`` flag lands here);
+2. the ``REPRO_BACKEND`` environment variable;
+3. auto-detection — ``numba`` when importable (and JIT not disabled),
+   else ``numpy``.
+
+Requesting an unavailable accelerated backend *degrades* rather than
+errors: a one-line :class:`RuntimeWarning` is emitted and the numpy
+reference is used, so a missing optional dependency can never take down
+an intraoperative run. ``numpy`` is always available.
+
+The active backend's :attr:`~repro.backend.base.ComputeBackend.name` is
+hashed into :meth:`repro.fem.SolveContext.fingerprint`, so cached
+numeric state (assembled matrices, factorized preconditioners) is
+invalidated automatically when the backend changes mid-session.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+import warnings
+from contextlib import contextmanager
+from typing import Callable
+
+from repro.backend.base import ComputeBackend
+from repro.backend.numpy_backend import NumpyBackend
+from repro.util import ValidationError
+
+#: Environment variable naming the backend to use (overridden by an
+#: explicit set_backend/use_backend call).
+BACKEND_ENV = "REPRO_BACKEND"
+
+
+def _make_numba() -> ComputeBackend:
+    from repro.backend.numba_backend import NumbaBackend
+
+    return NumbaBackend()
+
+
+_FACTORIES: dict[str, Callable[[], ComputeBackend]] = {
+    "numpy": NumpyBackend,
+    "numba": _make_numba,
+}
+
+_active: ComputeBackend | None = None
+
+
+def numba_available() -> bool:
+    """Whether the numba backend can actually JIT on this host.
+
+    False when numba is not installed *or* ``NUMBA_DISABLE_JIT`` is set
+    (kernels would run as interpreted Python — far slower than numpy).
+    """
+    if os.environ.get("NUMBA_DISABLE_JIT", "0") not in ("", "0"):
+        return False
+    return importlib.util.find_spec("numba") is not None
+
+
+def available_backends() -> dict[str, bool]:
+    """Registered backend names -> currently usable on this host."""
+    availability = {name: True for name in _FACTORIES}
+    availability["numba"] = "numba" in _FACTORIES and numba_available()
+    return availability
+
+
+def register_backend(name: str, factory: Callable[[], ComputeBackend]) -> None:
+    """Register an additional backend implementation (e.g. a GPU port).
+
+    The factory is called lazily, once per activation. Re-registering a
+    name replaces the previous factory; the builtin ``numpy`` entry
+    cannot be replaced (it is the guaranteed fallback).
+    """
+    if name == "numpy":
+        raise ValidationError("the numpy reference backend cannot be replaced")
+    _FACTORIES[name] = factory
+
+
+def _create(name: str) -> ComputeBackend:
+    name = name.strip().lower()
+    if name not in _FACTORIES:
+        raise ValidationError(
+            f"unknown compute backend {name!r}; options: {sorted(_FACTORIES)}"
+        )
+    if name == "numba" and not numba_available():
+        warnings.warn(
+            "numba backend requested but unavailable (numba not installed or "
+            "NUMBA_DISABLE_JIT set); falling back to the numpy reference",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return NumpyBackend()
+    try:
+        return _FACTORIES[name]()
+    except Exception as exc:
+        warnings.warn(
+            f"compute backend {name!r} failed to initialize "
+            f"({type(exc).__name__}: {exc}); falling back to the numpy reference",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return NumpyBackend()
+
+
+def get_backend() -> ComputeBackend:
+    """The active compute backend (resolving it on first use)."""
+    global _active
+    if _active is None:
+        requested = os.environ.get(BACKEND_ENV, "").strip()
+        if requested:
+            _active = _create(requested)
+        else:
+            _active = _create("numba" if numba_available() else "numpy")
+    return _active
+
+
+def set_backend(name: str) -> ComputeBackend:
+    """Select the backend process-wide; returns the activated instance.
+
+    The returned backend may be the numpy fallback when the requested
+    one is unavailable (a warning is emitted). Cached solve contexts
+    built under the previous backend invalidate automatically through
+    the fingerprint.
+    """
+    global _active
+    _active = _create(name)
+    return _active
+
+
+def reset_backend() -> None:
+    """Drop the active selection; the next get_backend() re-resolves.
+
+    Mainly for tests that manipulate ``REPRO_BACKEND``.
+    """
+    global _active
+    _active = None
+
+
+@contextmanager
+def use_backend(name: str):
+    """Temporarily activate a backend within a ``with`` block."""
+    global _active
+    previous = _active
+    _active = _create(name)
+    try:
+        yield _active
+    finally:
+        _active = previous

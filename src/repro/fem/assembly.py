@@ -1,10 +1,16 @@
 """Global assembly of the sparse stiffness system.
 
 Element stiffness matrices ``K_e = |V_e| B_e^T D_e B_e`` are computed in
-one einsum batch; the global matrix is accumulated in COO triplets and
-converted to CSR. DOF ordering is node-major (node ``n`` owns DOFs
-``3n, 3n+1, 3n+2``), which keeps each rank's rows contiguous under the
-node partitioners in :mod:`repro.mesh.partition`.
+one backend batch (:mod:`repro.backend`); the global matrix is
+accumulated from COO triplets into a canonical CSR pattern. DOF ordering
+is node-major (node ``n`` owns DOFs ``3n, 3n+1, 3n+2``), which keeps
+each rank's rows contiguous under the node partitioners in
+:mod:`repro.mesh.partition`.
+
+:func:`build_csr_pattern` is the *symbolic* phase shared with
+:class:`repro.fem.context.AssemblyContext`: it derives the CSR sparsity
+pattern and the triplet->nonzero scatter map from topology alone, so the
+numeric value fill is a single backend ``coo_accumulate`` call.
 
 :func:`assembly_work_per_node` exposes the per-node work counts that the
 machine model uses to reproduce the paper's assembly load imbalance.
@@ -15,6 +21,7 @@ from __future__ import annotations
 import numpy as np
 from scipy import sparse
 
+from repro.backend import get_backend
 from repro.fem.element import (
     element_stiffness_from_B,
     shape_function_gradients,
@@ -44,6 +51,37 @@ def element_dof_indices(mesh: TetrahedralMesh) -> np.ndarray:
     return mesh.element_dof_indices()
 
 
+def build_csr_pattern(
+    element_dofs: np.ndarray, n_dof: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Symbolic COO -> CSR structure for element-matrix assembly.
+
+    Given the ``(m, 12)`` global DOF indices per element, derives the
+    canonical CSR pattern of the assembled matrix and the scatter map
+    sending each of the ``144 m`` element-matrix entries to its nonzero
+    slot (duplicates share a slot). Topology-only, so the result can be
+    cached across numeric refreshes.
+
+    Returns ``(scatter, indices, indptr)``; the nonzero count is
+    ``len(indices)``.
+    """
+    rows = np.repeat(element_dofs, 12, axis=1).ravel()
+    cols = np.tile(element_dofs, (1, 12)).ravel()
+    order = np.lexsort((cols, rows))
+    rs, cs = rows[order], cols[order]
+    first = np.empty(len(rs), dtype=bool)
+    if len(rs):
+        first[0] = True
+        first[1:] = (rs[1:] != rs[:-1]) | (cs[1:] != cs[:-1])
+    group = np.cumsum(first) - 1
+    scatter = np.empty_like(group)
+    scatter[order] = group
+    indices = cs[first].astype(np.int32)
+    counts = np.bincount(rs[first], minlength=n_dof)
+    indptr = np.concatenate([[0], np.cumsum(counts)]).astype(np.int32)
+    return scatter, indices, indptr
+
+
 def assemble_stiffness(
     mesh: TetrahedralMesh,
     materials: MaterialMap,
@@ -59,13 +97,10 @@ def assemble_stiffness(
         raise ShapeError(
             f"element matrices must be ({mesh.n_elements}, 12, 12), got {Ke.shape}"
         )
-    dofs = element_dof_indices(mesh)  # (m, 12)
-    rows = np.repeat(dofs, 12, axis=1).ravel()
-    cols = np.tile(dofs, (1, 12)).ravel()
-    data = Ke.reshape(-1)
     n = mesh.n_dof
-    K = sparse.coo_matrix((data, (rows, cols)), shape=(n, n))
-    return K.tocsr()
+    scatter, indices, indptr = build_csr_pattern(element_dof_indices(mesh), n)
+    data = get_backend().coo_accumulate(scatter, Ke.reshape(-1), len(indices))
+    return sparse.csr_matrix((data, indices, indptr), shape=(n, n))
 
 
 def assemble_load_vector(

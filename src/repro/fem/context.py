@@ -39,6 +39,8 @@ from dataclasses import dataclass, replace
 import numpy as np
 from scipy import sparse
 
+from repro.backend import get_backend
+from repro.fem.assembly import build_csr_pattern
 from repro.fem.bc import ReducedSystem, partition_free_fixed
 from repro.obs.trace import get_tracer
 from repro.fem.element import (
@@ -114,24 +116,15 @@ class AssemblyContext:
             self.B = strain_displacement_matrices(gradients)
             self.volumes = volumes
             # Symbolic phase: COO coordinates -> canonical CSR pattern plus
-            # the position of every COO entry inside csr.data.
-            rows = np.repeat(self.element_dofs, 12, axis=1).ravel()
-            cols = np.tile(self.element_dofs, (1, 12)).ravel()
-            order = np.lexsort((cols, rows))
-            rs, cs = rows[order], cols[order]
-            first = np.empty(len(rs), dtype=bool)
-            if len(rs):
-                first[0] = True
-                first[1:] = (rs[1:] != rs[:-1]) | (cs[1:] != cs[:-1])
-            group = np.cumsum(first) - 1
-            self.scatter = np.empty_like(group)
-            self.scatter[order] = group
-            self.indices = cs[first].astype(np.int32)
-            counts = np.bincount(rs[first], minlength=self.n_dof)
-            self.indptr = np.concatenate([[0], np.cumsum(counts)]).astype(np.int32)
+            # the position of every COO entry inside csr.data (shared with
+            # the one-shot assemble_stiffness path).
+            self.scatter, self.indices, self.indptr = build_csr_pattern(
+                self.element_dofs, self.n_dof
+            )
             self.nnz = int(len(self.indices))
             span.set(nnz=self.nnz)
         self.element_matrices: np.ndarray | None = None
+        self.backend_name: str | None = None
         self._matrix: sparse.csr_matrix | None = None
         self.refresh_numeric(mesh, materials)
 
@@ -139,13 +132,19 @@ class AssemblyContext:
         """Numeric phase: refill ``csr.data`` for (possibly new) materials.
 
         Reuses the cached symbolic pattern and geometry factors; only
-        the per-element elasticity and the value fill are recomputed.
+        the per-element elasticity and the value fill are recomputed —
+        both on the *active* compute backend, whose identity is recorded
+        so callers can tell which backend produced the cached values.
         """
-        with get_tracer().span("numeric assembly", kind="fem", nnz=self.nnz):
+        backend = get_backend()
+        with get_tracer().span(
+            "numeric assembly", kind="fem", nnz=self.nnz, backend=backend.name
+        ):
             D = materials.elasticity_for_elements(mesh.materials)
             Ke = element_stiffness_from_B(self.B, self.volumes, D)
             self.element_matrices = Ke
-            data = np.bincount(self.scatter, weights=Ke.ravel(), minlength=self.nnz)
+            data = backend.coo_accumulate(self.scatter, Ke.ravel(), self.nnz)
+            self.backend_name = backend.name
             self._matrix = sparse.csr_matrix(
                 (data, self.indices, self.indptr), shape=(self.n_dof, self.n_dof)
             )
@@ -241,9 +240,13 @@ class SolveContext:
         Hashing the mesh arrays costs ~1 ms for clinical meshes —
         negligible against the assembly/factorization work it guards —
         and makes staleness detection automatic: a resected mesh or a
-        changed material map produces a different digest.
+        changed material map produces a different digest. The active
+        compute backend's identity is hashed too, so numeric state
+        assembled under one backend is never served to another (the
+        kernels agree only to ~1e-10, not bit-exactly).
         """
         h = hashlib.blake2b(digest_size=16)
+        h.update(b"backend:" + get_backend().name.encode())
         h.update(mesh.nodes.tobytes())
         h.update(mesh.elements.tobytes())
         h.update(np.ascontiguousarray(mesh.materials).tobytes())

@@ -6,14 +6,22 @@ function of node ``i`` is ``N_i = (a_i + b_i x + c_i y + d_i z) / 6V``
 gradient is constant over the element, so strain is element-wise
 constant and the stiffness integral reduces to ``V * B^T D B``.
 
-All routines operate on batches of elements at once.
+All routines operate on batches of elements at once, and the batched
+numeric work (gradients, stiffness, strain/stress products) executes on
+the active compute backend (:mod:`repro.backend`): the vectorized numpy
+reference by default, JIT-compiled ``prange`` kernels under the numba
+backend. This module owns validation and layout; the backends own the
+arithmetic.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.util import ShapeError, ValidationError
+from repro.backend import get_backend
+from repro.util import ShapeError
+
+_f64 = lambda a: np.asarray(a, dtype=float)
 
 
 def shape_function_gradients(coords: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -30,22 +38,14 @@ def shape_function_gradients(coords: np.ndarray) -> tuple[np.ndarray, np.ndarray
         ``(m, 4, 3)`` array with ``gradients[e, i]`` = grad N_i.
     volumes:
         ``(m,)`` signed element volumes.
+
+    Raises :class:`repro.util.ValidationError` on degenerate
+    (zero-volume) elements.
     """
-    coords = np.asarray(coords, dtype=float)
+    coords = _f64(coords)
     if coords.ndim != 3 or coords.shape[1:] != (4, 3):
         raise ShapeError(f"coords must be (m, 4, 3), got {coords.shape}")
-    m = coords.shape[0]
-    # Rows of [1 x y z] per node; N = M^{-1} applied to nodal values gives
-    # the polynomial coefficients (a, b, c, d)/6V per shape function.
-    mats = np.concatenate([np.ones((m, 4, 1)), coords], axis=2)  # (m, 4, 4)
-    det = np.linalg.det(mats)
-    if np.any(np.abs(det) < 1e-30):
-        raise ValidationError("degenerate tetrahedron (zero volume) in batch")
-    inv = np.linalg.inv(mats)  # (m, 4, 4): inv[:, :, i] are coeffs of N_i
-    # N_i(x) = inv[0, i] + inv[1, i]*x + inv[2, i]*y + inv[3, i]*z
-    gradients = np.transpose(inv[:, 1:4, :], (0, 2, 1))  # (m, 4, 3)
-    volumes = det / 6.0
-    return gradients, volumes
+    return get_backend().shape_gradients(coords)
 
 
 def strain_displacement_matrices(gradients: np.ndarray) -> np.ndarray:
@@ -55,7 +55,7 @@ def strain_displacement_matrices(gradients: np.ndarray) -> np.ndarray:
     Strain ordering is ``(e_xx, e_yy, e_zz, g_xy, g_yz, g_zx)`` with
     engineering shear strains.
     """
-    g = np.asarray(gradients, dtype=float)
+    g = _f64(gradients)
     if g.ndim != 3 or g.shape[1:] != (4, 3):
         raise ShapeError(f"gradients must be (m, 4, 3), got {g.shape}")
     m = g.shape[0]
@@ -85,13 +85,12 @@ def element_stiffness_from_B(
     values after a material change without re-deriving shape-function
     gradients — the numeric half of the symbolic/numeric assembly split.
     """
-    B = np.asarray(B, dtype=float)
+    B = _f64(B)
     if B.ndim != 3 or B.shape[1:] != (6, 12):
         raise ShapeError(f"B must be (m, 6, 12), got {B.shape}")
-    DB = np.einsum("mij,mjk->mik", elasticity, B)
-    K = np.einsum("mji,mjk->mik", B, DB)
-    K *= np.abs(np.asarray(volumes, dtype=float))[:, None, None]
-    return K
+    return get_backend().element_stiffness_from_B(
+        B, np.abs(_f64(volumes)), _f64(elasticity)
+    )
 
 
 def element_strains(gradients: np.ndarray, nodal_displacements: np.ndarray) -> np.ndarray:
@@ -100,12 +99,12 @@ def element_strains(gradients: np.ndarray, nodal_displacements: np.ndarray) -> n
     ``nodal_displacements`` is ``(m, 4, 3)`` (per element, per node).
     """
     B = strain_displacement_matrices(gradients)
-    u = np.asarray(nodal_displacements, dtype=float).reshape(-1, 12)
+    u = _f64(nodal_displacements).reshape(-1, 12)
     if u.shape[0] != B.shape[0]:
         raise ShapeError("element count mismatch between gradients and displacements")
-    return np.einsum("mij,mj->mi", B, u)
+    return get_backend().element_strains(B, u)
 
 
 def element_stress(strains: np.ndarray, elasticity: np.ndarray) -> np.ndarray:
     """Voigt stress per element: ``sigma = D epsilon``."""
-    return np.einsum("mij,mj->mi", elasticity, strains)
+    return get_backend().element_stress(_f64(elasticity), _f64(strains))

@@ -15,6 +15,7 @@ from __future__ import annotations
 import numpy as np
 from scipy.sparse import linalg as spla
 
+from repro.backend import get_backend
 from repro.machines.cost import NullTelemetry
 from repro.obs.trace import NULL_SPAN, get_tracer
 from repro.parallel.distributed import (
@@ -85,13 +86,18 @@ class DistributedBlockJacobi:
         self._factor_nnz = factor_nnz
         telemetry.compute_all(FACTOR_FLOPS_PER_NNZ * factor_nnz)
         self.shape = matrix.shape
+        # Backend-prepared block application + reused apply buffer (same
+        # contract as the serial BlockJacobiPreconditioner: callers must
+        # not hold the returned vector across solve calls).
+        self._apply = get_backend().prepare_block_apply(
+            [(int(a), int(b)) for a, b in self._ranges], self._factors
+        )
+        self._out = np.empty(matrix.n)
 
     def solve(self, r: np.ndarray, telemetry=_NULL) -> np.ndarray:
         telemetry.compute_all(SOLVE_FLOPS_PER_NNZ * self._factor_nnz)
-        out = np.empty_like(r)
-        for (a, b), lu in zip(self._ranges, self._factors):
-            out[a:b] = lu.solve(r[a:b])
-        return out
+        r = np.asarray(r, dtype=float)
+        return self._apply(r, self._out)
 
 
 class DistributedRAS:
@@ -150,11 +156,12 @@ class DistributedRAS:
         self._halo = halo
         telemetry.compute_all(FACTOR_FLOPS_PER_NNZ * factor_nnz)
         self.shape = matrix.shape
+        self._out = np.empty(matrix.n)
 
     def solve(self, r: np.ndarray, telemetry=_NULL) -> np.ndarray:
         telemetry.halo_exchange(self._halo)
         telemetry.compute_all(SOLVE_FLOPS_PER_NNZ * self._factor_nnz)
-        out = np.empty_like(r)
+        out = self._out
         for (a, b), subdomain, factor, own in zip(
             self._owned, self._subdomains, self._factors, self._own_positions
         ):

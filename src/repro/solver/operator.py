@@ -12,6 +12,7 @@ from typing import Protocol, runtime_checkable
 import numpy as np
 from scipy import sparse
 
+from repro.backend import get_backend
 from repro.util import ShapeError
 
 
@@ -26,12 +27,18 @@ class LinearOperator(Protocol):
 
 
 class MatrixOperator:
-    """Wrap a scipy sparse matrix (or dense array) as a LinearOperator."""
+    """Wrap a scipy sparse matrix (or dense array) as a LinearOperator.
+
+    CSR matrices — the assembled stiffness systems, i.e. the hot path —
+    are multiplied through the active compute backend's ``csr_matvec``
+    kernel; every other matrix type falls back to ``matrix @ x``.
+    """
 
     def __init__(self, matrix):
         self._matrix = matrix
         if matrix.shape[0] != matrix.shape[1]:
             raise ShapeError(f"operator must be square, got {matrix.shape}")
+        self._is_csr = sparse.issparse(matrix) and matrix.format == "csr"
 
     @property
     def shape(self) -> tuple[int, int]:
@@ -42,6 +49,10 @@ class MatrixOperator:
         return self._matrix
 
     def matvec(self, x: np.ndarray) -> np.ndarray:
+        if self._is_csr:
+            return get_backend().csr_matvec(
+                self._matrix, np.asarray(x, dtype=float).ravel()
+            )
         y = self._matrix @ x
         return np.asarray(y).ravel()
 

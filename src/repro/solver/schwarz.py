@@ -102,6 +102,9 @@ class RestrictedAdditiveSchwarz:
                     )
                 # Positions within the subdomain vector that are owned rows.
                 self._own_positions.append(np.searchsorted(grown, indices))
+        # Reused apply buffer (parity with BlockJacobiPreconditioner):
+        # callers must not hold the returned vector across solve calls.
+        self._out = np.empty(n)
 
     @property
     def n_blocks(self) -> int:
@@ -113,7 +116,7 @@ class RestrictedAdditiveSchwarz:
     def solve(self, r: np.ndarray) -> np.ndarray:
         """Apply RAS: extended-subdomain solves, restricted to owned rows."""
         r = np.asarray(r, dtype=float)
-        out = np.empty_like(r)
+        out = self._out
         for (a, b), subdomain, factor, own in zip(
             self._owned, self._subdomains, self._factors, self._own_positions
         ):
