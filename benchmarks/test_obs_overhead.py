@@ -14,6 +14,13 @@ benchmark measures both directions and records them in
   untraced (default ambient disabled tracer) vs fully traced
   (hierarchical spans + metrics + budget monitor), with the number of
   spans recorded per traced scan.
+* ``serving`` — the same multi-case workload through the serving tier
+  with telemetry off (dark requests, no tracer/SLO/flight) vs on (trace
+  contexts, frame shipping, span grafting, per-scan flight spooling).
+  Acceptance: < 5% serving overhead, bit-identical fields, and a frame
+  home from every case. ``REPRO_BENCH_SMOKE=1`` shrinks the workload
+  and skips the overhead bar (tiny runs are all multiprocessing noise)
+  while still checking the correctness half.
 
 Runnable standalone: ``PYTHONPATH=src python benchmarks/test_obs_overhead.py``.
 """
@@ -21,6 +28,7 @@ Runnable standalone: ``PYTHONPATH=src python benchmarks/test_obs_overhead.py``.
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 import time
 
@@ -45,11 +53,26 @@ RESULT_PATH = pathlib.Path(__file__).with_name("BENCH_obs.json")
 #: Acceptance bound on the disabled-tracer overhead of a solve.
 NOOP_OVERHEAD_LIMIT = 0.05
 
+#: Acceptance bound on the serving tier's telemetry-on overhead.
+SERVING_OVERHEAD_LIMIT = 0.05
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
 SESSION_SHAPE = (32, 32, 24)
 SESSION_CONFIG = dict(
     mesh_cell_mm=8.0, rigid_max_iter=1, rigid_samples=2000, surface_iterations=80
 )
 SCAN_SHIFTS = (3.0, 4.0, 5.0)
+
+#: Full serving sizing: enough solve work per case that the wall clock
+#: measures serving, and telemetry cost shows up as a fraction of it.
+SERVING_FULL = dict(
+    n_cases=4, n_workers=2, scans_per_case=2, shape=(32, 32, 24), mesh_cell_mm=6.0
+)
+#: Smoke sizing: same code path, CI-sized.
+SERVING_SMOKE = dict(
+    n_cases=2, n_workers=2, scans_per_case=1, shape=(24, 24, 16), mesh_cell_mm=8.0
+)
 
 
 def _bench_solve_inputs(n: int = 600, seed: int = 0):
@@ -111,6 +134,47 @@ def _run_session(tracer: Tracer | None) -> dict:
     }
 
 
+def measure_serving_telemetry_overhead() -> dict:
+    """Same serving workload, telemetry off vs on, through real workers."""
+    from repro.serving.bench import make_case_requests, run_pool
+
+    params = SERVING_SMOKE if SMOKE else SERVING_FULL
+    config = PipelineConfig(mesh_cell_mm=params["mesh_cell_mm"])
+
+    def requests():
+        # Fresh requests per run: dispatch stamps trace contexts on them.
+        return make_case_requests(
+            params["n_cases"],
+            params["scans_per_case"],
+            params["shape"],
+            5.0,
+            7,
+            config,
+        )
+
+    dark_seconds, dark_checksums, _ = run_pool(
+        requests(), params["n_workers"], telemetry=False
+    )
+    metrics = MetricsRegistry()
+    lit_seconds, lit_checksums, _ = run_pool(
+        requests(), params["n_workers"], metrics=metrics, telemetry=True
+    )
+    return {
+        "telemetry_off_seconds": dark_seconds,
+        "telemetry_on_seconds": lit_seconds,
+        "overhead_fraction": (lit_seconds - dark_seconds) / dark_seconds,
+        "bit_identical": dark_checksums == lit_checksums,
+        "frames": metrics.value("telemetry.frames"),
+        "frames_lost": metrics.value("telemetry.frames_lost"),
+        "spans_grafted": metrics.value("telemetry.spans_grafted"),
+        "n_cases": params["n_cases"],
+        "n_workers": params["n_workers"],
+        "scans_per_case": params["scans_per_case"],
+        "shape": list(params["shape"]),
+        "smoke": SMOKE,
+    }
+
+
 def run_obs_benchmark() -> dict:
     noop = measure_noop_overhead()
     untraced = _run_session(None)
@@ -125,7 +189,11 @@ def run_obs_benchmark() -> dict:
         "spans_recorded": traced["n_spans"],
         "shape": list(SESSION_SHAPE),
     }
-    return {"noop": noop, "session": session}
+    return {
+        "noop": noop,
+        "session": session,
+        "serving": measure_serving_telemetry_overhead(),
+    }
 
 
 def check_acceptance(record: dict) -> None:
@@ -135,6 +203,14 @@ def check_acceptance(record: dict) -> None:
     assert session["n_scans"] == 3
     # A traced session must actually record the hierarchy it pays for.
     assert session["spans_recorded"] > 3 * session["n_scans"]
+    serving = record["serving"]
+    # Telemetry must be numerically invisible and actually ship frames.
+    assert serving["bit_identical"], serving
+    assert serving["frames"] == serving["n_cases"], serving
+    assert serving["frames_lost"] == 0, serving
+    assert serving["spans_grafted"] > 0, serving
+    if not serving["smoke"]:
+        assert serving["overhead_fraction"] < SERVING_OVERHEAD_LIMIT, serving
 
 
 def test_obs_overhead():
@@ -142,6 +218,7 @@ def test_obs_overhead():
     RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
     check_acceptance(record)
     noop, session = record["noop"], record["session"]
+    serving = record["serving"]
     print(
         "\nObservability overhead"
         f"\n  disabled tracer on a solve: {noop['overhead_fraction']:+.2%}"
@@ -150,6 +227,12 @@ def test_obs_overhead():
         f" / traced {session['traced_seconds']:.2f} s"
         f" ({session['traced_minus_untraced_fraction']:+.2%},"
         f" {session['spans_recorded']} spans)"
+        f"\n  serving ({'smoke' if serving['smoke'] else 'full'}):"
+        f" telemetry off {serving['telemetry_off_seconds']:.2f} s"
+        f" / on {serving['telemetry_on_seconds']:.2f} s"
+        f" ({serving['overhead_fraction']:+.2%},"
+        f" {serving['frames']:.0f} frames,"
+        f" {serving['spans_grafted']:.0f} spans grafted)"
     )
 
 

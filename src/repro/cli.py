@@ -8,7 +8,11 @@ Usage (after installation)::
     python -m repro.cli pipeline --resume --checkpoint-dir session/
     python -m repro.cli replay session/
     python -m repro.cli serve --cases 4 --workers 2 --scans 2
+    python -m repro.cli serve --cases 4 --chrome trace.json --metrics-json obs.json
     python -m repro.cli bench-throughput --cases 4 --workers 4 --json BENCH_throughput.json
+    python -m repro.cli bench-throughput --obs-dir obs/
+    python -m repro.cli obs slo obs/metrics.json
+    python -m repro.cli obs flight obs/flight-worker-0.json --last 20
     python -m repro.cli scaling --equations 77511 --machine deep_flow
     python -m repro.cli experiments --fast
     python -m repro.cli predict --shape 56 56 42
@@ -252,16 +256,22 @@ def cmd_experiments(args: argparse.Namespace) -> int:
 
 def cmd_serve(args: argparse.Namespace) -> int:
     """Serve concurrent phantom surgical cases through a worker pool."""
+    import json
+
+    from repro.obs import write_chrome_trace, write_prometheus
     from repro.obs.metrics import MetricsRegistry
     from repro.serving import CaseRequest, SessionServer
 
     config = PipelineConfig(mesh_cell_mm=args.cell)
     metrics = MetricsRegistry()
+    telemetry = not args.no_telemetry
     server = SessionServer(
         n_workers=args.workers,
         queue_capacity=args.queue_capacity,
         policy=args.policy,
         metrics=metrics,
+        telemetry=telemetry,
+        flight_dir=args.flight_dir,
     )
     try:
         # args.patients distinct patients, round-robin over the cases:
@@ -299,6 +309,21 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 print(f"rejected case-{index:02d}: {rejected.detail}")
         results = server.run()
         print(server.summary_table())
+        if telemetry:
+            if args.chrome:
+                path = write_chrome_trace(server.tracer, args.chrome)
+                print(f"wrote merged Chrome trace (one lane per process): {path}")
+            if args.metrics_json:
+                path = Path(args.metrics_json)
+                payload = {
+                    "metrics": metrics.snapshot(),
+                    "slo": server.slo.summary(),
+                }
+                path.write_text(json.dumps(payload, indent=2) + "\n")
+                print(f"wrote metrics+SLO bundle: {path}")
+                prom = path.with_suffix(".prom")
+                print(f"wrote Prometheus exposition: {write_prometheus(metrics, prom)}")
+            print(f"flight recorder dumps: {server.flight_dir}")
         completed = sum(1 for r in results.values() if r.ok)
         return 0 if completed == args.cases else 1
     finally:
@@ -308,9 +333,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
 def cmd_bench_throughput(args: argparse.Namespace) -> int:
     """Benchmark pool serving against serial sessions (same patient)."""
     import json
+    import shutil
 
     from repro.serving import run_throughput_benchmark
 
+    sink: list = []
     report = run_throughput_benchmark(
         n_cases=args.cases,
         n_workers=args.workers,
@@ -319,13 +346,98 @@ def cmd_bench_throughput(args: argparse.Namespace) -> int:
         mesh_cell_mm=args.cell,
         shift_mm=args.shift,
         seed=args.seed,
+        telemetry=bool(args.obs_dir),
+        server_sink=sink,
     )
     print(report.table())
     if args.json:
         path = Path(args.json)
         path.write_text(json.dumps(report.as_dict(), indent=2) + "\n")
         print(f"wrote {path}")
+    if args.obs_dir and sink:
+        # The telemetry-enabled pool run's full observability bundle:
+        # the merged multi-process trace, metrics + SLO scores, and the
+        # per-worker flight-recorder rings.
+        from repro.obs import write_chrome_trace, write_prometheus
+
+        server = sink[-1]
+        obs = Path(args.obs_dir)
+        obs.mkdir(parents=True, exist_ok=True)
+        print(f"wrote merged trace: {write_chrome_trace(server.tracer, obs / 'trace.json')}")
+        print(f"wrote metrics: {write_prometheus(server.metrics, obs / 'metrics.prom')}")
+        bundle = obs / "metrics.json"
+        bundle.write_text(
+            json.dumps(
+                {"metrics": server.metrics.snapshot(), "slo": server.slo.summary()},
+                indent=2,
+            )
+            + "\n"
+        )
+        print(f"wrote metrics+SLO bundle: {bundle}")
+        if server.flight_dir and Path(server.flight_dir).is_dir():
+            for dump in sorted(Path(server.flight_dir).glob("*.json")):
+                shutil.copy2(dump, obs / f"flight-{dump.name}")
+                print(f"wrote flight dump: {obs / f'flight-{dump.name}'}")
+        print()
+        print(server.slo.table())
     return 0 if report.bit_identical else 1
+
+
+def cmd_obs(args: argparse.Namespace) -> int:
+    """Inspect serving observability artifacts: metrics, SLOs, flight dumps."""
+    import json
+
+    if args.obs_command == "flight":
+        from repro.obs import load_flight_dump, render_flight_dump
+        from repro.util.errors import ValidationError
+
+        root = Path(args.path)
+        if root.is_dir():
+            # Bundles mix flight dumps with trace.json / metrics.json;
+            # skip whatever doesn't validate instead of dying on it.
+            dumps = []
+            for p in sorted(root.glob("*.json")):
+                try:
+                    dumps.append(load_flight_dump(p))
+                except ValidationError:
+                    continue
+            if not dumps:
+                print(f"no flight dumps under {args.path}", file=sys.stderr)
+                return 1
+        else:
+            try:
+                dumps = [load_flight_dump(root)]
+            except (OSError, ValidationError) as exc:
+                print(str(exc), file=sys.stderr)
+                return 1
+        for dump in dumps:
+            print(render_flight_dump(dump, last=args.last))
+            print()
+        return 0
+
+    # metrics / slo read the bundle written by `serve --metrics-json` or
+    # `bench-throughput --obs-dir` ({"metrics": snapshot, "slo": summary}).
+    path = Path(args.path)
+    if path.is_dir():
+        path = path / "metrics.json"
+    payload = json.loads(path.read_text())
+    if args.obs_command == "metrics":
+        from repro.obs import MetricsRegistry, prometheus_text
+
+        registry = MetricsRegistry()
+        registry.merge(payload.get("metrics", payload))
+        print(prometheus_text(registry), end="")
+        return 0
+    if args.obs_command == "slo":
+        from repro.obs import render_slo_summary
+
+        summary = payload.get("slo")
+        if summary is None:
+            print(f"{path}: no SLO summary in bundle", file=sys.stderr)
+            return 1
+        print(render_slo_summary(summary))
+        return 0
+    raise AssertionError(f"unknown obs subcommand {args.obs_command!r}")
 
 
 def cmd_predict(args: argparse.Namespace) -> int:
@@ -467,6 +579,29 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="make cases durable: per-case checkpoint dirs under this root",
     )
+    p.add_argument(
+        "--no-telemetry",
+        action="store_true",
+        help="serve dark: no per-case spans, frames, SLOs or flight dumps",
+    )
+    p.add_argument(
+        "--chrome",
+        default=None,
+        help="write the merged multi-process Chrome trace_event JSON here",
+    )
+    p.add_argument(
+        "--metrics-json",
+        default=None,
+        help=(
+            "write the aggregated metrics snapshot + SLO summary bundle here "
+            "(a .prom Prometheus exposition is written alongside)"
+        ),
+    )
+    p.add_argument(
+        "--flight-dir",
+        default=None,
+        help="directory for flight-recorder dumps (default: a temp directory)",
+    )
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("bench-throughput", help=cmd_bench_throughput.__doc__)
@@ -477,7 +612,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cell", type=float, default=3.0, help="mesh cell size (mm)")
     p.add_argument("--shift", type=float, default=5.0)
     p.add_argument("--json", default=None, help="write the report as JSON here")
+    p.add_argument(
+        "--obs-dir",
+        default=None,
+        help=(
+            "run the pool leg with telemetry on and write its observability "
+            "bundle here (merged trace, metrics, SLOs, flight dumps)"
+        ),
+    )
     p.set_defaults(func=cmd_bench_throughput)
+
+    p = sub.add_parser("obs", help=cmd_obs.__doc__)
+    obs_sub = p.add_subparsers(dest="obs_command", required=True)
+    q = obs_sub.add_parser(
+        "metrics", help="render a metrics bundle as Prometheus text exposition"
+    )
+    q.add_argument("path", help="metrics.json bundle (or a directory holding one)")
+    q.set_defaults(func=cmd_obs)
+    q = obs_sub.add_parser(
+        "slo", help="render the SLO summary table from a metrics bundle"
+    )
+    q.add_argument("path", help="metrics.json bundle (or a directory holding one)")
+    q.set_defaults(func=cmd_obs)
+    q = obs_sub.add_parser("flight", help="render flight-recorder dump(s)")
+    q.add_argument("path", help="a flight dump JSON, or a directory of dumps")
+    q.add_argument(
+        "--last", type=int, default=None, help="show only the last N entries"
+    )
+    q.set_defaults(func=cmd_obs)
 
     p = sub.add_parser("replay", help=cmd_replay.__doc__)
     p.add_argument("checkpoint_dir", help="checkpoint directory to replay-verify")

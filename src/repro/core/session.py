@@ -33,6 +33,7 @@ from repro.core.pipeline import (
     PreoperativeModel,
 )
 from repro.imaging.volume import ImageVolume
+from repro.obs.flight import get_flight_recorder
 from repro.obs.trace import get_tracer
 from repro.persist.store import SessionStore
 from repro.segmentation.prototypes import PrototypeSet
@@ -197,6 +198,24 @@ class SurgicalSession:
         if result.prototypes is not None:
             self._prototypes = result.prototypes
         self.history.append(result)
+        flight = get_flight_recorder()
+        if flight.enabled:
+            verdict = getattr(result, "budget_verdict", None)
+            flight.note(
+                "scan.complete",
+                scan=scan,
+                seconds=float(result.timeline.total("intraoperative")),
+                degradation=(
+                    None if result.degradation is None else result.degradation.label
+                ),
+                within_budget=None if verdict is None else verdict.within_budget,
+            )
+            if result.degradation is not None and (
+                result.degradation.degraded or result.degradation.escalated
+            ):
+                flight.note(
+                    "scan.degraded", scan=scan, label=result.degradation.label
+                )
         if self.store is not None:
             self.store.crash_point(scan, "solve")
             self.store.commit_scan(

@@ -1,4 +1,4 @@
-"""Observability: hierarchical tracing, metrics, and time budgets.
+"""Observability: tracing, metrics, budgets, SLOs, and a flight recorder.
 
 The paper's central constraint is *intraoperative latency* — every
 per-scan action has to fit inside the surgical window. This subpackage
@@ -8,12 +8,23 @@ gives the repro the instrumentation layer such a system assumes:
   pipeline, FEM, solver and virtual-parallel layers; near-zero-overhead
   no-op when disabled.
 * :mod:`repro.obs.metrics` — counters, gauges and histograms behind one
-  registry (solve-context cache stats, GMRES convergence, mesh sizes).
-* :mod:`repro.obs.export` — JSONL event log, Chrome ``trace_event``
-  JSON (Perfetto / ``about:tracing``), and a text span-tree perf report
-  with self/total times.
+  registry (solve-context cache stats, GMRES convergence, mesh sizes),
+  with :meth:`~repro.obs.metrics.MetricsRegistry.snapshot` /
+  :meth:`~repro.obs.metrics.MetricsRegistry.merge` for cross-process
+  aggregation.
+* :mod:`repro.obs.export` — JSONL event log, multi-process Chrome
+  ``trace_event`` JSON (Perfetto / ``about:tracing``), a text span-tree
+  perf report with self/total times and repeat-span percentiles, and
+  Prometheus text exposition for metrics.
 * :mod:`repro.obs.budget` — real-time per-stage / per-scan time budgets
   with live headroom, warning events, and per-scan verdicts.
+* :mod:`repro.obs.slo` — service-level objectives: p50/p95/p99 latency
+  percentiles per stage scored against the paper budgets.
+* :mod:`repro.obs.flight` — a bounded ring buffer of recent telemetry,
+  dumped atomically on faults for post-mortem analysis.
+* :mod:`repro.obs.telemetry` — cross-process trace propagation: trace
+  contexts stamped on serving requests, picklable telemetry frames
+  shipped back from workers, and span grafting into the server's trace.
 
 Quick start::
 
@@ -37,17 +48,43 @@ from repro.obs.budget import (
 )
 from repro.obs.export import (
     chrome_trace,
+    prometheus_text,
     read_jsonl,
     render_report,
     write_chrome_trace,
     write_jsonl,
+    write_prometheus,
+)
+from repro.obs.flight import (
+    FlightEntry,
+    FlightRecorder,
+    get_flight_recorder,
+    load_flight_dump,
+    render_flight_dump,
+    set_flight_recorder,
+    use_flight_recorder,
 )
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.slo import (
+    SCAN_TOTAL,
+    SLOTracker,
+    default_slo_targets,
+    render_slo_summary,
+)
+from repro.obs.telemetry import (
+    CaseTelemetry,
+    TelemetryFrame,
+    TraceContext,
+    graft_frame,
+    make_trace_context,
+    span_from_dict,
+)
 from repro.obs.trace import (
     Span,
     SpanRecord,
     Tracer,
     get_tracer,
+    new_trace_id,
     set_tracer,
     use_tracer,
 )
@@ -55,22 +92,42 @@ from repro.obs.trace import (
 __all__ = [
     "PAPER_SCAN_BUDGET",
     "PAPER_STAGE_BUDGETS",
+    "SCAN_TOTAL",
     "BudgetMonitor",
+    "CaseTelemetry",
     "Counter",
+    "FlightEntry",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "SLOTracker",
     "ScanVerdict",
     "Span",
     "SpanRecord",
     "StageCheck",
+    "TelemetryFrame",
+    "TraceContext",
     "Tracer",
     "chrome_trace",
+    "default_slo_targets",
+    "get_flight_recorder",
     "get_tracer",
+    "graft_frame",
+    "load_flight_dump",
+    "make_trace_context",
+    "new_trace_id",
+    "prometheus_text",
     "read_jsonl",
+    "render_flight_dump",
     "render_report",
+    "render_slo_summary",
+    "set_flight_recorder",
     "set_tracer",
+    "span_from_dict",
+    "use_flight_recorder",
     "use_tracer",
     "write_chrome_trace",
     "write_jsonl",
+    "write_prometheus",
 ]

@@ -104,6 +104,10 @@ class ScanVerdict:
             "scan_budget": self.scan_budget,
             "within_budget": self.within_budget,
             "headroom_seconds": self.headroom_seconds,
+            "checks": [
+                {"stage": c.stage, "seconds": c.seconds, "budget": c.budget}
+                for c in self.checks
+            ],
             "over_stages": [
                 {"stage": c.stage, "seconds": c.seconds, "budget": c.budget}
                 for c in self.over_stages

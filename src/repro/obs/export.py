@@ -8,9 +8,20 @@ Three consumers of the same :class:`~repro.obs.trace.SpanRecord` tree:
   trace-report`` CLI subcommand.
 * **Chrome trace_event JSON** — the ``{"traceEvents": [...]}`` format
   understood by ``about:tracing`` and Perfetto (complete ``"X"`` events,
-  microsecond timestamps). Span attributes become ``args``.
+  microsecond timestamps). Span attributes become ``args``. Spans carry
+  their originating OS pid, so a server trace with grafted worker spans
+  renders as one process lane per worker, each titled from the tracer's
+  ``process_labels``.
 * **Text perf report** — renders the span tree with *total* and *self*
-  (total minus direct children) times, the classic profiler view.
+  (total minus direct children) times, the classic profiler view, plus
+  a percentile footer for span names that repeat (p50/p95/p99 across
+  occurrences — the serving tier runs the same stages hundreds of
+  times).
+
+Metrics leave through :func:`prometheus_text`, the Prometheus text
+exposition format (``# TYPE`` headers, ``{label="value"}`` selectors for
+the registry's ``name[k=v]`` instruments), so a scrape endpoint or a
+file-based textfile collector can ingest a serving run unchanged.
 """
 
 from __future__ import annotations
@@ -89,6 +100,7 @@ def read_jsonl(path) -> list[SpanRecord]:
                     start=float(obj["start"]),
                     end=None if obj.get("end") is None else float(obj["end"]),
                     thread=obj.get("thread", "main"),
+                    pid=int(obj.get("pid", 0)),
                     attrs=obj.get("attrs", {}),
                     events=[
                         (e["ts"], e["name"], e.get("attrs", {}))
@@ -102,28 +114,49 @@ def read_jsonl(path) -> list[SpanRecord]:
 # -- Chrome trace_event ------------------------------------------------------
 
 
-def chrome_trace(source, process_name: str = "repro") -> dict:
+def chrome_trace(
+    source,
+    process_name: str = "repro",
+    process_labels: dict[int, str] | None = None,
+) -> dict:
     """The trace as a Chrome ``trace_event`` JSON object.
 
     Uses complete (``"ph": "X"``) events with microsecond timestamps
-    relative to the earliest span, one ``tid`` per recorded thread name
-    — loadable in ``about:tracing`` and Perfetto. Span events are
-    emitted as instant (``"ph": "i"``) events.
+    relative to the earliest span — loadable in ``about:tracing`` and
+    Perfetto. Span events are emitted as instant (``"ph": "i"``) events.
+
+    Each span lands in the process lane of its recorded OS ``pid``
+    (legacy ``pid=0`` spans fall back to a single default lane), with
+    one ``tid`` per thread name within that lane. Lane titles come from
+    ``process_labels`` (pid -> name); when ``source`` is a
+    :class:`~repro.obs.trace.Tracer` its accumulated
+    :attr:`~repro.obs.trace.Tracer.process_labels` — which include every
+    grafted worker — are used automatically. Unlabelled pids are titled
+    ``"{process_name} (pid N)"``.
     """
+    labels = dict(process_labels) if process_labels else {}
+    if isinstance(source, Tracer):
+        for pid, label in source.process_labels.items():
+            labels.setdefault(pid, label)
     spans = _spans_of(source)
     origin = min((s.start for s in spans), default=0.0)
-    tids: dict[str, int] = {}
-    events: list[dict] = [
-        {
-            "name": "process_name",
-            "ph": "M",
-            "pid": 1,
-            "tid": 0,
-            "args": {"name": process_name},
-        }
-    ]
+    default_pid = next(iter(labels), 1)
+    pids = sorted({span.pid or default_pid for span in spans}) or [default_pid]
+    events: list[dict] = []
+    for pid in pids:
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": labels.get(pid, f"{process_name} (pid {pid})")},
+            }
+        )
+    tids: dict[tuple[int, str], int] = {}
     for span in spans:
-        tid = tids.setdefault(span.thread, len(tids) + 1)
+        pid = span.pid or default_pid
+        tid = tids.setdefault((pid, span.thread), len(tids) + 1)
         args = {k: _jsonable(v) for k, v in span.attrs.items()}
         events.append(
             {
@@ -132,7 +165,7 @@ def chrome_trace(source, process_name: str = "repro") -> dict:
                 "ph": "X",
                 "ts": (span.start - origin) * 1e6,
                 "dur": span.duration * 1e6,
-                "pid": 1,
+                "pid": pid,
                 "tid": tid,
                 "args": args,
             }
@@ -144,7 +177,7 @@ def chrome_trace(source, process_name: str = "repro") -> dict:
                     "cat": "event",
                     "ph": "i",
                     "ts": (ts - origin) * 1e6,
-                    "pid": 1,
+                    "pid": pid,
                     "tid": tid,
                     "s": "t",
                     "args": {k: _jsonable(v) for k, v in attrs.items()},
@@ -153,12 +186,95 @@ def chrome_trace(source, process_name: str = "repro") -> dict:
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 
-def write_chrome_trace(source, path, process_name: str = "repro") -> Path:
+def write_chrome_trace(
+    source,
+    path,
+    process_name: str = "repro",
+    process_labels: dict[int, str] | None = None,
+) -> Path:
     """Write :func:`chrome_trace` output to ``path``; returns the path.
 
     Crash-safe like :func:`write_jsonl`: the JSON appears atomically.
     """
-    return atomic_write_text(path, json.dumps(chrome_trace(source, process_name)))
+    return atomic_write_text(
+        path, json.dumps(chrome_trace(source, process_name, process_labels))
+    )
+
+
+# -- Prometheus text exposition ----------------------------------------------
+
+
+def _prom_name(name: str) -> str:
+    """A metric name sanitized to the Prometheus grammar."""
+    out = []
+    for i, ch in enumerate(name):
+        if ch.isalnum() and (i > 0 or not ch.isdigit()):
+            out.append(ch)
+        elif ch == ":":
+            out.append(ch)
+        else:
+            out.append("_")
+    return "".join(out) or "_"
+
+
+def _prom_split(name: str) -> tuple[str, str]:
+    """Split ``name[k=v,k2=v2]`` into a sanitized name + label selector."""
+    base, labels = name, ""
+    if name.endswith("]") and "[" in name:
+        base, _, rest = name.partition("[")
+        pairs = []
+        for item in rest[:-1].split(","):
+            key, _, value = item.partition("=")
+            value = value.replace("\\", "\\\\").replace('"', '\\"')
+            pairs.append(f'{_prom_name(key.strip())}="{value.strip()}"')
+        labels = "{" + ",".join(pairs) + "}"
+    return _prom_name(base), labels
+
+
+def prometheus_text(registry) -> str:
+    """Render a :class:`~repro.obs.MetricsRegistry` as Prometheus text.
+
+    The standard text exposition format: ``# TYPE`` headers, one sample
+    per line. Dotted names become underscored; ``name[k=v]`` instruments
+    (the per-worker gauges produced by
+    :meth:`~repro.obs.MetricsRegistry.merge`) become label selectors.
+    Histograms export as ``summary`` metrics with exact p50/p95/p99
+    quantile lines plus ``_sum``/``_count``.
+    """
+    snapshot = registry.snapshot()
+    lines: list[str] = []
+    for name in sorted(snapshot["counters"]):
+        prom, labels = _prom_split(name)
+        lines.append(f"# TYPE {prom} counter")
+        lines.append(f"{prom}{labels} {snapshot['counters'][name]:g}")
+    for name in sorted(snapshot["gauges"]):
+        prom, labels = _prom_split(name)
+        lines.append(f"# TYPE {prom} gauge")
+        lines.append(f"{prom}{labels} {snapshot['gauges'][name]:g}")
+    for name in sorted(snapshot["histograms"]):
+        hist = registry.get(name)
+        stats = hist.summary()
+        prom, labels = _prom_split(name)
+        inner = labels[1:-1] if labels else ""
+        lines.append(f"# TYPE {prom} summary")
+        for key, value in stats.items():
+            if key.startswith("p") and key[1:].isdigit():
+                q = int(key[1:]) / 100.0
+                sel = ",".join(filter(None, [inner, f'quantile="{q:g}"']))
+                lines.append(f"{prom}{{{sel}}} {value:g}")
+        lines.append(f"{prom}_sum{labels} {stats['sum']:g}")
+        lines.append(f"{prom}_count{labels} {stats['count']}")
+    return "\n".join(lines) + "\n"
+
+
+def write_prometheus(registry, path) -> Path:
+    """Atomically write :func:`prometheus_text` to ``path``.
+
+    Atomicity matters here: the node-exporter *textfile collector*
+    pattern re-reads the file on every scrape, and a torn write would
+    surface as a parse failure mid-run.
+    """
+    return atomic_write_text(path, prometheus_text(registry))
 
 
 def _jsonable(value):
@@ -181,6 +297,10 @@ def render_report(source, title: str | None = None, min_seconds: float = 0.0) ->
     spent in the span's own code, the number a flat stage table cannot
     show. Spans shorter than ``min_seconds`` are pruned (with their
     subtrees) to keep reports of chatty traces readable.
+
+    Span names that occur more than once (the serving tier records the
+    same stages per case) get a footer with per-name count and exact
+    p50/p95/p99 durations.
     """
     spans = _spans_of(source)
     if not spans:
@@ -223,7 +343,33 @@ def render_report(source, title: str | None = None, min_seconds: float = 0.0) ->
 
     for root in roots:
         walk(root, 0)
+
+    durations: dict[str, list[float]] = {}
+    for span in spans:
+        durations.setdefault(span.name, []).append(span.duration)
+    repeated = {name: vals for name, vals in durations.items() if len(vals) > 1}
+    if repeated:
+        lines.append("")
+        lines.append("repeated spans (percentiles across occurrences):")
+        width = max(len(name) for name in repeated)
+        for name in sorted(repeated, key=lambda n: -sum(repeated[n])):
+            vals = repeated[name]
+            lines.append(
+                f"  {name.ljust(width)}  n={len(vals):<4d}"
+                f"  p50={_quantile(vals, 0.5):.4f}"
+                f"  p95={_quantile(vals, 0.95):.4f}"
+                f"  p99={_quantile(vals, 0.99):.4f}"
+            )
     return "\n".join(lines)
+
+
+def _quantile(values: list[float], q: float) -> float:
+    ordered = sorted(values)
+    rank = q * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = rank - low
+    return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
 
 
 def _depth(span: SpanRecord, spans: list[SpanRecord]) -> int:

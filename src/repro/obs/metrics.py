@@ -10,10 +10,20 @@ session summaries, exporters and tests read one interface:
   iterations, bytes on the wire).
 * :class:`Gauge` — last-written value (mesh node count, final residual).
 * :class:`Histogram` — streaming distribution (per-scan solve seconds,
-  per-restart residual drops) with count/sum/min/max/mean.
+  per-restart residual drops) with count/sum/min/max/mean and
+  :meth:`~Histogram.quantile` percentiles.
 
 Instruments are get-or-create by name, so independent modules can
 ``registry.counter("gmres.iterations").inc(n)`` without coordination.
+
+Registries also cross process boundaries: :meth:`MetricsRegistry.snapshot`
+renders one as a plain JSON-serializable dict and
+:meth:`MetricsRegistry.merge` folds such a snapshot into another
+registry with per-instrument-kind semantics — counters **sum**, gauges
+are **last-write-wins** (optionally namespaced under a worker label so
+per-worker values never clobber each other), histograms **concatenate**
+their observations. The serving tier uses this to aggregate worker-side
+``gmres.*`` / cache metrics into the server's registry.
 """
 
 from __future__ import annotations
@@ -49,9 +59,17 @@ class Gauge:
 
     name: str
     value: float = 0.0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def set(self, value: float) -> None:
-        self.value = float(value)
+        with self._lock:
+            self.value = float(value)
+
+
+#: Quantiles reported by :meth:`Histogram.summary` (and the exporters).
+SUMMARY_QUANTILES = (0.5, 0.95, 0.99)
 
 
 @dataclass
@@ -60,7 +78,7 @@ class Histogram:
 
     Raw observations are retained (the series are small — one entry per
     scan or per restart cycle, not per inner iteration) so exporters can
-    compute percentiles.
+    compute exact percentiles via :meth:`quantile`.
     """
 
     name: str
@@ -72,6 +90,33 @@ class Histogram:
     def observe(self, value: float) -> None:
         with self._lock:
             self.values.append(float(value))
+
+    def extend(self, values) -> None:
+        """Concatenate a batch of observations (snapshot merging)."""
+        batch = [float(v) for v in values]
+        with self._lock:
+            self.values.extend(batch)
+
+    def quantile(self, q: float) -> float:
+        """Exact ``q``-quantile (0 <= q <= 1) by linear interpolation.
+
+        Computed over the retained observations (nearest-rank with
+        linear interpolation between closest ranks — numpy's default);
+        0.0 on an empty histogram, so summary tables never raise.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValidationError(
+                f"histogram {self.name!r}: quantile must be in [0, 1], got {q}"
+            )
+        with self._lock:
+            if not self.values:
+                return 0.0
+            ordered = sorted(self.values)
+        rank = q * (len(ordered) - 1)
+        low = int(rank)
+        high = min(low + 1, len(ordered) - 1)
+        fraction = rank - low
+        return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
 
     @property
     def count(self) -> int:
@@ -94,13 +139,16 @@ class Histogram:
         return self.sum / self.count if self.values else 0.0
 
     def summary(self) -> dict[str, float]:
-        return {
+        out = {
             "count": self.count,
             "sum": self.sum,
             "min": self.min,
             "max": self.max,
             "mean": self.mean,
         }
+        for q in SUMMARY_QUANTILES:
+            out[f"p{round(q * 100)}"] = self.quantile(q)
+        return out
 
 
 class MetricsRegistry:
@@ -164,6 +212,57 @@ class MetricsRegistry:
                 else:
                     out[name] = inst.value
             return out
+
+    # -- cross-process aggregation -------------------------------------------
+
+    def snapshot(self) -> dict:
+        """The registry as one plain, picklable, JSON-serializable dict.
+
+        Shape: ``{"counters": {name: value}, "gauges": {name: value},
+        "histograms": {name: [observations...]}}``. Histograms carry
+        their raw observations so a :meth:`merge` on the receiving side
+        preserves exact quantiles — the series are per-scan/per-solve
+        sized, not per-iteration, so frames stay compact.
+        """
+        with self._lock:
+            instruments = list(self._instruments.items())
+        out: dict = {"counters": {}, "gauges": {}, "histograms": {}}
+        for name, inst in instruments:
+            if isinstance(inst, Counter):
+                out["counters"][name] = inst.value
+            elif isinstance(inst, Gauge):
+                out["gauges"][name] = inst.value
+            elif isinstance(inst, Histogram):
+                with inst._lock:
+                    out["histograms"][name] = list(inst.values)
+        return out
+
+    def merge(self, snapshot: dict, worker: str | int | None = None) -> None:
+        """Fold a :meth:`snapshot` into this registry.
+
+        Per-instrument-kind semantics:
+
+        * **counters sum** — worker totals accumulate into the shared
+          name (``gmres.iterations`` across 4 workers is their sum);
+        * **gauges are last-write-wins** — and when ``worker`` is given
+          each gauge *also* lands under ``name[worker=...]`` so
+          per-worker values (cache hit ratios, last residuals) remain
+          individually visible instead of clobbering each other;
+        * **histograms concatenate** their observations, preserving
+          exact merged quantiles.
+
+        Thread-safe against concurrent ``observe``/``inc`` calls and
+        other merges: every underlying instrument update takes that
+        instrument's own lock.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(float(value))
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).set(float(value))
+            if worker is not None:
+                self.gauge(f"{name}[worker={worker}]").set(float(value))
+        for name, values in snapshot.get("histograms", {}).items():
+            self.histogram(name).extend(values)
 
     def record_cache_stats(self, stats, prefix: str = "solve_context") -> None:
         """Absorb :class:`repro.fem.CacheStats` into gauge metrics.

@@ -1,0 +1,216 @@
+"""SLO tracking: latency percentiles scored against the paper's budgets.
+
+The :class:`repro.obs.BudgetMonitor` judges *one scan at a time* — it is
+the in-flight alarm. Under serving load the question changes shape:
+across hundreds of cases, what are the p50/p95/p99 latencies of each
+stage and of the end-to-end scan, and how often do they violate the
+paper-derived budgets? That is a service-level objective, and
+:class:`SLOTracker` makes it first-class: feed it stage durations (or
+whole :class:`~repro.obs.budget.ScanVerdict` records coming back from
+workers) and it maintains per-stage latency distributions (re-using
+:class:`repro.obs.Histogram` and its exact :meth:`~repro.obs.Histogram.quantile`),
+counts violations, and scores attainment at a configurable quantile
+(default p95 — "95% of scans must fit the budget", the standard SLO
+formulation of the paper's hard-real-time claim).
+
+Targets default to the paper numbers: each budgeted stage from
+:data:`~repro.obs.budget.PAPER_STAGE_BUDGETS` plus the whole-scan
+:data:`~repro.obs.budget.PAPER_SCAN_BUDGET` under the ``"scan total"``
+key. Serving-layer series without a paper budget (queue wait, case
+service) can be observed with ``target=None`` — tracked and reported,
+never scored.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.obs.budget import PAPER_SCAN_BUDGET, PAPER_STAGE_BUDGETS
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.util import ValidationError, format_table
+
+#: Series name for whole-scan (end-to-end) latency.
+SCAN_TOTAL = "scan total"
+
+
+def default_slo_targets() -> dict[str, float]:
+    """Paper-derived targets: stage budgets + the whole-scan budget."""
+    targets = dict(PAPER_STAGE_BUDGETS)
+    targets[SCAN_TOTAL] = PAPER_SCAN_BUDGET
+    return targets
+
+
+_UNSET = object()
+
+
+class SLOTracker:
+    """Per-stage and end-to-end latency percentiles vs. budget targets.
+
+    Parameters
+    ----------
+    targets:
+        Series name -> target seconds; defaults to
+        :func:`default_slo_targets`. Series observed but absent from the
+        mapping are tracked without being scored.
+    attainment_quantile:
+        The quantile that must meet the target for a stage's SLO to be
+        ``met`` (default 0.95).
+    metrics:
+        Optional registry: every violation increments
+        ``slo.violations`` (and per-series ``slo.violations[...]``
+        counters), so SLO health is visible wherever the metrics land.
+    """
+
+    def __init__(
+        self,
+        targets: dict[str, float] | None = None,
+        attainment_quantile: float = 0.95,
+        metrics: MetricsRegistry | None = None,
+    ):
+        if not 0.0 < attainment_quantile <= 1.0:
+            raise ValidationError(
+                f"attainment_quantile must be in (0, 1], got {attainment_quantile}"
+            )
+        self.targets = default_slo_targets() if targets is None else dict(targets)
+        self.attainment_quantile = float(attainment_quantile)
+        self.metrics = metrics
+        self._lock = threading.Lock()
+        self._series: dict[str, Histogram] = {}
+        self._violations: dict[str, int] = {}
+
+    def _histogram(self, name: str) -> Histogram:
+        with self._lock:
+            hist = self._series.get(name)
+            if hist is None:
+                hist = Histogram(name)
+                self._series[name] = hist
+                self._violations.setdefault(name, 0)
+            return hist
+
+    # -- observation ---------------------------------------------------------
+
+    def observe(self, name: str, seconds: float, target=_UNSET) -> bool:
+        """Record one latency sample; returns True when it violated.
+
+        ``target`` overrides the configured mapping for this sample
+        (pass ``None`` to track without scoring — e.g. queue wait).
+        """
+        seconds = float(seconds)
+        self._histogram(name).observe(seconds)
+        resolved = self.targets.get(name) if target is _UNSET else target
+        violated = resolved is not None and seconds > resolved
+        if violated:
+            with self._lock:
+                self._violations[name] = self._violations.get(name, 0) + 1
+            if self.metrics is not None:
+                self.metrics.counter("slo.violations").inc()
+                self.metrics.counter(f"slo.violations[{name}]").inc()
+        return violated
+
+    def observe_verdict(self, verdict) -> int:
+        """Feed one scan's budget verdict; returns its violation count.
+
+        Accepts a live :class:`~repro.obs.budget.ScanVerdict` or its
+        ``as_dict()`` form (how verdicts arrive in a worker's telemetry
+        frame). Every budgeted stage check becomes a sample under its
+        stage name; the scan total lands under ``"scan total"``.
+        """
+        violations = 0
+        if isinstance(verdict, dict):
+            # Serialized form: checks carry explicit seconds/budget (old
+            # frames only listed over-budget stages); total always present.
+            for check in verdict.get("checks", verdict.get("over_stages", [])):
+                violations += int(
+                    self.observe(
+                        check["stage"], check["seconds"], target=check.get("budget")
+                    )
+                )
+            violations += int(
+                self.observe(
+                    SCAN_TOTAL,
+                    verdict["total_seconds"],
+                    target=verdict.get("scan_budget"),
+                )
+            )
+            return violations
+        for check in verdict.checks:
+            violations += int(self.observe(check.stage, check.seconds))
+        violations += int(
+            self.observe(SCAN_TOTAL, verdict.total_seconds, target=verdict.scan_budget)
+        )
+        return violations
+
+    # -- reporting -----------------------------------------------------------
+
+    @property
+    def total_violations(self) -> int:
+        with self._lock:
+            return sum(self._violations.values())
+
+    def series_summary(self, name: str) -> dict:
+        """Percentiles + attainment for one series (raises when unknown)."""
+        with self._lock:
+            hist = self._series.get(name)
+            violations = self._violations.get(name, 0)
+        if hist is None:
+            raise ValidationError(f"no SLO series named {name!r}")
+        target = self.targets.get(name)
+        attained = hist.quantile(self.attainment_quantile)
+        return {
+            "count": hist.count,
+            "p50": hist.quantile(0.5),
+            "p95": hist.quantile(0.95),
+            "p99": hist.quantile(0.99),
+            "max": hist.max,
+            "target": target,
+            "violations": violations,
+            "met": target is None or attained <= target,
+        }
+
+    def summary(self) -> dict:
+        """All series, scored; JSON-serializable."""
+        with self._lock:
+            names = sorted(self._series)
+        series = {name: self.series_summary(name) for name in names}
+        scored = [s for s in series.values() if s["target"] is not None]
+        return {
+            "attainment_quantile": self.attainment_quantile,
+            "series": series,
+            "total_violations": self.total_violations,
+            "all_met": all(s["met"] for s in scored),
+        }
+
+    def table(self) -> str:
+        """Text SLO report (the server summary / ``repro obs slo``)."""
+        return render_slo_summary(self.summary())
+
+
+def render_slo_summary(summary: dict) -> str:
+    """Render a :meth:`SLOTracker.summary` dict (live or loaded from JSON)."""
+    if not summary.get("series"):
+        return "(no SLO samples recorded)"
+    rows = []
+    for name, s in summary["series"].items():
+        rows.append(
+            [
+                name,
+                s["count"],
+                f"{s['p50']:.3f}",
+                f"{s['p95']:.3f}",
+                f"{s['p99']:.3f}",
+                "-" if s["target"] is None else f"{s['target']:.1f}",
+                s["violations"],
+                ("ok" if s["met"] else "MISSED") if s["target"] is not None else "-",
+            ]
+        )
+    q = round(summary.get("attainment_quantile", 0.95) * 100)
+    table = format_table(
+        ["stage", "n", "p50 (s)", "p95 (s)", "p99 (s)", "target (s)", "viol", f"SLO@p{q}"],
+        rows,
+        title="Latency SLOs vs paper budgets",
+    )
+    table += (
+        f"\n  violations: {summary['total_violations']}"
+        f" | all SLOs met: {summary['all_met']}"
+    )
+    return table

@@ -28,8 +28,10 @@ Spans are exported through :mod:`repro.obs.export` (JSONL, Chrome
 
 from __future__ import annotations
 
+import os
 import threading
 import time
+import uuid
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
@@ -49,6 +51,10 @@ class SpanRecord:
         while the span is open.
     thread:
         Native thread name the span ran on.
+    pid:
+        OS process id the span was recorded in (0 for legacy traces).
+        Worker spans grafted into a server trace keep their worker pid,
+        so the Chrome/Perfetto export shows one lane per process.
     attrs:
         Free-form attributes set at creation or via :meth:`Span.set`.
     events:
@@ -62,6 +68,7 @@ class SpanRecord:
     start: float
     end: float | None = None
     thread: str = "main"
+    pid: int = 0
     attrs: dict = field(default_factory=dict)
     events: list[tuple[float, str, dict]] = field(default_factory=list)
 
@@ -80,6 +87,7 @@ class SpanRecord:
             "start": self.start,
             "end": self.end,
             "thread": self.thread,
+            "pid": self.pid,
             "attrs": self.attrs,
             "events": [
                 {"ts": ts, "name": name, "attrs": attrs}
@@ -130,6 +138,18 @@ class Span:
         """Record a point-in-time event inside the span."""
         self.record.events.append((self._tracer._now(), name, attrs))
 
+    def close(self, **attrs) -> None:
+        """Stamp the end time on a manually opened span (idempotent).
+
+        Only for spans from :meth:`Tracer.open_span` — spans entered as
+        context managers are closed by ``__exit__``. Extra ``attrs`` are
+        attached before sealing.
+        """
+        if attrs:
+            self.record.attrs.update(attrs)
+        if self.record.end is None:
+            self.record.end = self._tracer._now()
+
     def __enter__(self) -> "Span":
         self._tracer._push(self)
         return self
@@ -152,20 +172,41 @@ class Tracer:
     clock:
         Monotonic time source (injectable for deterministic tests);
         defaults to :func:`time.perf_counter`.
+    trace_id:
+        Identity of the distributed trace this tracer contributes to.
+        Generated when omitted; the serving tier propagates the server's
+        id to workers (via :class:`repro.obs.telemetry.TraceContext`) so
+        every process records under one trace.
+    process_label:
+        Human-readable name of this process in multi-process exports
+        (Perfetto lane titles); defaults to ``"repro"``. Labels of
+        grafted remote processes accumulate in :attr:`process_labels`.
     """
 
-    def __init__(self, enabled: bool = True, clock=None):
+    def __init__(
+        self,
+        enabled: bool = True,
+        clock=None,
+        trace_id: str | None = None,
+        process_label: str = "repro",
+    ):
         self.enabled = enabled
         self._clock = clock if clock is not None else time.perf_counter
         self._lock = threading.Lock()
         self._local = threading.local()
         self._next_id = 0
         self.spans: list[SpanRecord] = []
+        self.trace_id = trace_id if trace_id is not None else new_trace_id()
+        self.process_labels: dict[int, str] = {os.getpid(): process_label}
 
     # -- time ---------------------------------------------------------------
 
     def _now(self) -> float:
         return float(self._clock())
+
+    def now(self) -> float:
+        """Current time on the tracer's clock (cross-process anchoring)."""
+        return self._now()
 
     # -- span lifecycle -----------------------------------------------------
 
@@ -195,9 +236,91 @@ class Tracer:
             name=name,
             start=self._now(),
             thread=threading.current_thread().name,
+            pid=os.getpid(),
             attrs=dict(attrs),
         )
         return Span(self, record)
+
+    def open_span(self, name: str, parent_id: int | None = None, **attrs):
+        """Open a *manual* span, recorded immediately but never stacked.
+
+        Unlike :meth:`span`, the returned span is not pushed on the
+        thread's active stack — it must be sealed with
+        :meth:`Span.close`. This is how a single-threaded control loop
+        tracks many overlapping lifetimes (the serving tier keeps one
+        ``serve.case`` span open per in-flight case); stack-based spans
+        cannot overlap on one thread.
+        """
+        if not self.enabled:
+            return NULL_SPAN
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        record = SpanRecord(
+            span_id=span_id,
+            parent_id=parent_id,
+            name=name,
+            start=self._now(),
+            thread=threading.current_thread().name,
+            pid=os.getpid(),
+            attrs=dict(attrs),
+        )
+        span = Span(self, record)
+        with self._lock:
+            self.spans.append(record)
+        return span
+
+    def adopt_spans(
+        self,
+        records: list[SpanRecord],
+        parent_id: int | None = None,
+        offset: float = 0.0,
+        process_label: str | None = None,
+    ) -> dict[int, int]:
+        """Graft foreign (e.g. worker-process) spans into this trace.
+
+        Every record is copied in with a fresh id from this tracer's
+        counter (foreign ids collide with local ones), parent links are
+        remapped, and roots — records whose parent is ``None`` or not in
+        the batch — are attached under ``parent_id``. ``offset`` shifts
+        all timestamps (start/end/events) onto this tracer's clock
+        domain. Returns the old-id -> new-id mapping.
+
+        ``process_label`` registers a lane title for the records' pid in
+        :attr:`process_labels` (multi-pid Chrome/Perfetto export).
+        """
+        if not self.enabled or not records:
+            return {}
+        with self._lock:
+            id_map = {}
+            for record in records:
+                id_map[record.span_id] = self._next_id
+                self._next_id += 1
+        adopted: list[SpanRecord] = []
+        for record in records:
+            parent = record.parent_id
+            adopted.append(
+                SpanRecord(
+                    span_id=id_map[record.span_id],
+                    parent_id=id_map.get(parent, parent_id),
+                    name=record.name,
+                    start=record.start + offset,
+                    end=None if record.end is None else record.end + offset,
+                    thread=record.thread,
+                    pid=record.pid,
+                    attrs=dict(record.attrs),
+                    events=[
+                        (ts + offset, name, dict(attrs))
+                        for ts, name, attrs in record.events
+                    ],
+                )
+            )
+        with self._lock:
+            self.spans.extend(adopted)
+            if process_label is not None:
+                for record in adopted:
+                    self.process_labels.setdefault(record.pid, process_label)
+        return id_map
 
     def event(self, name: str, **attrs) -> None:
         """Record an event on the current span (or as a root event)."""
@@ -220,6 +343,7 @@ class Tracer:
                         start=t,
                         end=t,
                         thread=threading.current_thread().name,
+                        pid=os.getpid(),
                         attrs=dict(attrs, event=True),
                     )
                 )
@@ -264,6 +388,11 @@ class Tracer:
         with self._lock:
             self.spans.clear()
         self._local = threading.local()
+
+
+def new_trace_id() -> str:
+    """A fresh 32-hex-char trace identity (random, collision-safe)."""
+    return uuid.uuid4().hex
 
 
 #: Process-wide disabled tracer: the default ambient tracer, so

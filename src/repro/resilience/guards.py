@@ -23,6 +23,7 @@ import numpy as np
 from repro.imaging.volume import ImageVolume
 from repro.mesh.quality import quality_report
 from repro.mesh.tetra import TetrahedralMesh
+from repro.obs.flight import get_flight_recorder
 from repro.obs.trace import get_tracer
 from repro.resilience.policy import RetryPolicy
 from repro.util import DeadlineExceeded, ReproError, ValidationError
@@ -103,6 +104,12 @@ class StageGuard:
                     stage=self.stage,
                     attempt=attempt,
                     error=type(exc).__name__,
+                )
+                get_flight_recorder().note(
+                    "stage.retry",
+                    stage=self.stage,
+                    attempt=attempt,
+                    error=f"{type(exc).__name__}: {exc}",
                 )
                 if attempt < self.retry.attempts and self.retry.backoff_s > 0:
                     time.sleep(self.retry.backoff_s)

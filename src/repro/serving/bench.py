@@ -159,12 +159,18 @@ def run_pool(
     n_workers: int,
     metrics=None,
     policy: str = "fifo",
+    telemetry: bool = False,
+    server_sink: list | None = None,
 ) -> tuple[float, dict[str, list[str]], int]:
     """Serve all cases through a worker pool.
 
     Returns ``(seconds, checksums, preop_cache_hits)``. Worker spawn is
     excluded from the timing (a server is long-lived; admission-to-last-
     result is the serving latency), submission and scheduling are not.
+    ``telemetry`` turns the full cross-process telemetry path on
+    (defaults off so the headline throughput number measures serving,
+    not instrumentation); passing a ``server_sink`` list appends the
+    server before shutdown so callers can export its trace/SLOs.
     """
     from repro.serving.server import SessionServer
 
@@ -173,7 +179,10 @@ def run_pool(
         queue_capacity=max(len(requests), 1),
         policy=policy,
         metrics=metrics,
+        telemetry=telemetry,
     )
+    if server_sink is not None:
+        server_sink.append(server)
     try:
         t0 = time.perf_counter()
         for request in requests:
@@ -209,6 +218,8 @@ def run_throughput_benchmark(
     shift_mm: float = 5.0,
     seed: int = 7,
     metrics=None,
+    telemetry: bool = False,
+    server_sink: list | None = None,
 ) -> ThroughputReport:
     """Measure pool-vs-serial throughput on one patient's concurrent cases.
 
@@ -223,7 +234,13 @@ def run_throughput_benchmark(
         n_cases, scans_per_case, shape, shift_mm, seed, config
     )
     serial_seconds, serial_checksums = run_serial(requests)
-    pool_seconds, pool_checksums, hits = run_pool(requests, n_workers, metrics=metrics)
+    pool_seconds, pool_checksums, hits = run_pool(
+        requests,
+        n_workers,
+        metrics=metrics,
+        telemetry=telemetry,
+        server_sink=server_sink,
+    )
     bit_identical = serial_checksums == pool_checksums
     return ThroughputReport(
         n_cases=n_cases,

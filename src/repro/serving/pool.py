@@ -49,15 +49,30 @@ from repro.serving.protocol import (
 from repro.util import ValidationError
 
 
-def _build_pipeline(config):
-    """A fresh pipeline for one case (workers run untraced)."""
+def _build_pipeline(config, telemetry=None):
+    """A fresh pipeline for one case, wired to the case's telemetry.
+
+    Without a telemetry harness the pipeline runs dark (no tracer, no
+    budget monitor, no metrics) — the pre-telemetry behavior.
+    """
     from repro.core.config import PipelineConfig
     from repro.core.pipeline import IntraoperativePipeline
 
-    return IntraoperativePipeline(config=config if config is not None else PipelineConfig())
+    kwargs = {}
+    if telemetry is not None:
+        kwargs = {
+            "tracer": telemetry.tracer,
+            "budget": telemetry.monitor,
+            "metrics": telemetry.metrics,
+        }
+    return IntraoperativePipeline(
+        config=config if config is not None else PipelineConfig(), **kwargs
+    )
 
 
-def _resume_case(request: CaseRequest, worker_id: int) -> tuple[object, list, float]:
+def _resume_case(
+    request: CaseRequest, worker_id: int, telemetry=None
+) -> tuple[object, list, float]:
     """Reopen a case's checkpoint; returns (session, outcomes, preop_s).
 
     The manifest is authoritative for the numeric configuration (the
@@ -77,13 +92,36 @@ def _resume_case(request: CaseRequest, worker_id: int) -> tuple[object, list, fl
     config.resilience = base.resilience
     t0 = time.perf_counter()
     session = SurgicalSession.resume(
-        _build_pipeline(config), request.checkpoint_dir
+        _build_pipeline(config, telemetry), request.checkpoint_dir
     )
     preop_seconds = time.perf_counter() - t0
     outcomes = [
         outcome_from_result(i, result) for i, result in enumerate(session.history)
     ]
     return session, outcomes, preop_seconds
+
+
+def _case_telemetry(request: CaseRequest, worker_id: int):
+    """The case's telemetry harness, or ``None`` for a dark request."""
+    if request.trace_context is None:
+        return None
+    from repro.obs.telemetry import CaseTelemetry
+
+    return CaseTelemetry(request.trace_context, worker=worker_id)
+
+
+def _flight_spool(request: CaseRequest, worker_id: int) -> Path | None:
+    if request.flight_dir is None:
+        return None
+    return Path(request.flight_dir) / f"worker-{worker_id}.json"
+
+
+def _spool_flight(telemetry, spool: Path | None, reason: str, **context) -> str | None:
+    """Persist the worker's flight ring (atomic; survives a later SIGKILL)."""
+    if telemetry is None or spool is None:
+        return None
+    telemetry.flight.dump(spool, reason, context=context)
+    return str(spool)
 
 
 def _serve_case(
@@ -93,8 +131,28 @@ def _serve_case(
     drain_dir: str,
     worker_id: int,
 ) -> CaseResult:
-    """Run one case to completion (or drain) inside a worker process."""
+    """Run one case to completion (or drain) inside a worker process.
+
+    When the request carries a trace context the whole case runs inside
+    a :class:`repro.obs.telemetry.CaseTelemetry` harness: pipeline spans
+    and metrics are collected locally and shipped back on the result as
+    a telemetry frame, and the flight-recorder ring is persisted to the
+    request's ``flight_dir`` after every scan — so a worker killed
+    mid-case still leaves its last completed ring on disk.
+    """
+    from contextlib import nullcontext
+
     from repro.core.session import SurgicalSession
+
+    telemetry = _case_telemetry(request, worker_id)
+    spool = _flight_spool(request, worker_id)
+    flight_dump = None
+
+    def finish(result: CaseResult, error: str | None = None) -> CaseResult:
+        if telemetry is not None:
+            result.telemetry = telemetry.frame(error=error)
+        result.flight_dump = flight_dump
+        return result
 
     t_start = time.perf_counter()
     outcomes = []
@@ -102,79 +160,118 @@ def _serve_case(
     cache_hit = False
     checkpoint = request.checkpoint_dir
     try:
-        resuming = (
-            checkpoint is not None and (Path(checkpoint) / "MANIFEST.json").is_file()
-        )
-        if resuming:
-            session, outcomes, preop_seconds = _resume_case(request, worker_id)
-        else:
-            key = request.preop_key()
-            preop = preop_cache.get(key)
-            cache_hit = preop is not None
-            pipeline = _build_pipeline(request.config)
-            if cache_hit and preop.solve_context is not None:
-                # Case isolation: the cached build is patient state, the
-                # warm memory is case state. Reset makes reuse
-                # numerically invisible (bit-identical to a cold build).
-                preop.solve_context.reset_warm_state()
-            if not cache_hit:
-                t0 = time.perf_counter()
-                preop = pipeline.prepare_preoperative(
-                    request.preop_mri, request.preop_labels
-                )
-                preop_seconds = time.perf_counter() - t0
-                preop_cache[key] = preop
-            session = SurgicalSession.begin(
-                pipeline,
-                request.preop_mri,
-                request.preop_labels,
-                checkpoint_dir=checkpoint,
-                app={"case_id": request.case_id},
-                preop=preop,
-            )
-        for index in range(session.n_scans, request.n_scans):
-            if drain_event.is_set():
-                root = session.checkpoint(
-                    None
-                    if session.store is not None
-                    else str(Path(drain_dir) / request.case_id)
-                )
-                return CaseResult(
+        with telemetry if telemetry is not None else nullcontext():
+            if telemetry is not None:
+                telemetry.flight.note(
+                    "case.start",
                     case_id=request.case_id,
-                    status=STATUS_DRAINED,
-                    detail=f"drained after scan {index - 1} -> {root}",
+                    worker=worker_id,
+                    n_scans=request.n_scans,
+                )
+            resuming = (
+                checkpoint is not None
+                and (Path(checkpoint) / "MANIFEST.json").is_file()
+            )
+            if resuming:
+                session, outcomes, preop_seconds = _resume_case(
+                    request, worker_id, telemetry
+                )
+                if telemetry is not None:
+                    telemetry.flight.note(
+                        "case.resume",
+                        case_id=request.case_id,
+                        restored_scans=len(outcomes),
+                    )
+            else:
+                key = request.preop_key()
+                preop = preop_cache.get(key)
+                cache_hit = preop is not None
+                pipeline = _build_pipeline(request.config, telemetry)
+                if cache_hit and preop.solve_context is not None:
+                    # Case isolation: the cached build is patient state, the
+                    # warm memory is case state. Reset makes reuse
+                    # numerically invisible (bit-identical to a cold build).
+                    preop.solve_context.reset_warm_state()
+                if not cache_hit:
+                    t0 = time.perf_counter()
+                    preop = pipeline.prepare_preoperative(
+                        request.preop_mri, request.preop_labels
+                    )
+                    preop_seconds = time.perf_counter() - t0
+                    preop_cache[key] = preop
+                session = SurgicalSession.begin(
+                    pipeline,
+                    request.preop_mri,
+                    request.preop_labels,
+                    checkpoint_dir=checkpoint,
+                    app={"case_id": request.case_id},
+                    preop=preop,
+                )
+            for index in range(session.n_scans, request.n_scans):
+                if drain_event.is_set():
+                    root = session.checkpoint(
+                        None
+                        if session.store is not None
+                        else str(Path(drain_dir) / request.case_id)
+                    )
+                    flight_dump = _spool_flight(
+                        telemetry, spool, "drain", case_id=request.case_id, scan=index
+                    )
+                    return finish(
+                        CaseResult(
+                            case_id=request.case_id,
+                            status=STATUS_DRAINED,
+                            detail=f"drained after scan {index - 1} -> {root}",
+                            worker=worker_id,
+                            scans=outcomes,
+                            service_seconds=time.perf_counter() - t_start,
+                            preop_cache_hit=cache_hit,
+                            preop_seconds=preop_seconds,
+                            checkpoint=str(root),
+                        )
+                    )
+                result = session.process(request.scans[index])
+                outcomes.append(outcome_from_result(index, result))
+                flight_dump = _spool_flight(
+                    telemetry, spool, "scan", case_id=request.case_id, scan=index
+                )
+            return finish(
+                CaseResult(
+                    case_id=request.case_id,
+                    status=STATUS_COMPLETED,
+                    detail="ok",
                     worker=worker_id,
                     scans=outcomes,
                     service_seconds=time.perf_counter() - t_start,
                     preop_cache_hit=cache_hit,
                     preop_seconds=preop_seconds,
-                    checkpoint=str(root),
+                    checkpoint=checkpoint,
                 )
-            result = session.process(request.scans[index])
-            outcomes.append(outcome_from_result(index, result))
-        return CaseResult(
-            case_id=request.case_id,
-            status=STATUS_COMPLETED,
-            detail="ok",
-            worker=worker_id,
-            scans=outcomes,
-            service_seconds=time.perf_counter() - t_start,
-            preop_cache_hit=cache_hit,
-            preop_seconds=preop_seconds,
-            checkpoint=checkpoint,
-        )
+            )
     except Exception as exc:  # noqa: BLE001 - the boundary must not leak
-        return CaseResult(
-            case_id=request.case_id,
-            status=STATUS_FAILED,
-            detail=f"{type(exc).__name__}: {exc}",
-            worker=worker_id,
-            scans=outcomes,
-            service_seconds=time.perf_counter() - t_start,
-            preop_cache_hit=cache_hit,
-            preop_seconds=preop_seconds,
-            checkpoint=checkpoint,
-            error_traceback=traceback.format_exc(limit=8),
+        detail = f"{type(exc).__name__}: {exc}"
+        if telemetry is not None:
+            telemetry.flight.note(
+                "case.fault", case_id=request.case_id, error=detail
+            )
+        dumped = _spool_flight(
+            telemetry, spool, "fault", case_id=request.case_id, error=detail
+        )
+        flight_dump = dumped if dumped is not None else flight_dump
+        return finish(
+            CaseResult(
+                case_id=request.case_id,
+                status=STATUS_FAILED,
+                detail=detail,
+                worker=worker_id,
+                scans=outcomes,
+                service_seconds=time.perf_counter() - t_start,
+                preop_cache_hit=cache_hit,
+                preop_seconds=preop_seconds,
+                checkpoint=checkpoint,
+                error_traceback=traceback.format_exc(limit=8),
+            ),
+            error=detail,
         )
 
 

@@ -71,6 +71,16 @@ class CaseRequest:
         holds a checkpoint, the worker *resumes* it and processes only
         the remaining scans — which is also how a case interrupted by a
         worker death is re-admitted.
+    trace_context:
+        Distributed-trace identity stamped by the server at dispatch
+        (:class:`repro.obs.telemetry.TraceContext`). When present the
+        worker records spans / metrics / budget verdicts for this case
+        and ships them back in :attr:`CaseResult.telemetry`; ``None``
+        serves the case dark (no per-case instrumentation).
+    flight_dir:
+        Directory where the worker persists its flight-recorder ring
+        (``worker-<id>.json``, atomically, after every scan and on
+        faults) so even a killed worker leaves a post-mortem on disk.
     """
 
     case_id: str
@@ -80,6 +90,8 @@ class CaseRequest:
     config: PipelineConfig | None = None
     deadline_s: float | None = None
     checkpoint_dir: str | None = None
+    trace_context: object | None = None
+    flight_dir: str | None = None
 
     def __post_init__(self) -> None:
         if not self.case_id:
@@ -198,6 +210,16 @@ class CaseResult:
     checkpoint:
         Checkpoint directory holding the case's durable state, when any
         (the request's, or the drain spool for drained cases).
+    telemetry:
+        The worker's :class:`repro.obs.telemetry.TelemetryFrame` for
+        this case — finished spans, metrics snapshot, budget verdicts,
+        flight entries — when the request carried a trace context.
+        ``None`` for cases that never reached a worker, were served
+        dark, or whose worker died before replying (the server then
+        annotates its ``serve.case`` span instead).
+    flight_dump:
+        Path of the worker's persisted flight-recorder ring for this
+        case, when the request carried a ``flight_dir``.
     """
 
     case_id: str
@@ -212,6 +234,8 @@ class CaseResult:
     preop_seconds: float = 0.0
     checkpoint: str | None = None
     error_traceback: str | None = None
+    telemetry: object | None = None
+    flight_dump: str | None = None
 
     def __post_init__(self) -> None:
         if self.status not in CASE_STATUSES:

@@ -17,9 +17,14 @@ recomputed). Every transition lands in the metrics registry
 
 from __future__ import annotations
 
+import tempfile
 import time
+from pathlib import Path
 
+from repro.obs.flight import FlightRecorder
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import SCAN_TOTAL, SLOTracker
+from repro.obs.telemetry import TraceContext, graft_frame
 from repro.obs.trace import Tracer, get_tracer
 from repro.serving.admission import AdmissionQueue, ServiceEstimator
 from repro.serving.pool import SessionWorkerPool
@@ -50,7 +55,25 @@ class SessionServer:
         failed (>= 1).
     metrics / tracer:
         Observability hooks; a private registry / the ambient tracer
-        are used when omitted.
+        are used when omitted. With ``telemetry`` on and no tracer
+        given, the server creates its own enabled tracer (labelled
+        ``"server"``) so the unified cross-process trace exists without
+        any caller wiring.
+    telemetry:
+        When on (the default), every admitted case gets a ``serve.case``
+        span covering queue wait through terminal record; requests are
+        stamped with a :class:`repro.obs.telemetry.TraceContext` at
+        dispatch; worker telemetry frames are grafted into the server
+        trace and merged into the server registry; budget verdicts feed
+        the :attr:`slo` tracker; and flight-recorder rings (one per
+        worker, one for the server control plane) are persisted under
+        :attr:`flight_dir`. ``False`` serves dark — the pre-telemetry
+        fast path, every hook skipped.
+    flight_dir:
+        Directory for flight-recorder dumps (workers spool
+        ``worker-<id>.json`` after every scan; the server dumps
+        ``server.json`` on evictions, deaths and failures). A temp
+        directory is created when omitted and telemetry is on.
     start_method / drain_dir:
         Forwarded to :class:`repro.serving.SessionWorkerPool`.
     """
@@ -63,13 +86,32 @@ class SessionServer:
         max_attempts: int = 2,
         metrics: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
+        telemetry: bool = True,
+        flight_dir: str | None = None,
         start_method: str | None = None,
         drain_dir: str | None = None,
     ):
         if max_attempts < 1:
             raise ValidationError(f"max_attempts must be >= 1, got {max_attempts}")
         self.metrics = metrics if metrics is not None else MetricsRegistry()
-        self.tracer = tracer
+        self.telemetry = bool(telemetry)
+        if tracer is not None:
+            self.tracer = tracer
+        elif self.telemetry:
+            self.tracer = Tracer(process_label="server")
+        else:
+            self.tracer = None
+        self.slo = SLOTracker(metrics=self.metrics) if self.telemetry else None
+        if self.telemetry:
+            self.flight_dir = (
+                flight_dir
+                if flight_dir is not None
+                else tempfile.mkdtemp(prefix="repro-serving-flight-")
+            )
+            self.flight = FlightRecorder(label="server")
+        else:
+            self.flight_dir = flight_dir
+            self.flight = FlightRecorder(enabled=False)
         self.estimator = ServiceEstimator()
         self.queue = AdmissionQueue(queue_capacity, self.estimator)
         self.scheduler = Scheduler(policy)
@@ -81,10 +123,40 @@ class SessionServer:
         self._attempts: dict[str, int] = {}
         self._admitted_at: dict[str, float] = {}
         self._known_keys: set[str] = set()
+        self._case_spans: dict[str, object] = {}
         self._closed = False
 
     def _trace(self) -> Tracer:
         return self.tracer if self.tracer is not None else get_tracer()
+
+    # -- per-case span bookkeeping (telemetry) -------------------------------
+
+    def _open_case_span(self, request: CaseRequest) -> None:
+        if not self.telemetry:
+            return
+        self._case_spans[request.case_id] = self._trace().open_span(
+            "serve.case",
+            kind="serving",
+            case_id=request.case_id,
+            n_scans=request.n_scans,
+        )
+
+    def _close_case_span(self, case_id: str, **attrs) -> None:
+        span = self._case_spans.pop(case_id, None)
+        if span is not None:
+            span.close(**attrs)
+
+    def _case_span_id(self, case_id: str):
+        span = self._case_spans.get(case_id)
+        record = getattr(span, "record", None)
+        return None if record is None else record.span_id
+
+    def _dump_server_flight(self, reason: str, **context) -> None:
+        if not self.telemetry or self.flight_dir is None:
+            return
+        self.flight.dump(
+            Path(self.flight_dir) / "server.json", reason, context=context
+        )
 
     # -- submission ----------------------------------------------------------
 
@@ -110,6 +182,7 @@ class SessionServer:
         self.metrics.gauge("serving.queue_depth").set(len(self.queue))
         if not admitted:
             self.metrics.counter("serving.rejected").inc()
+            self.flight.note("case.rejected", case=request.case_id, detail=detail)
             self._trace().event(
                 "serving.rejected", case=request.case_id, detail=detail
             )
@@ -121,6 +194,10 @@ class SessionServer:
         self.metrics.counter("serving.admitted").inc()
         self._admitted_at[request.case_id] = time.monotonic()
         self._attempts.setdefault(request.case_id, 0)
+        self._open_case_span(request)
+        self.flight.note(
+            "case.admitted", case=request.case_id, queue_depth=len(self.queue)
+        )
         self._trace().event(
             "serving.admitted",
             case=request.case_id,
@@ -174,6 +251,15 @@ class SessionServer:
             request = queued.request
             self.metrics.counter("serving.evicted").inc()
             self.metrics.gauge("serving.queue_depth").set(len(self.queue))
+            self._close_case_span(
+                request.case_id, status=STATUS_EVICTED, where="queued"
+            )
+            self.flight.note(
+                "case.evicted", case=request.case_id, where="queued"
+            )
+            self._dump_server_flight(
+                "deadline eviction", case=request.case_id, where="queued"
+            )
             self._trace().event(
                 "serving.evicted", case=request.case_id, where="queued"
             )
@@ -212,11 +298,31 @@ class SessionServer:
             handle = self.scheduler.pick_worker(idle, request.preop_key())
             self._attempts[request.case_id] = self._attempts.get(request.case_id, 0) + 1
             self._known_keys.add(request.preop_key())
+            if self.telemetry:
+                # Stamp the trace context at the dispatch instant: the
+                # anchor aligns the worker's clock origin with *now* on
+                # the server clock, so grafted spans land where the
+                # worker actually ran. Re-dispatch after a death
+                # re-stamps with a fresh anchor.
+                request.trace_context = TraceContext.from_tracer(
+                    self._trace(),
+                    parent_span_id=self._case_span_id(request.case_id),
+                    process_label=f"worker-{handle.worker_id}",
+                )
+                request.flight_dir = self.flight_dir
             self.pool.dispatch(handle, request)
             handle.busy_deadline = queued.deadline_monotonic
             wait = queued.waited()
             self.metrics.histogram("serving.queue_wait_seconds").observe(wait)
             self.metrics.gauge("serving.queue_depth").set(len(self.queue))
+            if self.slo is not None:
+                self.slo.observe("queue wait", wait, target=None)
+            self.flight.note(
+                "case.dispatch",
+                case=request.case_id,
+                worker=handle.worker_id,
+                waited=wait,
+            )
             self._trace().event(
                 "serving.dispatch",
                 case=request.case_id,
@@ -245,6 +351,18 @@ class SessionServer:
             if not outcome.restored:
                 self.estimator.observe_scan(outcome.seconds)
                 m.histogram("serving.scan_seconds").observe(outcome.seconds)
+        self._absorb_telemetry(result)
+        self.flight.note(
+            "case." + result.status,
+            case=result.case_id,
+            worker=result.worker,
+            scans=len(result.scans),
+            seconds=result.service_seconds,
+        )
+        if result.status == STATUS_FAILED:
+            self._dump_server_flight(
+                "case failed", case=result.case_id, detail=result.detail
+            )
         self._trace().event(
             "serving.case",
             case=result.case_id,
@@ -253,6 +371,42 @@ class SessionServer:
             scans=len(result.scans),
             seconds=result.service_seconds,
         )
+
+    def _absorb_telemetry(self, result: CaseResult) -> None:
+        """Graft the worker's frame; close the case span; feed the SLOs."""
+        if not self.telemetry:
+            return
+        frame = result.telemetry
+        span_attrs = {"status": result.status, "worker": result.worker}
+        if frame is not None:
+            grafted = graft_frame(
+                self._trace(),
+                frame,
+                parent_span_id=self._case_span_id(result.case_id),
+                metrics=self.metrics,
+            )
+            self.metrics.counter("telemetry.frames").inc()
+            self.metrics.counter("telemetry.spans_grafted").inc(grafted)
+            span_attrs["worker_spans"] = grafted
+        else:
+            # The worker never replied with a frame (dark request, or
+            # the case died with its worker): the trace stays intact,
+            # the span is annotated instead of broken.
+            self.metrics.counter("telemetry.frames_lost").inc()
+            span_attrs["telemetry_lost"] = True
+        self._close_case_span(result.case_id, **span_attrs)
+        if self.slo is None:
+            return
+        self.slo.observe("case service", result.service_seconds, target=None)
+        if frame is not None and frame.verdicts:
+            for verdict in frame.verdicts:
+                self.slo.observe_verdict(verdict)
+        else:
+            # No budget verdicts came home — score the raw scan timings
+            # against the whole-scan budget so the SLO still sees them.
+            for outcome in result.scans:
+                if not outcome.restored:
+                    self.slo.observe(SCAN_TOTAL, outcome.seconds)
 
     def _enforce_running_deadlines(self) -> None:
         now = time.monotonic()
@@ -263,6 +417,28 @@ class SessionServer:
             if request is None:
                 continue
             self.metrics.counter("serving.evicted").inc()
+            if self.telemetry:
+                self.metrics.counter("telemetry.frames_lost").inc()
+            # The killed worker can't ship a frame; its last per-scan
+            # flight spool (if any) is the post-mortem.
+            self._close_case_span(
+                request.case_id,
+                status=STATUS_EVICTED,
+                where="running",
+                telemetry_lost=True,
+            )
+            self.flight.note(
+                "case.evicted",
+                case=request.case_id,
+                where="running",
+                worker=handle.worker_id,
+            )
+            self._dump_server_flight(
+                "deadline eviction",
+                case=request.case_id,
+                where="running",
+                worker=handle.worker_id,
+            )
             self._trace().event(
                 "serving.evicted", case=request.case_id, where="running"
             )
@@ -276,11 +452,29 @@ class SessionServer:
                 worker=handle.worker_id,
                 attempts=self._attempts.get(request.case_id, 1),
                 checkpoint=request.checkpoint_dir,
+                flight_dump=self._worker_flight_dump(handle.worker_id),
             )
+
+    def _worker_flight_dump(self, worker_id: int) -> str | None:
+        """Path of a worker's persisted flight ring, when one exists."""
+        if self.flight_dir is None:
+            return None
+        spool = Path(self.flight_dir) / f"worker-{worker_id}.json"
+        return str(spool) if spool.is_file() else None
 
     def _handle_deaths(self) -> None:
         for worker_id, request in self.pool.reap():
             self.metrics.counter("serving.worker_deaths").inc()
+            self.flight.note(
+                "worker.death",
+                worker=worker_id,
+                case=None if request is None else request.case_id,
+            )
+            self._dump_server_flight(
+                "worker death",
+                worker=worker_id,
+                case=None if request is None else request.case_id,
+            )
             self._trace().event(
                 "serving.worker_death",
                 worker=worker_id,
@@ -288,9 +482,20 @@ class SessionServer:
             )
             if request is None:
                 continue
+            span = self._case_spans.get(request.case_id)
+            if span is not None:
+                span.event("worker.death", worker=worker_id)
             attempts = self._attempts.get(request.case_id, 1)
             if attempts >= self.max_attempts:
                 self.metrics.counter("serving.failed").inc()
+                if self.telemetry:
+                    self.metrics.counter("telemetry.frames_lost").inc()
+                self._close_case_span(
+                    request.case_id,
+                    status=STATUS_FAILED,
+                    worker=worker_id,
+                    telemetry_lost=True,
+                )
                 self.results[request.case_id] = CaseResult(
                     case_id=request.case_id,
                     status=STATUS_FAILED,
@@ -301,11 +506,13 @@ class SessionServer:
                     worker=worker_id,
                     attempts=attempts,
                     checkpoint=request.checkpoint_dir,
+                    flight_dump=self._worker_flight_dump(worker_id),
                 )
                 continue
             # Re-admission goes to the head of the queue: a durable case
             # resumes from its journal (committed scans come back
-            # restored, only the remainder is recomputed).
+            # restored, only the remainder is recomputed). Its serve.case
+            # span stays open — the case is still in flight.
             self.metrics.counter("serving.readmitted").inc()
             self.queue.requeue_front(request)
             self._trace().event(
@@ -327,6 +534,9 @@ class SessionServer:
         for queued in self.queue.clear():
             request = queued.request
             self.metrics.counter("serving.evicted").inc()
+            self._close_case_span(
+                request.case_id, status=STATUS_EVICTED, where="drain"
+            )
             self.results[request.case_id] = CaseResult(
                 case_id=request.case_id,
                 status=STATUS_EVICTED,
@@ -341,6 +551,8 @@ class SessionServer:
 
     def shutdown(self) -> None:
         """Stop the pool immediately (no checkpointing)."""
+        for case_id in list(self._case_spans):
+            self._close_case_span(case_id, status="shutdown")
         self.pool.shutdown()
         self._closed = True
 
@@ -390,4 +602,6 @@ class SessionServer:
         )
         if throughput:
             table += f" | throughput: {throughput:.3f} scans/s"
+        if self.slo is not None and self.slo.summary()["series"]:
+            table += "\n\n" + self.slo.table()
         return table

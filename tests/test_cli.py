@@ -99,3 +99,43 @@ class TestCommands:
         )
         assert rc == 0
         assert "heterogeneous" in capsys.readouterr().out
+
+
+class TestObsFlight:
+    """``repro obs flight`` over the mixed bundles ``--obs-dir`` writes."""
+
+    @pytest.fixture
+    def bundle(self, tmp_path):
+        from repro.obs import FlightRecorder
+
+        recorder = FlightRecorder(capacity=8, enabled=True, label="worker-0")
+        recorder.note("case.start", case_id="case-01")
+        recorder.note("scan.complete", scan=0)
+        recorder.dump(tmp_path / "flight-worker-0.json", reason="scan")
+        # Decoys the real bundle also contains.
+        (tmp_path / "trace.json").write_text('{"traceEvents": []}')
+        (tmp_path / "metrics.json").write_text('{"metrics": {}}')
+        return tmp_path
+
+    def test_directory_skips_non_flight_json(self, capsys, bundle):
+        rc = main(["obs", "flight", str(bundle)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "worker-0" in out
+        assert "scan.complete" in out
+
+    def test_directory_without_dumps_fails(self, capsys, tmp_path):
+        (tmp_path / "trace.json").write_text('{"traceEvents": []}')
+        rc = main(["obs", "flight", str(tmp_path)])
+        assert rc == 1
+        assert "no flight dumps" in capsys.readouterr().err
+
+    def test_explicit_non_flight_file_fails_cleanly(self, capsys, bundle):
+        rc = main(["obs", "flight", str(bundle / "trace.json")])
+        assert rc == 1
+        assert "not a flight-recorder dump" in capsys.readouterr().err
+
+    def test_missing_path_fails_cleanly(self, capsys, tmp_path):
+        rc = main(["obs", "flight", str(tmp_path / "absent.json")])
+        assert rc == 1
+        assert capsys.readouterr().err.strip()

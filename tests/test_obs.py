@@ -201,6 +201,9 @@ class TestMetricsRegistry:
             "min": 1.0,
             "max": 3.0,
             "mean": 2.0,
+            "p50": 2.0,
+            "p95": pytest.approx(2.9),
+            "p99": pytest.approx(2.98),
         }
 
     def test_kind_conflict_raises(self):

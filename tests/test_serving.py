@@ -13,6 +13,7 @@ round-trip.
 from __future__ import annotations
 
 import json
+import os
 import time
 from pathlib import Path
 
@@ -393,6 +394,141 @@ class TestServing:
         assert resumed.ok, resumed.detail
         assert all(s.restored for s in resumed.scans[:n_done])
         assert [s.nodal_sha for s in resumed.scans] == serial["draining"]
+
+
+# -- cross-process telemetry through the serving tier ------------------------
+
+
+class TestServingTelemetry:
+    def test_unified_trace_metrics_and_slo(self, patient, intraop_scans):
+        from repro.obs import load_flight_dump
+        from repro.obs.export import chrome_trace
+
+        server = SessionServer(n_workers=2)
+        try:
+            server.submit(make_request(patient, intraop_scans[:1], case_id="case-0"))
+            server.submit(make_request(patient, intraop_scans[1:], case_id="case-1"))
+            results = server.run()
+        finally:
+            server.shutdown()
+        assert all(r.ok for r in results.values())
+
+        # Every completed case shipped a telemetry frame home.
+        assert server.metrics.value("telemetry.frames") == 2
+        assert server.metrics.value("telemetry.frames_lost") == 0
+        assert server.metrics.value("telemetry.spans_grafted") > 0
+
+        # One trace: each serve.case span (server pid) parents the
+        # worker's scan span (worker pid) — distinct processes.
+        spans = server.tracer.finished()
+        case_spans = [s for s in spans if s.name == "serve.case"]
+        assert len(case_spans) == 2
+        server_pid = os.getpid()
+        for case in case_spans:
+            assert case.pid == server_pid
+            assert case.attrs["status"] == "completed"
+            assert case.attrs["worker_spans"] > 0
+            kids = server.tracer.children_of(case.span_id)
+            scan_spans = [s for s in kids if s.name == "scan"]
+            assert scan_spans, f"no scan span under {case.attrs['case_id']}"
+            assert all(s.pid != server_pid for s in scan_spans)
+            # Rebased onto the server clock: the worker's scan runs
+            # inside its case span's lifetime.
+            for scan in scan_spans:
+                assert case.start <= scan.start and scan.end <= case.end
+
+        # Perfetto export gets one labelled lane per process.
+        labels = set(server.tracer.process_labels.values())
+        assert "server" in labels
+        assert any(label.startswith("worker-") for label in labels)
+        doc = chrome_trace(server.tracer)
+        pids = {e["pid"] for e in doc["traceEvents"] if e["ph"] == "M"}
+        assert len(pids) >= 2
+
+        # Worker-side metrics merged into the server registry.
+        assert server.metrics.value("gmres.solves") >= 2
+
+        # Budget verdicts fed the SLO tracker: paper-target series
+        # scored, serving-layer series tracked unscored.
+        series = server.slo.summary()["series"]
+        assert "scan total" in series
+        assert "biomechanical simulation" in series
+        assert series["queue wait"]["target"] is None
+        assert series["case service"]["target"] is None
+        assert "Latency SLOs" in server.summary_table()
+
+        # Workers spooled their flight rings after every scan.
+        dumps = sorted(Path(server.flight_dir).glob("worker-*.json"))
+        assert dumps
+        entries = load_flight_dump(dumps[0])["entries"]
+        assert "case.start" in {e["kind"] for e in entries}
+        assert "scan.complete" in {e["kind"] for e in entries}
+
+    def test_telemetry_off_serves_dark(self, patient, intraop_scans):
+        server = SessionServer(n_workers=1, telemetry=False)
+        try:
+            server.submit(make_request(patient, intraop_scans[:1], case_id="dark"))
+            results = server.run()
+        finally:
+            server.shutdown()
+        assert results["dark"].ok
+        assert server.tracer is None
+        assert server.slo is None
+        assert results["dark"].telemetry is None
+        assert results["dark"].flight_dump is None
+        assert server.metrics.value("telemetry.frames") == 0
+
+    @pytest.mark.faults
+    @pytest.mark.persistence
+    def test_killed_worker_leaves_flight_dump_and_annotated_span(
+        self, patient, intraop_scans, tmp_path
+    ):
+        from repro.obs import load_flight_dump
+        from repro.resilience import FaultPlan
+
+        config = PipelineConfig(mesh_cell_mm=CELL_MM)
+        config.fault_plan = FaultPlan.parse("1:crash-after=solve", seed=0)
+        request = make_request(
+            patient,
+            intraop_scans,
+            case_id="lost",
+            config=config,
+            checkpoint_dir=str(tmp_path / "ckpt"),
+        )
+        server = SessionServer(n_workers=1, max_attempts=1)
+        try:
+            assert server.submit(request) is None
+            results = server.run()
+        finally:
+            server.shutdown()
+        result = results["lost"]
+        assert result.status == "failed"
+
+        # The worker died before shipping a frame: the loss is counted
+        # and the case span is annotated, not broken.
+        assert server.metrics.value("telemetry.frames_lost") == 1
+        (case_span,) = [
+            s for s in server.tracer.finished() if s.name == "serve.case"
+        ]
+        assert case_span.attrs["telemetry_lost"] is True
+        assert case_span.attrs["status"] == "failed"
+        events = {name for _, name, _ in case_span.events}
+        assert "worker.death" in events
+
+        # Scan 0 completed and spooled the flight ring before the kill:
+        # the result points at the post-mortem on disk.
+        assert result.flight_dump is not None
+        payload = load_flight_dump(result.flight_dump)
+        assert payload["label"] == "worker-0"
+        kinds = [e["kind"] for e in payload["entries"]]
+        assert "scan.complete" in kinds
+        # The server's own control-plane ring was dumped on the death.
+        server_dump = Path(server.flight_dir) / "server.json"
+        assert server_dump.is_file()
+        server_kinds = [
+            e["kind"] for e in load_flight_dump(server_dump)["entries"]
+        ]
+        assert "worker.death" in server_kinds
 
 
 # -- bench report ------------------------------------------------------------
