@@ -260,19 +260,40 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.obs import write_chrome_trace, write_prometheus
     from repro.obs.metrics import MetricsRegistry
-    from repro.serving import CaseRequest, SessionServer
+    from repro.serving import CaseRequest, SessionServer, ShardGateway
 
     config = PipelineConfig(mesh_cell_mm=args.cell)
     metrics = MetricsRegistry()
     telemetry = not args.no_telemetry
-    server = SessionServer(
-        n_workers=args.workers,
-        queue_capacity=args.queue_capacity,
-        policy=args.policy,
-        metrics=metrics,
-        telemetry=telemetry,
-        flight_dir=args.flight_dir,
-    )
+    if args.shards > 0:
+        # Sharded tier: a consistent-hash gateway fronting args.shards
+        # independent pools of args.workers each; --faults injects the
+        # chaos schedule by gateway dispatch ordinal.
+        from repro.resilience import ServingFaultPlan
+
+        server = ShardGateway(
+            n_shards=args.shards,
+            workers_per_shard=args.workers,
+            queue_capacity=args.queue_capacity,
+            policy=args.policy,
+            max_attempts=args.max_attempts,
+            serving_faults=(
+                ServingFaultPlan.parse(args.faults) if args.faults else None
+            ),
+            metrics=metrics,
+            telemetry=telemetry,
+            flight_dir=args.flight_dir,
+        )
+    else:
+        server = SessionServer(
+            n_workers=args.workers,
+            queue_capacity=args.queue_capacity,
+            policy=args.policy,
+            max_attempts=args.max_attempts,
+            metrics=metrics,
+            telemetry=telemetry,
+            flight_dir=args.flight_dir,
+        )
     try:
         # args.patients distinct patients, round-robin over the cases:
         # same-patient cases exercise the preop-model cache, distinct
@@ -381,6 +402,67 @@ def cmd_bench_throughput(args: argparse.Namespace) -> int:
         print()
         print(server.slo.table())
     return 0 if report.bit_identical else 1
+
+
+def cmd_bench_soak(args: argparse.Namespace) -> int:
+    """Chaos-soak the sharded tier: sustained load + injected faults."""
+    import json
+    import shutil
+    import tempfile
+
+    from repro.serving.soak import DEFAULT_FAULTS, run_soak
+
+    sink: list = []
+    faults = args.faults if args.faults is not None else DEFAULT_FAULTS
+    kwargs = dict(
+        n_cases=args.cases,
+        n_shards=args.shards,
+        workers_per_shard=args.workers,
+        scans_per_case=args.scans,
+        shape=tuple(args.shape),
+        mesh_cell_mm=args.cell,
+        n_patients=args.patients,
+        waves=args.waves,
+        queue_capacity=args.queue_capacity,
+        durable_every=args.durable_every,
+        faults=faults or None,
+        max_attempts=args.max_attempts,
+        seed=args.seed,
+        gateway_sink=sink,
+    )
+    if args.checkpoint_root:
+        report = run_soak(checkpoint_root=args.checkpoint_root, **kwargs)
+    else:
+        with tempfile.TemporaryDirectory(prefix="repro-soak-ckpt-") as root:
+            report = run_soak(checkpoint_root=root, **kwargs)
+    print(report.table())
+    if args.json:
+        path = Path(args.json)
+        path.write_text(json.dumps(report.as_dict(), indent=2) + "\n")
+        print(f"wrote {path}")
+    if args.obs_dir and sink:
+        from repro.obs import write_chrome_trace, write_prometheus
+
+        gateway = sink[-1]
+        obs = Path(args.obs_dir)
+        obs.mkdir(parents=True, exist_ok=True)
+        print(f"wrote merged trace: {write_chrome_trace(gateway.tracer, obs / 'trace.json')}")
+        print(f"wrote metrics: {write_prometheus(gateway.metrics, obs / 'metrics.prom')}")
+        bundle = obs / "metrics.json"
+        slo = gateway.slo.summary() if gateway.slo is not None else {}
+        bundle.write_text(
+            json.dumps(
+                {"metrics": gateway.metrics.snapshot(), "slo": slo}, indent=2
+            )
+            + "\n"
+        )
+        print(f"wrote metrics+SLO bundle: {bundle}")
+        if gateway.flight_dir and Path(gateway.flight_dir).is_dir():
+            for dump in sorted(Path(gateway.flight_dir).glob("*.json")):
+                shutil.copy2(dump, obs / f"flight-{dump.name}")
+                print(f"wrote flight dump: {obs / f'flight-{dump.name}'}")
+    healthy = not report.lost_cases and not report.unterminated_cases
+    return 0 if healthy else 1
 
 
 def cmd_obs(args: argparse.Namespace) -> int:
@@ -566,9 +648,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="distinct patients among the cases (1 = all share one preop model)",
     )
     p.add_argument("--scans", type=int, default=1, help="scans per case")
+    p.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help=(
+            "front a consistent-hash gateway over this many shards "
+            "(0 = single in-process server; --workers is then per shard)"
+        ),
+    )
     p.add_argument("--workers", type=int, default=2)
     p.add_argument("--policy", choices=["fifo", "deadline"], default="fifo")
     p.add_argument("--queue-capacity", type=int, default=16)
+    p.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        help="re-admission budget per case after worker/shard failures",
+    )
+    p.add_argument(
+        "--faults",
+        default=None,
+        help=(
+            "serving chaos schedule, e.g. '2:kill-shard=0,3:drop-result=1' "
+            "(requires --shards)"
+        ),
+    )
     p.add_argument("--shift", type=float, default=5.0)
     p.add_argument("--cell", type=float, default=5.0, help="mesh cell size (mm)")
     p.add_argument(
@@ -621,6 +726,52 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     p.set_defaults(func=cmd_bench_throughput)
+
+    p = sub.add_parser("bench-soak", help=cmd_bench_soak.__doc__)
+    _add_shape(p, default=(24, 24, 16))
+    p.add_argument("--cases", type=int, default=8)
+    p.add_argument("--shards", type=int, default=2)
+    p.add_argument("--workers", type=int, default=1, help="workers per shard")
+    p.add_argument("--scans", type=int, default=1, help="scans per case")
+    p.add_argument("--cell", type=float, default=8.0, help="mesh cell size (mm)")
+    p.add_argument("--patients", type=int, default=2)
+    p.add_argument("--waves", type=int, default=2, help="submission bursts")
+    p.add_argument("--queue-capacity", type=int, default=4)
+    p.add_argument(
+        "--durable-every",
+        type=int,
+        default=2,
+        help="journal every Nth case (durable-case loss is the audit's red line)",
+    )
+    p.add_argument(
+        "--checkpoint-root",
+        default=None,
+        help="root for durable-case journals (default: a temp directory)",
+    )
+    p.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        help="re-admission budget per case after worker/shard failures",
+    )
+    p.add_argument(
+        "--faults",
+        default=None,
+        help=(
+            "chaos schedule by dispatch ordinal "
+            "(default: hang + slowdown + dropped result + shard kill; '' = none)"
+        ),
+    )
+    p.add_argument("--json", default=None, help="write the soak report as JSON here")
+    p.add_argument(
+        "--obs-dir",
+        default=None,
+        help=(
+            "write the gateway's observability bundle here "
+            "(merged trace, metrics, SLOs, flight dumps)"
+        ),
+    )
+    p.set_defaults(func=cmd_bench_soak)
 
     p = sub.add_parser("obs", help=cmd_obs.__doc__)
     obs_sub = p.add_subparsers(dest="obs_command", required=True)

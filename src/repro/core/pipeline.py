@@ -657,6 +657,10 @@ class IntraoperativePipeline:
         plan = cfg.fault_plan
         report = DegradationReport()
         recovery_seconds = 0.0
+        # Forced degradation floor (load shedding): the serving tier can
+        # stamp a minimum rung on the case so an overloaded shard trades
+        # fidelity for bounded latency instead of rejecting outright.
+        forced = policy.min_degradation
 
         def note(text: str) -> None:
             report.notes.append(text)
@@ -672,6 +676,11 @@ class IntraoperativePipeline:
         if unusable is not None:
             failure = ValidationError(unusable)
             note(unusable)
+        elif forced >= DegradationLevel.PREVIOUS_FIELD:
+            # Floor deeper than coarse-FEM: the fallback needs no boundary
+            # conditions, so the whole image-processing front half is
+            # skipped — that is the point of shedding at this rung.
+            note(f"load shed: forced {forced.label}; image stages skipped")
         else:
             # Stages 1-3 under per-stage retry guards. A failed rigid
             # registration is recoverable in place (identity transform:
@@ -730,7 +739,10 @@ class IntraoperativePipeline:
         # so the next scan still gets its warm fast path.
         simulation = None
         fallback = None
-        if failure is None:
+        if failure is None and forced > DegradationLevel.FULL_FEM:
+            report.cause = f"load shed: forced {forced.label}"
+            note(f"load shed: full-resolution solve skipped (floor {forced.label})")
+        if failure is None and forced == DegradationLevel.FULL_FEM:
             deadline = policy.solve_deadline_s
             if deadline is None and self.budget is not None:
                 deadline = max(self.budget.headroom(), 1.0)
@@ -800,8 +812,10 @@ class IntraoperativePipeline:
         # Degradation ladder: coarse FEM needs boundary conditions;
         # previous-field needs a previous scan; rigid-only always works.
         if simulation is None:
-            if correspondence is not None and policy.allows(
-                DegradationLevel.COARSE_FEM
+            if (
+                correspondence is not None
+                and policy.allows(DegradationLevel.COARSE_FEM)
+                and DegradationLevel.COARSE_FEM >= forced
             ):
                 t0 = time.perf_counter()
                 try:
@@ -824,8 +838,11 @@ class IntraoperativePipeline:
                 except ReproError as exc:
                     note(f"coarse-fem fallback failed: {exc}")
                 recovery_seconds += time.perf_counter() - t0
-            if fallback is None and previous is not None and policy.allows(
-                DegradationLevel.PREVIOUS_FIELD
+            if (
+                fallback is None
+                and previous is not None
+                and policy.allows(DegradationLevel.PREVIOUS_FIELD)
+                and DegradationLevel.PREVIOUS_FIELD >= forced
             ):
                 t0 = time.perf_counter()
                 with timeline.stage("previous-field fallback"):

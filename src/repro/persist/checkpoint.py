@@ -146,6 +146,7 @@ def config_to_manifest(config) -> dict:
     out["resilience"] = {
         "enabled": bool(policy.enabled),
         "max_degradation": int(policy.max_degradation),
+        "min_degradation": int(policy.min_degradation),
     }
     plan = config.fault_plan
     out["fault_plan"] = (
@@ -191,6 +192,10 @@ def config_from_manifest(data: dict, base=None):
     if "max_degradation" in resilience:
         config.resilience.max_degradation = DegradationLevel(
             int(resilience["max_degradation"])
+        )
+    if "min_degradation" in resilience:
+        config.resilience.min_degradation = DegradationLevel(
+            int(resilience["min_degradation"])
         )
     plan_data = data.get("fault_plan")
     if plan_data is not None:

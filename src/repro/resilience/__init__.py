@@ -40,9 +40,12 @@ from repro.resilience.faults import (
     FAULT_KINDS,
     PROCESS_FAULTS,
     SCAN_FAULTS,
+    SERVING_FAULTS,
     SOLVER_FAULTS,
     FaultPlan,
     FaultSpec,
+    ServingFaultPlan,
+    ServingFaultSpec,
 )
 from repro.resilience.guards import (
     GuardReport,
@@ -64,6 +67,7 @@ __all__ = [
     "FAULT_KINDS",
     "PROCESS_FAULTS",
     "SCAN_FAULTS",
+    "SERVING_FAULTS",
     "SOLVER_FAULTS",
     "DegradationLevel",
     "DegradationReport",
@@ -75,6 +79,8 @@ __all__ = [
     "ResiliencePolicy",
     "RetryPolicy",
     "RungAttempt",
+    "ServingFaultPlan",
+    "ServingFaultSpec",
     "StageGuard",
     "check_displacement_field",
     "check_finite_array",

@@ -306,3 +306,151 @@ class FaultPlan:
         if not self.specs:
             return "(empty fault plan)"
         return "; ".join(s.describe() for s in self.specs)
+
+
+# -- serving-tier faults ------------------------------------------------------
+
+#: Fault kinds aimed at the sharded serving tier (gateway-level chaos).
+#: These target infrastructure — shards and workers — rather than the
+#: pipeline's numerics, and are scheduled by *dispatch ordinal*: the
+#: running count of cases the gateway has handed to shards, which is
+#: deterministic for a fixed workload regardless of wall-clock timing.
+SERVING_FAULTS = ("kill-shard", "hang-worker", "slow-shard", "drop-result")
+
+
+@dataclass
+class ServingFaultSpec:
+    """One scheduled serving-tier fault.
+
+    Attributes
+    ----------
+    at:
+        Dispatch ordinal the fault becomes due at: it fires on the first
+        gateway maintenance pass after ``at`` cases have been dispatched.
+    kind:
+        One of :data:`SERVING_FAULTS`:
+
+        * ``kill-shard`` — SIGKILL every worker of the target shard and
+          mark it dead (host loss). The gateway must fail the shard over:
+          remap its ring keys and re-admit its in-flight + assigned cases.
+        * ``hang-worker`` — wedge one live worker of the target shard
+          (alive but unresponsive: it stops heartbeating and never
+          returns its case). Detectable only via heartbeat timeout.
+        * ``slow-shard`` — inject ``param`` seconds of per-case delay
+          into the target shard's workers (degraded host), pressuring
+          the shedding ladder without any crash.
+        * ``drop-result`` — the next completed case result from the
+          target shard is swallowed in transit (lost reply), exercising
+          the re-admission path without killing anything.
+    shard:
+        Target shard index.
+    param:
+        Kind-specific: seconds of delay for ``slow-shard`` (default 0.2);
+        unused otherwise.
+    """
+
+    at: int
+    kind: str
+    shard: int = 0
+    param: float | None = None
+    triggered: bool = field(default=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.kind not in SERVING_FAULTS:
+            raise ValidationError(
+                f"unknown serving fault kind {self.kind!r}; "
+                f"options: {sorted(SERVING_FAULTS)}"
+            )
+        if self.at < 0:
+            raise ValidationError(f"fault ordinal must be >= 0, got {self.at}")
+        if self.shard < 0:
+            raise ValidationError(f"fault shard must be >= 0, got {self.shard}")
+
+    @property
+    def delay_s(self) -> float:
+        """Per-case delay for ``slow-shard``."""
+        return 0.2 if self.param is None else float(self.param)
+
+    def describe(self) -> str:
+        tail = "" if self.param is None else f"@{self.param:g}"
+        return f"dispatch {self.at}: {self.kind}=shard{self.shard}{tail}"
+
+
+class ServingFaultPlan:
+    """A deterministic schedule of :class:`ServingFaultSpec` entries.
+
+    The gateway polls :meth:`due` from its control loop; each spec fires
+    exactly once, and fired specs are logged so soak benchmarks can
+    assert the chaos actually happened.
+    """
+
+    def __init__(self, specs: list[ServingFaultSpec] | None = None):
+        self.specs: list[ServingFaultSpec] = list(specs or [])
+        self.log: list[str] = []
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def add(
+        self, at: int, kind: str, shard: int = 0, param: float | None = None
+    ) -> "ServingFaultPlan":
+        """Append one fault; returns ``self`` for chaining."""
+        self.specs.append(ServingFaultSpec(at=at, kind=kind, shard=shard, param=param))
+        return self
+
+    def due(self, dispatched: int) -> list[ServingFaultSpec]:
+        """Untriggered specs whose ordinal has been reached, marked fired."""
+        out = []
+        for spec in self.specs:
+            if not spec.triggered and spec.at <= dispatched:
+                spec.triggered = True
+                self.log.append(spec.describe())
+                out.append(spec)
+        return out
+
+    @property
+    def triggered(self) -> list[ServingFaultSpec]:
+        return [s for s in self.specs if s.triggered]
+
+    @classmethod
+    def parse(cls, text: str) -> "ServingFaultPlan":
+        """Parse ``"AT:KIND=SHARD[@PARAM];..."`` (e.g. ``"2:kill-shard=1"``,
+        ``"0:slow-shard=0@0.25"``). Entries split on ``;`` or ``,``.
+        """
+        specs: list[ServingFaultSpec] = []
+        for chunk in text.replace(",", ";").split(";"):
+            chunk = chunk.strip()
+            if not chunk:
+                continue
+            try:
+                at_part, kind_part = chunk.split(":", 1)
+                param: float | None = None
+                shard = 0
+                if "=" in kind_part:
+                    kind, target = kind_part.split("=", 1)
+                    if "@" in target:
+                        shard_part, param_part = target.split("@", 1)
+                        shard = int(shard_part)
+                        param = float(param_part)
+                    else:
+                        shard = int(target)
+                else:
+                    kind = kind_part
+                specs.append(
+                    ServingFaultSpec(
+                        at=int(at_part), kind=kind.strip(), shard=shard, param=param
+                    )
+                )
+            except (ValueError, TypeError) as exc:
+                if isinstance(exc, ValidationError):
+                    raise
+                raise ValidationError(
+                    f"cannot parse serving fault entry {chunk!r} "
+                    "(expected AT:KIND, AT:KIND=SHARD or AT:KIND=SHARD@PARAM)"
+                ) from exc
+        return cls(specs)
+
+    def describe(self) -> str:
+        if not self.specs:
+            return "(empty serving fault plan)"
+        return "; ".join(s.describe() for s in self.specs)

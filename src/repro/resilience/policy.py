@@ -93,6 +93,15 @@ class ResiliencePolicy:
         Deepest fallback the pipeline may take. A failure needing a
         deeper level re-raises the underlying error instead — the
         operator asked for fail-fast beyond this point.
+    min_degradation:
+        Shallowest rung the pipeline may *start* at — a forced
+        degradation floor. ``FULL_FEM`` (the default) changes nothing;
+        anything deeper makes the scan skip the full-resolution solve
+        (and, beyond ``COARSE_FEM``, the whole image-processing front
+        half) and deliver that rung directly. This is the serving
+        tier's load-shedding hook: under overload the gateway stamps a
+        floor on the case instead of rejecting it, trading fidelity for
+        bounded latency. Must not exceed ``max_degradation``.
     sanitize_inputs:
         Replace non-finite intraoperative voxels (up to
         ``max_nonfinite_fraction``) instead of rejecting the scan.
@@ -123,6 +132,7 @@ class ResiliencePolicy:
         default_factory=_default_stage_retries
     )
     max_degradation: DegradationLevel = DegradationLevel.RIGID_ONLY
+    min_degradation: DegradationLevel = DegradationLevel.FULL_FEM
     sanitize_inputs: bool = True
     max_nonfinite_fraction: float = 0.25
     displacement_gate_mm: float = 200.0
@@ -134,6 +144,13 @@ class ResiliencePolicy:
     def __post_init__(self) -> None:
         if not isinstance(self.max_degradation, DegradationLevel):
             self.max_degradation = parse_level(self.max_degradation)
+        if not isinstance(self.min_degradation, DegradationLevel):
+            self.min_degradation = parse_level(self.min_degradation)
+        if self.min_degradation > self.max_degradation:
+            raise ValidationError(
+                f"min_degradation {self.min_degradation.label!r} exceeds "
+                f"max_degradation {self.max_degradation.label!r}"
+            )
         if not 0.0 <= self.max_nonfinite_fraction <= 1.0:
             raise ValidationError(
                 "max_nonfinite_fraction must be in [0, 1], "

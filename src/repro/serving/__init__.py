@@ -2,23 +2,36 @@
 
 The paper's pipeline serves one patient under operating-room latency;
 this package re-architects it as a *service*: a bounded admission queue
-with budget-verdict backpressure (:mod:`repro.serving.admission`),
-FIFO / earliest-deadline-first scheduling with preop-model affinity
-(:mod:`repro.serving.scheduler`), a ``multiprocessing`` worker pool
-whose workers host resumable sessions and share prepared patient
-models via a checksum-keyed cache (:mod:`repro.serving.pool`), and the
-single-threaded control loop tying them together
-(:mod:`repro.serving.server`). Worker deaths re-admit durable cases
-through their persistence journal; graceful drain checkpoints in-flight
-sessions. ``repro serve`` and ``repro bench-throughput`` drive it from
-the command line.
+with budget-verdict backpressure and a tiered load-shedding ladder
+(:mod:`repro.serving.admission`), FIFO / earliest-deadline-first
+scheduling with preop-model affinity (:mod:`repro.serving.scheduler`),
+a ``multiprocessing`` worker pool whose workers host resumable sessions
+and share prepared patient models via a checksum-keyed cache
+(:mod:`repro.serving.pool`), the single-threaded control loop tying
+them together (:mod:`repro.serving.server`), and a sharded tier scaling
+it out: a consistent-hash ring with per-shard autoscaling
+(:mod:`repro.serving.shard`) fronted by a gateway owning admission,
+routing, shard failover, and chaos-fault injection
+(:mod:`repro.serving.gateway`). Worker and shard deaths re-admit
+durable cases through their persistence journal; graceful drain
+checkpoints in-flight sessions and surfaces stragglers as terminal
+evictions. ``repro serve`` and ``repro bench-throughput`` drive it from
+the command line; :mod:`repro.serving.soak` is the chaos-soak harness.
 """
 
-from repro.serving.admission import AdmissionQueue, QueuedCase, ServiceEstimator
+from repro.serving.admission import (
+    AdmissionQueue,
+    QueuedCase,
+    ServiceEstimator,
+    SheddingDecision,
+    SheddingLadder,
+)
 from repro.serving.bench import ThroughputReport, run_throughput_benchmark
+from repro.serving.gateway import ShardGateway
 from repro.serving.pool import SessionWorkerPool, WorkerHandle
 from repro.serving.protocol import (
     CASE_STATUSES,
+    SERVED_STATUSES,
     CaseRequest,
     CaseResult,
     ScanOutcome,
@@ -26,19 +39,31 @@ from repro.serving.protocol import (
 )
 from repro.serving.scheduler import POLICIES, Scheduler
 from repro.serving.server import SessionServer
+from repro.serving.shard import (
+    AutoscalePolicy,
+    ConsistentHashRing,
+    Shard,
+)
 
 __all__ = [
     "AdmissionQueue",
+    "AutoscalePolicy",
     "CASE_STATUSES",
     "CaseRequest",
     "CaseResult",
+    "ConsistentHashRing",
     "POLICIES",
     "QueuedCase",
+    "SERVED_STATUSES",
     "ScanOutcome",
     "Scheduler",
     "ServiceEstimator",
     "SessionServer",
     "SessionWorkerPool",
+    "Shard",
+    "ShardGateway",
+    "SheddingDecision",
+    "SheddingLadder",
     "ThroughputReport",
     "WorkerHandle",
     "outcome_from_result",

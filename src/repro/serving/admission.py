@@ -21,6 +21,7 @@ import time
 from dataclasses import dataclass, field
 
 from repro.obs.budget import ScanVerdict, StageCheck
+from repro.resilience.policy import DegradationLevel
 from repro.serving.protocol import CaseRequest
 from repro.util import ValidationError
 
@@ -52,6 +53,90 @@ class ServiceEstimator:
         """Expected service time of a case (0.0 until calibrated)."""
         preop = 0.0 if preop_cached else self.preop_seconds
         return preop + n_scans * self.scan_seconds
+
+
+@dataclass
+class SheddingDecision:
+    """Outcome of one pass up the load-shedding ladder."""
+
+    pressure: float
+    level: DegradationLevel | None = None  #: forced floor, ``None`` = full fidelity
+    reject: bool = False
+
+    @property
+    def label(self) -> str:
+        if self.reject:
+            return "reject"
+        return "none" if self.level is None else self.level.label
+
+
+@dataclass
+class SheddingLadder:
+    """Tiered overload response: degrade fidelity before dropping work.
+
+    The ladder converts an instantaneous **pressure** reading into the
+    mildest response that relieves it, in strictly escalating order:
+
+    ==================  =====================================================
+    pressure            response
+    ==================  =====================================================
+    ``< coarse_at``     serve at full fidelity
+    ``>= coarse_at``    force the coarse-FEM rung (cheaper solve, full BCs)
+    ``>= previous_at``  force previous-field (skip the image front half)
+    ``>= rigid_at``     force rigid-only (near-zero marginal cost)
+    ``>= reject_at``    reject at admission — the last resort, by
+                        construction reachable only after every shedding
+                        rung is already active
+    ==================  =====================================================
+
+    Pressure is the max of two normalized signals: queue fill (exact,
+    instantaneous) and estimated backlog seconds relative to the fleet's
+    service horizon (predictive, EWMA-calibrated). Either one saturating
+    walks the ladder.
+    """
+
+    coarse_at: float = 0.55
+    previous_at: float = 0.75
+    rigid_at: float = 0.90
+    reject_at: float = 1.10
+    horizon_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        steps = (self.coarse_at, self.previous_at, self.rigid_at, self.reject_at)
+        if not all(s > 0 for s in steps) or not all(
+            a < b for a, b in zip(steps, steps[1:])
+        ):
+            raise ValidationError(
+                "shedding thresholds must be positive and strictly increasing "
+                f"(coarse < previous < rigid < reject), got {steps}"
+            )
+        if self.horizon_s <= 0:
+            raise ValidationError(f"horizon_s must be > 0, got {self.horizon_s}")
+
+    def pressure(
+        self, queue_fill: float, backlog_seconds: float, n_workers: int
+    ) -> float:
+        """Overload pressure in [0, inf): 1.0 ~ saturated."""
+        capacity_s = max(1, n_workers) * self.horizon_s
+        return max(float(queue_fill), float(backlog_seconds) / capacity_s)
+
+    def decide(self, pressure: float) -> SheddingDecision:
+        """The mildest response to ``pressure`` (see class docs)."""
+        if pressure >= self.reject_at:
+            return SheddingDecision(pressure=pressure, reject=True)
+        if pressure >= self.rigid_at:
+            return SheddingDecision(
+                pressure=pressure, level=DegradationLevel.RIGID_ONLY
+            )
+        if pressure >= self.previous_at:
+            return SheddingDecision(
+                pressure=pressure, level=DegradationLevel.PREVIOUS_FIELD
+            )
+        if pressure >= self.coarse_at:
+            return SheddingDecision(
+                pressure=pressure, level=DegradationLevel.COARSE_FEM
+            )
+        return SheddingDecision(pressure=pressure)
 
 
 @dataclass

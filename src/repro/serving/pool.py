@@ -40,6 +40,7 @@ from pathlib import Path
 
 from repro.serving.protocol import (
     STATUS_COMPLETED,
+    STATUS_DEGRADED,
     STATUS_DRAINED,
     STATUS_FAILED,
     CaseRequest,
@@ -101,6 +102,28 @@ def _resume_case(
     return session, outcomes, preop_seconds
 
 
+def _apply_shed(request: CaseRequest) -> None:
+    """Apply a gateway-stamped load-shed floor to the worker's config copy.
+
+    Each dispatch pickles its own ``CaseRequest``, so mutating the config
+    here cannot leak into other cases that shared the original config
+    object in the submitting process. The memoized ``preop_key`` was
+    computed at admission and travels through the pickle, so routing and
+    cache keys are unaffected by the shed.
+    """
+    if request.shed_level is None:
+        return
+    from repro.core.config import PipelineConfig
+    from repro.resilience.policy import DegradationLevel
+
+    if request.config is None:
+        request.config = PipelineConfig()
+    policy = request.config.resilience
+    policy.min_degradation = DegradationLevel(
+        min(int(request.shed_level), int(policy.max_degradation))
+    )
+
+
 def _case_telemetry(request: CaseRequest, worker_id: int):
     """The case's telemetry harness, or ``None`` for a dark request."""
     if request.trace_context is None:
@@ -130,6 +153,7 @@ def _serve_case(
     drain_event,
     drain_dir: str,
     worker_id: int,
+    beat=None,
 ) -> CaseResult:
     """Run one case to completion (or drain) inside a worker process.
 
@@ -160,6 +184,7 @@ def _serve_case(
     cache_hit = False
     checkpoint = request.checkpoint_dir
     try:
+        _apply_shed(request)
         with telemetry if telemetry is not None else nullcontext():
             if telemetry is not None:
                 telemetry.flight.note(
@@ -208,6 +233,11 @@ def _serve_case(
                     preop=preop,
                 )
             for index in range(session.n_scans, request.n_scans):
+                if beat is not None:
+                    # Liveness beat between scans: a wedged worker stops
+                    # beating, which is how the parent tells "long solve"
+                    # from "hung" without killing legitimate work.
+                    beat()
                 if drain_event.is_set():
                     root = session.checkpoint(
                         None
@@ -235,11 +265,20 @@ def _serve_case(
                 flight_dump = _spool_flight(
                     telemetry, spool, "scan", case_id=request.case_id, scan=index
                 )
+            # Healthy scans on the resilient path still carry the
+            # "full-fem" label; only deeper rungs count as degraded.
+            degraded = sorted(
+                {
+                    o.degradation
+                    for o in outcomes
+                    if o.degradation not in (None, "full-fem")
+                }
+            )
             return finish(
                 CaseResult(
                     case_id=request.case_id,
-                    status=STATUS_COMPLETED,
-                    detail="ok",
+                    status=STATUS_DEGRADED if degraded else STATUS_COMPLETED,
+                    detail="ok" if not degraded else "degraded: " + ", ".join(degraded),
                     worker=worker_id,
                     scans=outcomes,
                     service_seconds=time.perf_counter() - t_start,
@@ -275,17 +314,52 @@ def _serve_case(
         )
 
 
-def _worker_main(worker_id: int, task_queue, result_queue, drain_event, drain_dir):
-    """Worker process entry point: serve cases until told to stop."""
+def _worker_main(
+    worker_id: int,
+    task_queue,
+    result_queue,
+    drain_event,
+    drain_dir,
+    heartbeat_s: float = 0.5,
+):
+    """Worker process entry point: serve cases until told to stop.
+
+    Idle workers emit a heartbeat on the result queue every
+    ``heartbeat_s``; busy workers beat between scans (see
+    :func:`_serve_case`), so a stalled heartbeat on a busy worker means
+    wedged, not working. Two injectable degradations support chaos
+    drills: ``("hang",)`` wedges the worker (alive, silent, never
+    returns), ``("slow", seconds)`` adds per-case latency.
+    """
     preop_cache: dict = {}
+    slow_s = 0.0
+
+    def beat() -> None:
+        result_queue.put(("heartbeat", worker_id, time.time()))
+
     while True:
-        message = task_queue.get()
+        try:
+            message = task_queue.get(timeout=heartbeat_s)
+        except queue_module.Empty:
+            beat()
+            continue
         kind = message[0]
         if kind == "stop":
             return
+        if kind == "hang":
+            # Injected fault: the worker stays alive but goes silent —
+            # only detectable by heartbeat timeout, never by reap.
+            while True:
+                time.sleep(3600.0)
+        if kind == "slow":
+            slow_s = float(message[1])
+            continue
         if kind == "case":
+            if slow_s > 0.0:
+                time.sleep(slow_s)
+            beat()
             result = _serve_case(
-                message[1], preop_cache, drain_event, drain_dir, worker_id
+                message[1], preop_cache, drain_event, drain_dir, worker_id, beat=beat
             )
             result_queue.put(("result", worker_id, result))
 
@@ -329,11 +403,19 @@ class SessionWorkerPool:
         checkpointed; a temp directory is created when omitted.
     """
 
+    #: Extra respawn-backoff fraction randomized (deterministically) per
+    #: slot, so a correlated crash of several workers does not respawn
+    #: them in lockstep.
+    RESPAWN_JITTER = 0.25
+
     def __init__(
         self,
         n_workers: int,
         start_method: str | None = None,
         drain_dir: str | None = None,
+        heartbeat_s: float = 0.5,
+        respawn_base_s: float = 0.5,
+        respawn_cap_s: float = 8.0,
     ):
         if n_workers < 1:
             raise ValidationError(f"n_workers must be >= 1, got {n_workers}")
@@ -347,17 +429,32 @@ class SessionWorkerPool:
             if drain_dir is not None
             else tempfile.mkdtemp(prefix="repro-serving-drain-")
         )
+        self.heartbeat_s = float(heartbeat_s)
+        self.respawn_base_s = float(respawn_base_s)
+        self.respawn_cap_s = float(respawn_cap_s)
         self.result_queue = self._ctx.Queue()
         self.drain_event = self._ctx.Event()
-        self.workers: list[WorkerHandle] = [
-            self._spawn(worker_id) for worker_id in range(n_workers)
-        ]
+        self.workers: list[WorkerHandle] = []
+        #: worker_id -> parent-clock time of the last heartbeat or result.
+        self.heartbeats: dict[int, float] = {}
         self.deaths = 0
+        self.respawns = 0
+        self.dead = False
+        self._next_id = n_workers
+        self._crash_counts: dict[int, int] = {}
+        self._respawn_due: dict[int, float] = {}
+        for worker_id in range(n_workers):
+            self.workers.append(self._spawn(worker_id))
 
     # -- lifecycle -----------------------------------------------------------
 
     def _spawn(self, worker_id: int) -> WorkerHandle:
         task_queue = self._ctx.Queue()
+        # Never join this queue's feeder thread at interpreter exit: a
+        # worker killed or wedged mid-case (chaos drills, deadline
+        # termination) leaves the pipe holding an unconsumed request, and
+        # the default exit-time join would deadlock the parent forever.
+        task_queue.cancel_join_thread()
         process = self._ctx.Process(
             target=_worker_main,
             args=(
@@ -366,12 +463,20 @@ class SessionWorkerPool:
                 self.result_queue,
                 self.drain_event,
                 self.drain_dir,
+                self.heartbeat_s,
             ),
             daemon=True,
             name=f"repro-serving-worker-{worker_id}",
         )
         process.start()
+        self.heartbeats[worker_id] = time.monotonic()
         return WorkerHandle(worker_id=worker_id, process=process, task_queue=task_queue)
+
+    def _handle(self, worker_id: int) -> WorkerHandle | None:
+        for handle in self.workers:
+            if handle.worker_id == worker_id:
+                return handle
+        return None
 
     @property
     def n_workers(self) -> int:
@@ -382,6 +487,33 @@ class SessionWorkerPool:
 
     def busy_workers(self) -> list[WorkerHandle]:
         return [w for w in self.workers if not w.idle]
+
+    # -- elasticity -----------------------------------------------------------
+
+    def add_worker(self) -> WorkerHandle:
+        """Grow the pool by one fresh worker (autoscale-up)."""
+        worker_id = self._next_id
+        self._next_id += 1
+        handle = self._spawn(worker_id)
+        self.workers.append(handle)
+        return handle
+
+    def remove_worker(self) -> int | None:
+        """Retire one idle worker (autoscale-down); returns its id.
+
+        Busy workers are never retired — shrink waits for idleness. When
+        no worker is idle, returns ``None`` and removes nothing.
+        """
+        for handle in reversed(self.workers):
+            if handle.idle and handle.alive:
+                handle.task_queue.put(("stop",))
+                self.workers.remove(handle)
+                self.heartbeats.pop(handle.worker_id, None)
+                handle.process.join(timeout=2.0)
+                if handle.process.is_alive():
+                    handle.process.terminate()
+                return handle.worker_id
+        return None
 
     # -- dispatch ------------------------------------------------------------
 
@@ -397,51 +529,124 @@ class SessionWorkerPool:
         handle.busy_deadline = None
         handle.dispatched += 1
         handle.cached_keys.add(request.preop_key())
+        self.heartbeats[handle.worker_id] = time.monotonic()
         handle.task_queue.put(("case", request))
 
     def poll_results(self, timeout: float = 0.05) -> list[CaseResult]:
         """Collect every finished case currently in the result queue.
 
-        Blocks up to ``timeout`` seconds for the first result, then
-        drains without blocking. Marks the producing workers idle.
+        Blocks up to ``timeout`` seconds for the first message, then
+        drains without blocking. Marks the producing workers idle,
+        absorbs heartbeat messages into :attr:`heartbeats`, and resets
+        the producer's crash count (a worker that delivers results is
+        not crash-looping).
         """
         results = []
         block = timeout > 0
         while True:
             try:
-                _, worker_id, result = self.result_queue.get(
+                message = self.result_queue.get(
                     block=block, timeout=timeout if block else None
                 )
             except queue_module.Empty:
                 break
             block = False
-            handle = self.workers[worker_id]
-            handle.busy = None
-            handle.busy_since = None
-            handle.busy_deadline = None
-            results.append(result)
+            tag, worker_id = message[0], message[1]
+            self.heartbeats[worker_id] = time.monotonic()
+            if tag == "heartbeat":
+                continue
+            handle = self._handle(worker_id)
+            if handle is not None:
+                handle.busy = None
+                handle.busy_since = None
+                handle.busy_deadline = None
+            self._crash_counts.pop(worker_id, None)
+            results.append(message[2])
         return results
 
     # -- failure handling ----------------------------------------------------
 
+    def _backoff_delay(self, worker_id: int, crashes: int) -> float:
+        """Respawn delay for the ``crashes``-th consecutive crash (>= 2)."""
+        delay = min(self.respawn_cap_s, self.respawn_base_s * 2.0 ** (crashes - 2))
+        # Deterministic jitter: cheap hash of (slot, crash ordinal), no
+        # RNG state to carry — the same drill always schedules the same
+        # respawn times.
+        frac = ((worker_id * 2654435761 + crashes * 40503) % 997) / 997.0
+        return delay * (1.0 + self.RESPAWN_JITTER * frac)
+
     def reap(self) -> list[tuple[int, CaseRequest | None]]:
-        """Find dead workers, respawn their slots, return interrupted work.
+        """Find dead workers, return interrupted work, schedule respawns.
 
         Call after :meth:`poll_results` (a worker that delivered its
         result and then died loses nothing). Each entry is
         ``(worker_id, request)`` where ``request`` is the case the
-        worker died serving (``None`` for an idle death). Respawned
-        workers start with an empty preop cache.
+        worker died serving (``None`` for an idle death).
+
+        The first crash of a slot respawns immediately (fast recovery for
+        the common isolated death); consecutive crashes of the same slot
+        back off exponentially with jitter, capped at ``respawn_cap_s``,
+        so a crash-looping worker cannot spin the control loop. Deferred
+        respawns happen in :meth:`maintain`. Respawned workers start with
+        an empty preop cache.
         """
         interrupted = []
-        for slot, handle in enumerate(self.workers):
+        now = time.monotonic()
+        for handle in list(self.workers):
             if handle.alive:
                 continue
             self.deaths += 1
             interrupted.append((handle.worker_id, handle.busy))
             handle.process.join(timeout=1.0)
-            self.workers[slot] = self._spawn(handle.worker_id)
+            self.workers.remove(handle)
+            self.heartbeats.pop(handle.worker_id, None)
+            crashes = self._crash_counts.get(handle.worker_id, 0) + 1
+            self._crash_counts[handle.worker_id] = crashes
+            if crashes <= 1:
+                self.workers.append(self._spawn(handle.worker_id))
+                self.respawns += 1
+            else:
+                self._respawn_due[handle.worker_id] = now + self._backoff_delay(
+                    handle.worker_id, crashes
+                )
         return interrupted
+
+    def maintain(self) -> list[int]:
+        """Respawn backed-off slots whose delay has elapsed.
+
+        Returns the respawned worker ids; call once per control-loop
+        tick.
+        """
+        now = time.monotonic()
+        respawned = []
+        for worker_id, due in sorted(self._respawn_due.items()):
+            if now < due:
+                continue
+            del self._respawn_due[worker_id]
+            self.workers.append(self._spawn(worker_id))
+            self.respawns += 1
+            respawned.append(worker_id)
+        return respawned
+
+    def pending_respawns(self) -> int:
+        """Dead slots still waiting out their respawn backoff."""
+        return len(self._respawn_due)
+
+    def stale_workers(self, timeout_s: float) -> list[WorkerHandle]:
+        """Busy, alive workers silent for longer than ``timeout_s``.
+
+        Workers beat between scans and while idle; a busy worker that
+        stopped beating past any plausible scan time is wedged (e.g. an
+        injected ``hang-worker`` fault), not slow.
+        """
+        now = time.monotonic()
+        return [
+            w
+            for w in self.workers
+            if not w.idle
+            and w.alive
+            and now - self.heartbeats.get(w.worker_id, now) > timeout_s
+        ]
 
     def terminate_worker(self, worker_id: int) -> CaseRequest | None:
         """Forcibly kill one worker (deadline enforcement); respawn its slot.
@@ -449,16 +654,65 @@ class SessionWorkerPool:
         Returns the case it was serving, if any. The caller decides what
         to record (the server marks it evicted, not re-admitted).
         """
-        for slot, handle in enumerate(self.workers):
-            if handle.worker_id != worker_id:
-                continue
-            request = handle.busy
+        handle = self._handle(worker_id)
+        if handle is None:
+            raise ValidationError(f"no worker with id {worker_id}")
+        request = handle.busy
+        if handle.alive:
+            handle.process.terminate()
+            handle.process.join(timeout=5.0)
+        self.workers.remove(handle)
+        self.workers.append(self._spawn(worker_id))
+        self.respawns += 1
+        return request
+
+    # -- chaos injection ------------------------------------------------------
+
+    def inject_hang(self, worker_id: int | None = None) -> int | None:
+        """Wedge one worker (``hang-worker`` drill): alive but silent.
+
+        Targets ``worker_id``, else the first idle worker, else the
+        first worker outright; the wedge takes effect when the worker
+        next reads its task queue (for a busy worker: right before its
+        *next* case, which then never returns). Returns the wedged
+        worker's id, or ``None`` if no worker qualified.
+        """
+        if worker_id is None:
+            if not self.workers:
+                return None
+            idle = self.idle_workers()
+            handle = idle[0] if idle else self.workers[0]
+        else:
+            handle = self._handle(worker_id)
+            if handle is None:
+                return None
+        handle.task_queue.put(("hang",))
+        return handle.worker_id
+
+    def inject_slow(self, delay_s: float) -> None:
+        """Add per-case latency to every worker (``slow-shard`` drill)."""
+        for handle in self.workers:
+            handle.task_queue.put(("slow", float(delay_s)))
+
+    def kill(self) -> list[CaseRequest]:
+        """Kill the whole pool abruptly (shard-death drill).
+
+        SIGKILLs every worker — no drain, no checkpointing beyond what
+        the durable layer already journaled — and marks the pool
+        :attr:`dead`. Returns the requests that were in flight so a
+        gateway can re-admit them elsewhere. A dead pool never respawns.
+        """
+        interrupted = [w.busy for w in self.workers if w.busy is not None]
+        for handle in self.workers:
             if handle.alive:
-                handle.process.terminate()
-                handle.process.join(timeout=5.0)
-            self.workers[slot] = self._spawn(worker_id)
-            return request
-        raise ValidationError(f"no worker with id {worker_id}")
+                handle.process.kill()
+        for handle in self.workers:
+            handle.process.join(timeout=2.0)
+        self.workers = []
+        self.heartbeats.clear()
+        self._respawn_due.clear()
+        self.dead = True
+        return interrupted
 
     # -- drain / shutdown ----------------------------------------------------
 
@@ -475,7 +729,12 @@ class SessionWorkerPool:
             handle.task_queue.put(("stop",))
         results = []
         deadline = time.monotonic() + timeout
-        while any(not w.idle for w in self.workers) and time.monotonic() < deadline:
+        # Only live busy workers can still deliver; a dead or wedged one
+        # never will, and waiting on it would burn the whole timeout.
+        while (
+            any(not w.idle and w.alive for w in self.workers)
+            and time.monotonic() < deadline
+        ):
             results.extend(self.poll_results(timeout=0.1))
         for handle in self.workers:
             handle.process.join(timeout=max(0.0, deadline - time.monotonic()))

@@ -28,7 +28,8 @@ from repro.util import ValidationError
 from repro.util.atomicio import checksum_array, checksum_bytes
 
 #: Terminal case statuses.
-STATUS_COMPLETED = "completed"  #: every scan processed
+STATUS_COMPLETED = "completed"  #: every scan processed at full fidelity
+STATUS_DEGRADED = "degraded"  #: every scan processed, at least one on a fallback rung
 STATUS_REJECTED = "rejected"  #: refused at admission (backpressure/deadline)
 STATUS_EVICTED = "evicted"  #: deadline expired before/while serving
 STATUS_DRAINED = "drained"  #: checkpointed mid-case by a graceful drain
@@ -36,11 +37,17 @@ STATUS_FAILED = "failed"  #: the case raised after exhausting re-admissions
 
 CASE_STATUSES = (
     STATUS_COMPLETED,
+    STATUS_DEGRADED,
     STATUS_REJECTED,
     STATUS_EVICTED,
     STATUS_DRAINED,
     STATUS_FAILED,
 )
+
+#: Statuses under which the case delivered a usable compensation for
+#: every scan (the clinical success criterion: full-FEM or a declared
+#: fallback, never silence).
+SERVED_STATUSES = (STATUS_COMPLETED, STATUS_DEGRADED)
 
 
 @dataclass
@@ -81,6 +88,13 @@ class CaseRequest:
         Directory where the worker persists its flight-recorder ring
         (``worker-<id>.json``, atomically, after every scan and on
         faults) so even a killed worker leaves a post-mortem on disk.
+    shed_level:
+        Load-shedding floor stamped by the gateway under overload: the
+        integer value of a :class:`repro.resilience.DegradationLevel`
+        the worker must start at (clamped to the policy's
+        ``max_degradation``). Applied to the worker's private config
+        copy only — the submitter's config object is never mutated.
+        ``None`` serves at full fidelity.
     """
 
     case_id: str
@@ -92,6 +106,7 @@ class CaseRequest:
     checkpoint_dir: str | None = None
     trace_context: object | None = None
     flight_dir: str | None = None
+    shed_level: int | None = None
 
     def __post_init__(self) -> None:
         if not self.case_id:
@@ -245,7 +260,8 @@ class CaseResult:
 
     @property
     def ok(self) -> bool:
-        return self.status == STATUS_COMPLETED
+        """Every scan was served (full fidelity or a declared fallback)."""
+        return self.status in SERVED_STATUSES
 
     @property
     def n_scans(self) -> int:

@@ -120,6 +120,7 @@ class SessionServer:
         )
         self.max_attempts = int(max_attempts)
         self.results: dict[str, CaseResult] = {}
+        self._respawns_seen = 0
         self._attempts: dict[str, int] = {}
         self._admitted_at: dict[str, float] = {}
         self._known_keys: set[str] = set()
@@ -237,6 +238,8 @@ class SessionServer:
                     self._record(result)
                 self._enforce_running_deadlines()
                 self._handle_deaths()
+                self.pool.maintain()
+                self._sync_respawns()
             elapsed = time.perf_counter() - t0
             scans = self.metrics.value("serving.scans", 0.0) - scans_before
             if elapsed > 0 and scans:
@@ -245,6 +248,14 @@ class SessionServer:
                 )
             span.set(seconds=elapsed, scans=int(scans))
         return self.results
+
+    def _sync_respawns(self) -> None:
+        """Mirror the pool's respawn count into ``serving.respawn``."""
+        if self.pool.respawns > self._respawns_seen:
+            self.metrics.counter("serving.respawn").inc(
+                self.pool.respawns - self._respawns_seen
+            )
+            self._respawns_seen = self.pool.respawns
 
     def _evict_expired_queued(self) -> None:
         for queued in self.queue.evict_expired():
@@ -528,8 +539,12 @@ class SessionServer:
         through :class:`repro.persist.SessionStore` (the case's own
         checkpoint directory, or the pool's drain spool) and report
         ``drained`` results. Queued cases that never started are marked
-        evicted with a ``drained before dispatch`` detail. The server is
-        closed afterwards.
+        evicted with a ``drained before dispatch`` detail. Cases still
+        running when the timeout lapses are *not* left unresolved: their
+        workers are terminated and the cases surface as terminal
+        ``evicted`` results carrying the worker's last flight-recorder
+        dump, so every admitted case has exactly one terminal status.
+        The server is closed afterwards.
         """
         for queued in self.queue.clear():
             request = queued.request
@@ -545,6 +560,47 @@ class SessionServer:
             )
         for result in self.pool.drain(timeout=timeout):
             self._record(result)
+        for handle in list(self.pool.busy_workers()):
+            # Stragglers that missed the drain window: terminate and
+            # surface a terminal eviction instead of silently dropping
+            # the case — the one outcome a drain must never produce.
+            request = handle.busy
+            handle.busy = None
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join(timeout=2.0)
+            self.metrics.counter("serving.evicted").inc()
+            if self.telemetry:
+                self.metrics.counter("telemetry.frames_lost").inc()
+            self._close_case_span(
+                request.case_id,
+                status=STATUS_EVICTED,
+                where="drain-timeout",
+                telemetry_lost=True,
+            )
+            self.flight.note(
+                "case.evicted",
+                case=request.case_id,
+                where="drain-timeout",
+                worker=handle.worker_id,
+            )
+            self._dump_server_flight(
+                "drain timeout",
+                case=request.case_id,
+                worker=handle.worker_id,
+            )
+            self.results[request.case_id] = CaseResult(
+                case_id=request.case_id,
+                status=STATUS_EVICTED,
+                detail=(
+                    f"missed drain timeout ({timeout:.1f} s); "
+                    f"worker {handle.worker_id} terminated"
+                ),
+                worker=handle.worker_id,
+                attempts=self._attempts.get(request.case_id, 1),
+                checkpoint=request.checkpoint_dir,
+                flight_dump=self._worker_flight_dump(handle.worker_id),
+            )
         self.metrics.counter("serving.drains").inc()
         self._closed = True
         return self.results

@@ -1,0 +1,204 @@
+"""Sharding primitives: consistent-hash ring, shard handles, autoscaling.
+
+A *shard* is one independent :class:`repro.serving.SessionWorkerPool` —
+a group of worker processes standing in for a host. Cases are routed to
+shards by **consistent hashing** of their
+:meth:`~repro.serving.CaseRequest.preop_key`, which gives the two
+properties the serving tier needs:
+
+* **Affinity** — every case of a patient lands on the same shard, so
+  that shard's checksum-keyed preoperative-model caches stay hot.
+* **Minimal disruption** — when a shard dies, *only its keys* remap
+  (spread across the survivors); every other patient keeps its shard
+  and therefore its warm caches. A modulo assignment would reshuffle
+  almost everything on any membership change.
+
+Hashing uses BLAKE2b, never Python's builtin ``hash`` — the builtin is
+salted per process, and the ring must route identically in every
+process that computes it (gateway restarts, tests, replay tooling).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from dataclasses import dataclass
+
+from repro.serving.pool import SessionWorkerPool
+from repro.util import ValidationError
+
+#: Shard lifecycle states.
+SHARD_UP = "up"
+SHARD_DEAD = "dead"
+
+
+def _ring_point(label: str) -> int:
+    """Deterministic 64-bit ring position of a label (process-stable)."""
+    return int.from_bytes(
+        hashlib.blake2b(label.encode(), digest_size=8).digest(), "big"
+    )
+
+
+class ConsistentHashRing:
+    """Consistent-hash ring over shard ids with virtual nodes.
+
+    Each shard owns ``replicas`` points on a 64-bit ring; a key routes
+    to the shard owning the first point clockwise of the key's own
+    position. More replicas smooth the load split at the cost of a
+    larger table; 64 keeps the imbalance within a few percent for a
+    handful of shards.
+    """
+
+    def __init__(self, shard_ids=(), replicas: int = 64):
+        if replicas < 1:
+            raise ValidationError(f"replicas must be >= 1, got {replicas}")
+        self.replicas = int(replicas)
+        self._points: list[int] = []
+        self._owners: dict[int, int] = {}
+        self._shards: set[int] = set()
+        for shard_id in shard_ids:
+            self.add(shard_id)
+
+    @property
+    def shards(self) -> list[int]:
+        """Live shard ids, ascending."""
+        return sorted(self._shards)
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    def __contains__(self, shard_id: int) -> bool:
+        return shard_id in self._shards
+
+    def _vnode_points(self, shard_id: int) -> list[int]:
+        return [
+            _ring_point(f"shard-{shard_id}/vnode-{i}") for i in range(self.replicas)
+        ]
+
+    def add(self, shard_id: int) -> None:
+        """Add a shard's virtual nodes to the ring."""
+        if shard_id in self._shards:
+            raise ValidationError(f"shard {shard_id} is already on the ring")
+        self._shards.add(shard_id)
+        for point in self._vnode_points(shard_id):
+            # Point collisions across shards are possible in principle
+            # (64-bit space); deterministic tie-break: lowest id owns it.
+            owner = self._owners.get(point)
+            if owner is None:
+                bisect.insort(self._points, point)
+                self._owners[point] = shard_id
+            elif shard_id < owner:
+                self._owners[point] = shard_id
+
+    def remove(self, shard_id: int) -> None:
+        """Drop a shard; only its keys remap (to the survivors)."""
+        if shard_id not in self._shards:
+            raise ValidationError(f"shard {shard_id} is not on the ring")
+        self._shards.discard(shard_id)
+        for point in self._vnode_points(shard_id):
+            if self._owners.get(point) == shard_id:
+                del self._owners[point]
+                index = bisect.bisect_left(self._points, point)
+                if index < len(self._points) and self._points[index] == point:
+                    del self._points[index]
+
+    def route(self, key: str) -> int:
+        """The shard owning ``key`` (first vnode clockwise of its point)."""
+        if not self._points:
+            raise ValidationError("ring has no shards")
+        point = _ring_point(key)
+        index = bisect.bisect_right(self._points, point)
+        if index == len(self._points):
+            index = 0
+        return self._owners[self._points[index]]
+
+    def table(self, keys) -> dict[str, int]:
+        """Routing of every key in ``keys`` (assignment snapshot)."""
+        return {key: self.route(key) for key in keys}
+
+
+@dataclass
+class AutoscalePolicy:
+    """Per-shard worker elasticity bounds and triggers.
+
+    The gateway evaluates :meth:`decide` for each live shard once per
+    control-loop tick (subject to ``cooldown_s`` between actions on the
+    same shard):
+
+    * **Grow** when the shard's routed backlog exceeds
+      ``backlog_per_worker`` cases per current worker and the shard is
+      below ``max_workers``.
+    * **Shrink** when the shard has been completely idle (no backlog, no
+      busy worker) for ``idle_shrink_s`` and is above ``min_workers``.
+
+    Growth reacts to queue depth rather than service-time estimates
+    because depth is exact and instantaneous; the EWMA service estimate
+    still shapes *admission* (shedding) where prediction is required.
+    """
+
+    min_workers: int = 1
+    max_workers: int = 4
+    backlog_per_worker: float = 2.0
+    idle_shrink_s: float = 10.0
+    cooldown_s: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.min_workers < 1:
+            raise ValidationError(
+                f"min_workers must be >= 1, got {self.min_workers}"
+            )
+        if self.max_workers < self.min_workers:
+            raise ValidationError(
+                f"max_workers {self.max_workers} < min_workers {self.min_workers}"
+            )
+        if self.backlog_per_worker <= 0:
+            raise ValidationError(
+                f"backlog_per_worker must be > 0, got {self.backlog_per_worker}"
+            )
+
+    def decide(
+        self,
+        n_workers: int,
+        backlog_cases: int,
+        busy_workers: int,
+        idle_for_s: float,
+    ) -> int:
+        """+1 to grow, -1 to shrink, 0 to hold."""
+        if n_workers < self.min_workers:
+            return 1
+        if (
+            n_workers < self.max_workers
+            and backlog_cases > self.backlog_per_worker * n_workers
+        ):
+            return 1
+        if (
+            n_workers > self.min_workers
+            and busy_workers == 0
+            and backlog_cases == 0
+            and idle_for_s >= self.idle_shrink_s
+        ):
+            return -1
+        return 0
+
+
+class Shard:
+    """One serving shard: a worker pool plus liveness state."""
+
+    def __init__(self, shard_id: int, pool: SessionWorkerPool):
+        self.shard_id = int(shard_id)
+        self.pool = pool
+        self.status = SHARD_UP
+
+    @property
+    def up(self) -> bool:
+        return self.status == SHARD_UP and not self.pool.dead
+
+    @property
+    def label(self) -> str:
+        return f"shard{self.shard_id}"
+
+    def kill(self):
+        """Kill the shard's pool abruptly; returns interrupted requests."""
+        interrupted = self.pool.kill()
+        self.status = SHARD_DEAD
+        return interrupted

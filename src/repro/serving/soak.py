@@ -1,0 +1,345 @@
+"""Chaos-soak harness: sustained sharded serving under injected faults.
+
+The soak drives a :class:`repro.serving.ShardGateway` through a
+sustained multi-wave case load while a
+:class:`repro.resilience.ServingFaultPlan` injects shard kills, worker
+hangs, shard slowdowns and dropped results, then audits the wreckage.
+The contract it checks is the serving tier's headline robustness claim:
+
+* **No lost durable case** — every admitted case reaches exactly one
+  terminal status (completed / degraded / failed / evicted / drained);
+  journaled cases interrupted by a shard death replay their committed
+  scans bit-exact on a survivor.
+* **Shed before reject** — overload walks the
+  :class:`repro.serving.SheddingLadder` (coarse-FEM -> previous-field ->
+  rigid-only) before any case is refused admission.
+* **Latency accounting survives chaos** — the SLO tracker's per-stage
+  percentiles (vs. the paper's stage budgets) cover every scan served,
+  including post-failover replays.
+
+:func:`run_soak` returns a :class:`SoakReport`;
+``benchmarks/test_soak.py`` persists it as ``BENCH_soak.json`` and
+asserts the contract, and ``repro bench-soak`` runs it from the command
+line.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.config import PipelineConfig
+from repro.resilience.faults import ServingFaultPlan
+from repro.serving.admission import SheddingLadder
+from repro.serving.gateway import ShardGateway
+from repro.serving.protocol import SERVED_STATUSES, CaseRequest
+from repro.serving.shard import AutoscalePolicy
+from repro.util import format_table
+
+#: Default injected-fault schedule, keyed by gateway dispatch ordinal:
+#: a hang and a slowdown early (mid first wave), a dropped reply, then a
+#: full shard kill once the fleet is warm — the soak must absorb all
+#: four without losing a case.
+DEFAULT_FAULTS = "1:hang-worker=0,2:slow-shard=1@0.1,3:drop-result=1,4:kill-shard=0"
+
+
+@dataclass
+class SoakReport:
+    """Outcome audit of one chaos-soak run (JSON-serializable)."""
+
+    n_cases: int
+    n_shards: int
+    workers_per_shard: int
+    scans_per_case: int
+    shape: tuple[int, int, int]
+    mesh_cell_mm: float
+    waves: int
+    elapsed_seconds: float
+    scans_total: int
+    faults_injected: list[str] = field(default_factory=list)
+    counters: dict = field(default_factory=dict)
+    shed_levels: dict = field(default_factory=dict)
+    statuses: dict = field(default_factory=dict)
+    durable_cases: int = 0
+    lost_cases: list[str] = field(default_factory=list)
+    unterminated_cases: list[str] = field(default_factory=list)
+    replay_bit_identical: bool | None = None
+    latency: dict = field(default_factory=dict)
+
+    @property
+    def throughput_scans_per_s(self) -> float:
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.scans_total / self.elapsed_seconds
+
+    @property
+    def served(self) -> int:
+        return sum(self.statuses.get(s, 0) for s in SERVED_STATUSES)
+
+    @property
+    def shed_before_reject(self) -> bool:
+        """Did every admission-time rejection happen with shedding active?
+
+        Vacuously true when nothing was rejected; otherwise at least one
+        case must have been served on a shed rung — rejection without any
+        shedding means the ladder was bypassed.
+        """
+        if self.counters.get("serving.rejected", 0) == 0:
+            return True
+        return sum(self.shed_levels.values()) > 0
+
+    def as_dict(self) -> dict:
+        return {
+            "n_cases": self.n_cases,
+            "n_shards": self.n_shards,
+            "workers_per_shard": self.workers_per_shard,
+            "scans_per_case": self.scans_per_case,
+            "shape": list(self.shape),
+            "mesh_cell_mm": self.mesh_cell_mm,
+            "waves": self.waves,
+            "elapsed_seconds": self.elapsed_seconds,
+            "scans_total": self.scans_total,
+            "throughput_scans_per_s": self.throughput_scans_per_s,
+            "faults_injected": list(self.faults_injected),
+            "counters": dict(self.counters),
+            "shed_levels": dict(self.shed_levels),
+            "statuses": dict(self.statuses),
+            "served": self.served,
+            "durable_cases": self.durable_cases,
+            "lost_cases": list(self.lost_cases),
+            "unterminated_cases": list(self.unterminated_cases),
+            "shed_before_reject": self.shed_before_reject,
+            "replay_bit_identical": self.replay_bit_identical,
+            "latency": self.latency,
+        }
+
+    def table(self) -> str:
+        rows = [
+            ["cases admitted", int(self.counters.get("serving.admitted", 0))],
+            ["served (completed+degraded)", self.served],
+            ["rejected", int(self.counters.get("serving.rejected", 0))],
+            ["shed (degraded admissions)", int(self.counters.get("serving.shed", 0))],
+            ["failed", self.statuses.get("failed", 0)],
+            ["evicted", self.statuses.get("evicted", 0)],
+            ["drained", self.statuses.get("drained", 0)],
+            ["shard deaths", int(self.counters.get("serving.shard_deaths", 0))],
+            ["worker deaths", int(self.counters.get("serving.worker_deaths", 0))],
+            ["hangs detected", int(self.counters.get("serving.hangs", 0))],
+            ["results dropped", int(self.counters.get("serving.dropped_results", 0))],
+            ["failovers", int(self.counters.get("serving.failover", 0))],
+            ["re-admissions", int(self.counters.get("serving.readmitted", 0))],
+            ["respawns", int(self.counters.get("serving.respawn", 0))],
+            ["durable cases", self.durable_cases],
+            ["lost durable cases", len(self.lost_cases)],
+        ]
+        table = format_table(
+            ["outcome", "count"],
+            [[k, str(v)] for k, v in rows],
+            title=(
+                f"Chaos soak: {self.n_cases} cases, {self.n_shards} shards x "
+                f"{self.workers_per_shard} workers, {len(self.faults_injected)} faults"
+            ),
+        )
+        table += (
+            f"\n  elapsed: {self.elapsed_seconds:.1f} s"
+            f" | scans: {self.scans_total}"
+            f" | throughput: {self.throughput_scans_per_s:.3f} scans/s"
+            f" | shed-before-reject: {self.shed_before_reject}"
+        )
+        if self.replay_bit_identical is not None:
+            table += f" | replay bit-identical: {self.replay_bit_identical}"
+        return table
+
+
+def make_soak_requests(
+    n_cases: int,
+    scans_per_case: int,
+    shape: tuple[int, int, int],
+    mesh_cell_mm: float,
+    n_patients: int,
+    seed: int,
+    durable_every: int,
+    checkpoint_root: str | None,
+) -> list[CaseRequest]:
+    """A soak workload: ``n_patients`` distinct patients, cases round-robin.
+
+    Multiple patients exercise the ring (distinct preop keys spread
+    across shards); every ``durable_every``-th case is journaled under
+    ``checkpoint_root`` so shard kills have durable state to replay.
+    """
+    from repro.imaging.phantom import make_neurosurgery_case
+
+    patients = [
+        make_neurosurgery_case(shape=tuple(shape), shift_mm=5.0, seed=seed + p)
+        for p in range(max(1, n_patients))
+    ]
+    config = PipelineConfig(mesh_cell_mm=mesh_cell_mm)
+    requests = []
+    for case in range(n_cases):
+        patient = patients[case % len(patients)]
+        scans = [
+            make_neurosurgery_case(
+                shape=tuple(shape),
+                shift_mm=5.0 * (scan + 1) / scans_per_case,
+                seed=seed + 100 + case * scans_per_case + scan,
+            ).intraop_mri
+            for scan in range(scans_per_case)
+        ]
+        checkpoint = None
+        if checkpoint_root is not None and durable_every > 0 and case % durable_every == 0:
+            checkpoint = str(Path(checkpoint_root) / f"case-{case:03d}")
+        requests.append(
+            CaseRequest(
+                case_id=f"case-{case:03d}",
+                preop_mri=patient.preop_mri,
+                preop_labels=patient.preop_labels,
+                scans=scans,
+                config=config,
+                checkpoint_dir=checkpoint,
+            )
+        )
+    return requests
+
+
+def run_soak(
+    n_cases: int = 12,
+    n_shards: int = 2,
+    workers_per_shard: int = 1,
+    scans_per_case: int = 1,
+    shape: tuple[int, int, int] = (24, 24, 16),
+    mesh_cell_mm: float = 8.0,
+    n_patients: int = 3,
+    waves: int = 2,
+    queue_capacity: int = 6,
+    durable_every: int = 2,
+    checkpoint_root: str | None = None,
+    faults: str | ServingFaultPlan | None = DEFAULT_FAULTS,
+    autoscale: AutoscalePolicy | None = None,
+    shedding: SheddingLadder | None = None,
+    max_attempts: int = 3,
+    seed: int = 7,
+    gateway_sink: list | None = None,
+) -> SoakReport:
+    """Run the chaos soak; returns the audited :class:`SoakReport`.
+
+    Cases are submitted in ``waves`` bursts with the gateway run between
+    them: bursts overfill the bounded queue, which is what walks the
+    shedding ladder (queue fill is the dominant pressure signal on a
+    cold estimator). Faults fire inside the runs by dispatch ordinal.
+    Passing a ``gateway_sink`` list appends the gateway before shutdown
+    so callers can export its trace, metrics and flight recorders.
+    """
+    faults = (
+        ServingFaultPlan.parse(faults) if isinstance(faults, str) else faults
+    )
+    requests = make_soak_requests(
+        n_cases,
+        scans_per_case,
+        shape,
+        mesh_cell_mm,
+        n_patients,
+        seed,
+        durable_every,
+        checkpoint_root,
+    )
+    gateway = ShardGateway(
+        n_shards=n_shards,
+        workers_per_shard=workers_per_shard,
+        queue_capacity=queue_capacity,
+        max_attempts=max_attempts,
+        autoscale=autoscale,
+        shedding=shedding,
+        serving_faults=faults,
+    )
+    if gateway_sink is not None:
+        gateway_sink.append(gateway)
+    admitted: list[str] = []
+    durable: list[str] = []
+    try:
+        t0 = time.perf_counter()
+        per_wave = max(1, (len(requests) + waves - 1) // max(1, waves))
+        for wave_start in range(0, len(requests), per_wave):
+            for request in requests[wave_start : wave_start + per_wave]:
+                outcome = gateway.submit(request)
+                if outcome is None:
+                    admitted.append(request.case_id)
+                    if request.checkpoint_dir is not None:
+                        durable.append(request.case_id)
+            gateway.run()
+        gateway.drain(timeout=30.0)
+        elapsed = time.perf_counter() - t0
+        return _audit(gateway, requests, admitted, durable, elapsed, waves)
+    finally:
+        gateway.shutdown()
+
+
+def _audit(
+    gateway: ShardGateway,
+    requests: list[CaseRequest],
+    admitted: list[str],
+    durable: list[str],
+    elapsed: float,
+    waves: int,
+) -> SoakReport:
+    """Assemble the report and the lost-case accounting."""
+    results = gateway.results
+    statuses: dict[str, int] = {}
+    for case_id in admitted:
+        result = results.get(case_id)
+        if result is not None:
+            statuses[result.status] = statuses.get(result.status, 0) + 1
+    unterminated = [cid for cid in admitted if cid not in results]
+    lost = [cid for cid in durable if cid not in results]
+    counter_names = (
+        "serving.admitted",
+        "serving.rejected",
+        "serving.shed",
+        "serving.shed_rejected",
+        "serving.readmitted",
+        "serving.failover",
+        "serving.failed",
+        "serving.worker_deaths",
+        "serving.shard_deaths",
+        "serving.hangs",
+        "serving.dropped_results",
+        "serving.respawn",
+        "serving.evicted",
+        "serving.scans",
+        "serving.drains",
+    )
+    counters = {
+        name: gateway.metrics.value(name, 0.0) for name in counter_names
+    }
+    shed_levels = {}
+    for level in ("coarse-fem", "previous-field", "rigid-only"):
+        count = gateway.metrics.value(f"serving.shed[level={level}]", 0.0)
+        if count:
+            shed_levels[level] = int(count)
+    first = requests[0]
+    return SoakReport(
+        n_cases=len(requests),
+        n_shards=len(gateway.shards),
+        workers_per_shard=max(
+            (s.pool.n_workers for s in gateway.shards.values() if not s.pool.dead),
+            default=0,
+        ),
+        scans_per_case=first.n_scans,
+        shape=tuple(first.preop_mri.shape),
+        mesh_cell_mm=(
+            first.config.mesh_cell_mm if first.config is not None else 0.0
+        ),
+        waves=waves,
+        elapsed_seconds=elapsed,
+        scans_total=int(counters["serving.scans"]),
+        faults_injected=(
+            list(gateway.faults.log) if gateway.faults is not None else []
+        ),
+        counters=counters,
+        shed_levels=shed_levels,
+        statuses=statuses,
+        durable_cases=len(durable),
+        lost_cases=lost,
+        unterminated_cases=unterminated,
+        latency=gateway.slo.summary() if gateway.slo is not None else {},
+    )
