@@ -9,6 +9,9 @@ Usage (after installation)::
     python -m repro.cli replay session/
     python -m repro.cli serve --cases 4 --workers 2 --scans 2
     python -m repro.cli serve --cases 4 --chrome trace.json --metrics-json obs.json
+    python -m repro.cli serve --listen 127.0.0.1:7777 --shards 2
+    python -m repro.cli submit --connect 127.0.0.1:7777 --cases 4
+    python -m repro.cli bench-netsoak --json BENCH_netsoak.json
     python -m repro.cli bench-throughput --cases 4 --workers 4 --json BENCH_throughput.json
     python -m repro.cli bench-throughput --obs-dir obs/
     python -m repro.cli obs slo obs/metrics.json
@@ -254,6 +257,14 @@ def cmd_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_hostport(text: str) -> tuple[str, int]:
+    """Split ``HOST:PORT`` (HOST may be empty for all interfaces)."""
+    host, sep, port = text.rpartition(":")
+    if not sep or not port.isdigit():
+        raise SystemExit(f"expected HOST:PORT, got {text!r}")
+    return host or "0.0.0.0", int(port)
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """Serve concurrent phantom surgical cases through a worker pool."""
     import json
@@ -262,6 +273,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from repro.obs.metrics import MetricsRegistry
     from repro.serving import CaseRequest, SessionServer, ShardGateway
 
+    if args.listen:
+        return _serve_listen(args)
     config = PipelineConfig(mesh_cell_mm=args.cell)
     metrics = MetricsRegistry()
     telemetry = not args.no_telemetry
@@ -349,6 +362,180 @@ def cmd_serve(args: argparse.Namespace) -> int:
         return 0 if completed == args.cases else 1
     finally:
         server.shutdown()
+
+
+def _serve_listen(args: argparse.Namespace) -> int:
+    """The ``serve --listen HOST:PORT`` path: a network front-end.
+
+    Binds an asyncio listener speaking the checksummed frame protocol
+    in front of a sharded gateway and serves until SIGTERM/SIGINT,
+    which triggers a clean drain (pending cases finish or checkpoint,
+    stragglers evict, the listener closes). Submit cases from another
+    terminal with ``repro submit --connect HOST:PORT``.
+    """
+    from repro.resilience import ServingFaultPlan
+    from repro.serving import NetworkFrontEnd, ShardGateway
+
+    host, port = _parse_hostport(args.listen)
+    gateway = ShardGateway(
+        n_shards=max(1, args.shards),
+        workers_per_shard=args.workers,
+        queue_capacity=args.queue_capacity,
+        policy=args.policy,
+        max_attempts=args.max_attempts,
+        serving_faults=(
+            ServingFaultPlan.parse(args.faults) if args.faults else None
+        ),
+        telemetry=not args.no_telemetry,
+        flight_dir=args.flight_dir,
+    )
+    frontend = NetworkFrontEnd(
+        gateway,
+        host=host,
+        port=port,
+        wire_faults=(
+            ServingFaultPlan.parse(args.wire_faults)
+            if args.wire_faults
+            else None
+        ),
+    )
+    try:
+        print(
+            f"serving {max(1, args.shards)} shard(s) x {args.workers} "
+            f"worker(s) on {host}:{port} (SIGTERM/Ctrl-C drains)"
+        )
+        frontend.run_forever()
+        metrics = gateway.metrics
+        print(
+            f"drained: {int(metrics.value('net.submits'))} submits, "
+            f"{int(metrics.value('net.results_sent'))} results sent, "
+            f"{int(metrics.value('net.duplicates'))} duplicates deduped, "
+            f"{int(metrics.value('net.bytes_in'))} B in / "
+            f"{int(metrics.value('net.bytes_out'))} B out"
+        )
+        return 0
+    except KeyboardInterrupt:
+        return 0
+    finally:
+        gateway.shutdown()
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    """Submit phantom cases to a remote ``repro serve --listen`` server."""
+    from repro.serving import NetClient, NetError
+
+    host, port = _parse_hostport(args.connect)
+    config = PipelineConfig(mesh_cell_mm=args.cell)
+    client = NetClient(host or "127.0.0.1", port)
+    try:
+        pong = client.ping(probe="ready")
+        print(
+            f"server {host}:{port} live={pong.get('live')} "
+            f"ready={pong.get('ready')} ({pong.get('reason')})"
+        )
+        patients = [
+            make_neurosurgery_case(
+                shape=tuple(args.shape), shift_mm=args.shift, seed=args.seed + p
+            )
+            for p in range(min(args.patients, args.cases))
+        ]
+        from repro.serving import CaseRequest
+
+        for index in range(args.cases):
+            patient = patients[index % len(patients)]
+            scans = [
+                _phantom_case(
+                    args.shape, args.shift, args.seed + 100 + index, s, args.scans
+                ).intraop_mri
+                for s in range(args.scans)
+            ]
+            checkpoint_dir = None
+            if args.checkpoint_root:
+                checkpoint_dir = str(
+                    Path(args.checkpoint_root) / f"case-{index:02d}"
+                )
+            try:
+                ack = client.submit(
+                    CaseRequest(
+                        case_id=f"case-{index:02d}",
+                        preop_mri=patient.preop_mri,
+                        preop_labels=patient.preop_labels,
+                        scans=scans,
+                        config=config,
+                        deadline_s=args.deadline,
+                        checkpoint_dir=checkpoint_dir,
+                    )
+                )
+            except NetError as exc:
+                print(f"refused case-{index:02d}: {exc}")
+                continue
+            print(f"submitted case-{index:02d}: {ack.get('detail', 'ok')}")
+        results = client.wait(timeout=args.timeout)
+        ok = 0
+        for case_id in sorted(results):
+            result = results[case_id]
+            ok += int(result.ok)
+            print(f"{case_id}: {result.status} ({result.detail})")
+        metrics = client.metrics
+        print(
+            f"client: {int(metrics.value('net.client.retries'))} retries, "
+            f"{int(metrics.value('net.client.reconnects'))} reconnects, "
+            f"{client.breaker.trips} breaker trips, "
+            f"{int(metrics.value('net.client.bytes_sent'))} B up / "
+            f"{int(metrics.value('net.client.bytes_received'))} B down"
+        )
+        return 0 if ok == args.cases else 1
+    except NetError as exc:
+        print(f"error: {exc}")
+        return 1
+    finally:
+        client.close()
+
+
+def cmd_bench_netsoak(args: argparse.Namespace) -> int:
+    """Chaos-soak the serving tier through the network path."""
+    import json
+    import tempfile
+
+    from repro.serving.soak import (
+        DEFAULT_NET_GATEWAY_FAULTS,
+        DEFAULT_WIRE_FAULTS,
+        run_net_soak,
+    )
+
+    faults = args.faults if args.faults is not None else DEFAULT_NET_GATEWAY_FAULTS
+    wire = args.wire_faults if args.wire_faults is not None else DEFAULT_WIRE_FAULTS
+    kwargs = dict(
+        n_cases=args.cases,
+        n_shards=args.shards,
+        workers_per_shard=args.workers,
+        scans_per_case=args.scans,
+        shape=tuple(args.shape),
+        mesh_cell_mm=args.cell,
+        n_patients=args.patients,
+        queue_capacity=args.queue_capacity,
+        durable_every=args.durable_every,
+        faults=faults or None,
+        wire_faults=wire or None,
+        max_attempts=args.max_attempts,
+        seed=args.seed,
+    )
+    if args.checkpoint_root:
+        report = run_net_soak(checkpoint_root=args.checkpoint_root, **kwargs)
+    else:
+        with tempfile.TemporaryDirectory(prefix="repro-netsoak-ckpt-") as root:
+            report = run_net_soak(checkpoint_root=root, **kwargs)
+    print(report.table())
+    if args.json:
+        path = Path(args.json)
+        path.write_text(json.dumps(report.as_dict(), indent=2) + "\n")
+        print(f"wrote {path}")
+    healthy = (
+        not report.lost_cases
+        and not report.unterminated_cases
+        and not report.net.get("double_solved")
+    )
+    return 0 if healthy else 1
 
 
 def cmd_bench_throughput(args: argparse.Namespace) -> int:
@@ -707,7 +894,62 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="directory for flight-recorder dumps (default: a temp directory)",
     )
+    p.add_argument(
+        "--listen",
+        default=None,
+        metavar="HOST:PORT",
+        help=(
+            "serve over the network instead of self-submitting phantom "
+            "cases: bind the checksummed-frame listener here and run "
+            "until SIGTERM/Ctrl-C drains (submit with 'repro submit')"
+        ),
+    )
+    p.add_argument(
+        "--wire-faults",
+        default=None,
+        help=(
+            "wire chaos schedule by submit ordinal for --listen, e.g. "
+            "'2:reset-mid-frame,4:partition@0.5'"
+        ),
+    )
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("submit", help=cmd_submit.__doc__)
+    _add_shape(p, default=(32, 32, 24))
+    p.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="address of a running 'repro serve --listen' server",
+    )
+    p.add_argument("--cases", type=int, default=4, help="cases to submit")
+    p.add_argument(
+        "--patients",
+        type=int,
+        default=1,
+        help="distinct patients among the cases (preop models upload once each)",
+    )
+    p.add_argument("--scans", type=int, default=1, help="scans per case")
+    p.add_argument("--shift", type=float, default=5.0)
+    p.add_argument("--cell", type=float, default=5.0, help="mesh cell size (mm)")
+    p.add_argument(
+        "--deadline", type=float, default=None, help="per-case deadline (s)"
+    )
+    p.add_argument(
+        "--checkpoint-root",
+        default=None,
+        help=(
+            "make cases durable: per-case checkpoint dirs under this root "
+            "(a server-side path)"
+        ),
+    )
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=600.0,
+        help="seconds to wait for all results",
+    )
+    p.set_defaults(func=cmd_submit)
 
     p = sub.add_parser("bench-throughput", help=cmd_bench_throughput.__doc__)
     _add_shape(p, default=(32, 32, 24))
@@ -772,6 +1014,54 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     p.set_defaults(func=cmd_bench_soak)
+
+    p = sub.add_parser("bench-netsoak", help=cmd_bench_netsoak.__doc__)
+    _add_shape(p, default=(24, 24, 16))
+    p.add_argument("--cases", type=int, default=8)
+    p.add_argument("--shards", type=int, default=2)
+    p.add_argument("--workers", type=int, default=1, help="workers per shard")
+    p.add_argument("--scans", type=int, default=1, help="scans per case")
+    p.add_argument("--cell", type=float, default=8.0, help="mesh cell size (mm)")
+    p.add_argument("--patients", type=int, default=2)
+    p.add_argument("--queue-capacity", type=int, default=8)
+    p.add_argument(
+        "--durable-every",
+        type=int,
+        default=2,
+        help="journal every Nth case (durable-case loss is the audit's red line)",
+    )
+    p.add_argument(
+        "--checkpoint-root",
+        default=None,
+        help="root for durable-case journals (default: a temp directory)",
+    )
+    p.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        help="re-admission budget per case after worker/shard failures",
+    )
+    p.add_argument(
+        "--faults",
+        default=None,
+        help=(
+            "gateway chaos by dispatch ordinal "
+            "(default: a worker hang + a dropped result; '' = none)"
+        ),
+    )
+    p.add_argument(
+        "--wire-faults",
+        default=None,
+        help=(
+            "wire chaos by submit ordinal (default: duplicate delivery, "
+            "mid-frame reset, truncated frame, delayed ACK, partition; "
+            "'' = none)"
+        ),
+    )
+    p.add_argument(
+        "--json", default=None, help="write the soak report as JSON here"
+    )
+    p.set_defaults(func=cmd_bench_netsoak)
 
     p = sub.add_parser("obs", help=cmd_obs.__doc__)
     obs_sub = p.add_subparsers(dest="obs_command", required=True)

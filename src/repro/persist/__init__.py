@@ -42,7 +42,7 @@ from repro.persist.checkpoint import (
     save_payload,
 )
 from repro.persist.journal import ScanJournal
-from repro.persist.store import CRASH_EXIT_CODE, SessionStore
+from repro.persist.store import CRASH_EXIT_CODE, SessionStore, completed_records
 
 # Must come after store: replay imports SessionStore through the package.
 from repro.persist.replay import ReplayReport, ScanReplay, replay_session
@@ -63,6 +63,7 @@ __all__ = [
     "checksum_array",
     "checksum_bytes",
     "checksum_file",
+    "completed_records",
     "config_from_manifest",
     "config_to_manifest",
     "load_payload",

@@ -504,6 +504,32 @@ class SessionStore:
         return " | ".join(parts)
 
 
+def completed_records(root: str | Path, n_scans: int) -> list[ScanRecord] | None:
+    """The journal's committed records iff the whole case already ran.
+
+    The exactly-once gate for duplicate network deliveries: a durable
+    case whose checkpoint directory holds a ``commit`` record for every
+    scan ``0..n_scans-1`` has already been fully served — a resubmission
+    (client retry after a torn reply, injected duplicate delivery) can
+    be answered straight from the journal instead of solving twice.
+    Returns the committed :class:`ScanRecord` list in scan order, or
+    ``None`` when the directory holds no journal, the journal is
+    unreadable (torn, foreign), or any scan is missing its commit —
+    i.e. whenever the case must actually (re)run.
+    """
+    journal_path = Path(root) / SessionStore.JOURNAL_NAME
+    if n_scans < 1 or not journal_path.is_file():
+        return None
+    try:
+        journal = ScanJournal.load(journal_path)
+        committed = {record.scan: record for record in journal.committed()}
+    except (ValidationError, OSError, ValueError, KeyError, TypeError):
+        return None
+    if any(scan not in committed for scan in range(n_scans)):
+        return None
+    return [committed[scan] for scan in range(n_scans)]
+
+
 def _restored_result(
     record: ScanRecord,
     nodal: np.ndarray,

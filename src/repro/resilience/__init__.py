@@ -42,6 +42,7 @@ from repro.resilience.faults import (
     SCAN_FAULTS,
     SERVING_FAULTS,
     SOLVER_FAULTS,
+    WIRE_FAULTS,
     FaultPlan,
     FaultSpec,
     ServingFaultPlan,
@@ -69,6 +70,7 @@ __all__ = [
     "SCAN_FAULTS",
     "SERVING_FAULTS",
     "SOLVER_FAULTS",
+    "WIRE_FAULTS",
     "DegradationLevel",
     "DegradationReport",
     "EscalationOutcome",

@@ -317,6 +317,38 @@ class FaultPlan:
 #: deterministic for a fixed workload regardless of wall-clock timing.
 SERVING_FAULTS = ("kill-shard", "hang-worker", "slow-shard", "drop-result")
 
+#: Fault kinds aimed at the network transport (wire-level chaos). These
+#: are consumed by :class:`repro.serving.transport.NetworkFrontEnd`
+#: rather than the gateway, and are scheduled by *submit ordinal*: the
+#: running count of SUBMIT frames the front-end has decoded, which is
+#: deterministic for a fixed client workload.
+#:
+#: * ``reset-mid-frame`` — the connection carrying the next outbound
+#:   result is aborted halfway through the frame (torn write). The
+#:   client must reject the partial frame and retry the case.
+#: * ``truncate-frame`` — the next outbound result frame advertises more
+#:   payload than is sent, then the connection closes cleanly. The
+#:   client's length-prefixed reader must treat the short read as a
+#:   truncated frame, never as a (checksum-less) success.
+#: * ``delay-ack`` — the admission ACK for the target submit is delayed
+#:   by ``param`` seconds (default 0.5), pressuring client timeouts.
+#: * ``dup-deliver`` — the decoded SUBMIT is delivered to the gateway
+#:   twice (as if a retry raced the original); the journal-gated dedup
+#:   layer must collapse the copies so the case is solved once.
+#: * ``partition`` — the listener drops every connection without reply
+#:   for ``param`` seconds (default 1.0), then heals. Clients see
+#:   connect resets, trip their breaker, and must recover after heal.
+WIRE_FAULTS = (
+    "reset-mid-frame",
+    "truncate-frame",
+    "delay-ack",
+    "dup-deliver",
+    "partition",
+)
+
+#: Everything a :class:`ServingFaultPlan` accepts (gateway + wire).
+SERVING_FAULT_KINDS = SERVING_FAULTS + WIRE_FAULTS
+
 
 @dataclass
 class ServingFaultSpec:
@@ -343,10 +375,11 @@ class ServingFaultSpec:
           target shard is swallowed in transit (lost reply), exercising
           the re-admission path without killing anything.
     shard:
-        Target shard index.
+        Target shard index (gateway kinds). Wire kinds ignore it.
     param:
-        Kind-specific: seconds of delay for ``slow-shard`` (default 0.2);
-        unused otherwise.
+        Kind-specific: seconds of delay for ``slow-shard`` (default 0.2)
+        and ``delay-ack`` (default 0.5), partition duration in seconds
+        for ``partition`` (default 1.0); unused otherwise.
     """
 
     at: int
@@ -356,10 +389,11 @@ class ServingFaultSpec:
     triggered: bool = field(default=False, compare=False)
 
     def __post_init__(self) -> None:
-        if self.kind not in SERVING_FAULTS:
+        if self.kind not in SERVING_FAULT_KINDS:
             raise ValidationError(
                 f"unknown serving fault kind {self.kind!r}; "
-                f"options: {sorted(SERVING_FAULTS)}"
+                f"gateway kinds: {sorted(SERVING_FAULTS)}, "
+                f"wire kinds: {sorted(WIRE_FAULTS)}"
             )
         if self.at < 0:
             raise ValidationError(f"fault ordinal must be >= 0, got {self.at}")
@@ -368,11 +402,21 @@ class ServingFaultSpec:
 
     @property
     def delay_s(self) -> float:
-        """Per-case delay for ``slow-shard``."""
-        return 0.2 if self.param is None else float(self.param)
+        """Delay parameter: ``slow-shard`` per-case seconds (default
+        0.2), ``delay-ack`` ACK hold (default 0.5), ``partition``
+        outage duration (default 1.0)."""
+        if self.param is not None:
+            return float(self.param)
+        if self.kind == "partition":
+            return 1.0
+        if self.kind == "delay-ack":
+            return 0.5
+        return 0.2
 
     def describe(self) -> str:
         tail = "" if self.param is None else f"@{self.param:g}"
+        if self.kind in WIRE_FAULTS:  # no shard target; submit-keyed
+            return f"submit {self.at}: {self.kind}{tail}"
         return f"dispatch {self.at}: {self.kind}=shard{self.shard}{tail}"
 
 
@@ -398,10 +442,21 @@ class ServingFaultPlan:
         self.specs.append(ServingFaultSpec(at=at, kind=kind, shard=shard, param=param))
         return self
 
-    def due(self, dispatched: int) -> list[ServingFaultSpec]:
-        """Untriggered specs whose ordinal has been reached, marked fired."""
+    def due(
+        self, dispatched: int, kinds: tuple[str, ...] | None = None
+    ) -> list[ServingFaultSpec]:
+        """Untriggered specs whose ordinal has been reached, marked fired.
+
+        ``kinds`` restricts the poll to a kind family, so a plan mixing
+        gateway chaos and wire chaos can be shared between the gateway
+        (which polls :data:`SERVING_FAULTS` by dispatch ordinal) and the
+        network front-end (which polls :data:`WIRE_FAULTS` by submit
+        ordinal) without either consuming the other's specs.
+        """
         out = []
         for spec in self.specs:
+            if kinds is not None and spec.kind not in kinds:
+                continue
             if not spec.triggered and spec.at <= dispatched:
                 spec.triggered = True
                 self.log.append(spec.describe())
@@ -415,8 +470,15 @@ class ServingFaultPlan:
     @classmethod
     def parse(cls, text: str) -> "ServingFaultPlan":
         """Parse ``"AT:KIND=SHARD[@PARAM];..."`` (e.g. ``"2:kill-shard=1"``,
-        ``"0:slow-shard=0@0.25"``). Entries split on ``;`` or ``,``.
+        ``"0:slow-shard=0@0.25"``, ``"3:partition@0.5"``). Entries split
+        on ``;`` or ``,``. A malformed entry or unknown kind raises
+        :class:`repro.util.ValidationError` naming the offending chunk,
+        the expected grammar, and every valid fault kind.
         """
+        valid = (
+            f"valid gateway kinds: {', '.join(SERVING_FAULTS)}; "
+            f"valid wire kinds: {', '.join(WIRE_FAULTS)}"
+        )
         specs: list[ServingFaultSpec] = []
         for chunk in text.replace(",", ";").split(";"):
             chunk = chunk.strip()
@@ -434,6 +496,11 @@ class ServingFaultPlan:
                         param = float(param_part)
                     else:
                         shard = int(target)
+                elif "@" in kind_part:
+                    # Shard-less wire kinds still take a parameter:
+                    # "3:partition@0.5".
+                    kind, param_part = kind_part.split("@", 1)
+                    param = float(param_part)
                 else:
                     kind = kind_part
                 specs.append(
@@ -441,12 +508,15 @@ class ServingFaultPlan:
                         at=int(at_part), kind=kind.strip(), shard=shard, param=param
                     )
                 )
+            except ValidationError as exc:
+                raise ValidationError(
+                    f"bad serving fault entry {chunk!r}: {exc} ({valid})"
+                ) from exc
             except (ValueError, TypeError) as exc:
-                if isinstance(exc, ValidationError):
-                    raise
                 raise ValidationError(
                     f"cannot parse serving fault entry {chunk!r} "
-                    "(expected AT:KIND, AT:KIND=SHARD or AT:KIND=SHARD@PARAM)"
+                    "(expected AT:KIND, AT:KIND@PARAM, AT:KIND=SHARD or "
+                    f"AT:KIND=SHARD@PARAM; {valid})"
                 ) from exc
         return cls(specs)
 

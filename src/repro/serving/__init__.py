@@ -15,8 +15,13 @@ routing, shard failover, and chaos-fault injection
 (:mod:`repro.serving.gateway`). Worker and shard deaths re-admit
 durable cases through their persistence journal; graceful drain
 checkpoints in-flight sessions and surfaces stragglers as terminal
-evictions. ``repro serve`` and ``repro bench-throughput`` drive it from
-the command line; :mod:`repro.serving.soak` is the chaos-soak harness.
+evictions. The network layer puts the gateway behind a real socket:
+:mod:`repro.serving.transport` (checksummed frame protocol,
+content-addressed preop upload with delta-streamed scans, health
+probes, wire chaos, SIGTERM drain) and :mod:`repro.serving.netclient`
+(idempotent retrying client with circuit breaking). ``repro serve``,
+``repro submit`` and ``repro bench-throughput`` drive it from the
+command line; :mod:`repro.serving.soak` is the chaos-soak harness.
 """
 
 from repro.serving.admission import (
@@ -28,6 +33,7 @@ from repro.serving.admission import (
 )
 from repro.serving.bench import ThroughputReport, run_throughput_benchmark
 from repro.serving.gateway import ShardGateway
+from repro.serving.netclient import CircuitBreaker, NetClient, NetError
 from repro.serving.pool import SessionWorkerPool, WorkerHandle
 from repro.serving.protocol import (
     CASE_STATUSES,
@@ -44,6 +50,14 @@ from repro.serving.shard import (
     ConsistentHashRing,
     Shard,
 )
+from repro.serving.transport import (
+    FrameError,
+    NetworkFrontEnd,
+    decode_frame,
+    decode_volume,
+    encode_frame,
+    encode_volume,
+)
 
 __all__ = [
     "AdmissionQueue",
@@ -51,7 +65,12 @@ __all__ = [
     "CASE_STATUSES",
     "CaseRequest",
     "CaseResult",
+    "CircuitBreaker",
     "ConsistentHashRing",
+    "FrameError",
+    "NetClient",
+    "NetError",
+    "NetworkFrontEnd",
     "POLICIES",
     "QueuedCase",
     "SERVED_STATUSES",
@@ -66,6 +85,10 @@ __all__ = [
     "SheddingLadder",
     "ThroughputReport",
     "WorkerHandle",
+    "decode_frame",
+    "decode_volume",
+    "encode_frame",
+    "encode_volume",
     "outcome_from_result",
     "run_throughput_benchmark",
 ]

@@ -198,26 +198,36 @@ class AdmissionQueue:
         request: CaseRequest,
         backlog_seconds: float = 0.0,
         preop_cached: bool = False,
+        waited_s: float = 0.0,
     ) -> ScanVerdict:
         """Judge a candidate case against its deadline, budget-monitor style.
 
         ``backlog_seconds`` is the estimated work queued/running ahead of
         the case; the verdict's checks break the estimate into its queue
-        wait and service components. A case without a deadline is judged
-        against an infinite budget — always ``ok``.
+        wait and service components. ``waited_s`` is deadline budget the
+        case already burned *before* reaching admission — network transit
+        and transport queuing, derived from the client-stamped enqueue
+        time — charged as its own check so a case that spent most of its
+        deadline on the wire is rejected instead of admitted with no hope
+        of finishing. A case without a deadline is judged against an
+        infinite budget — always ``ok``.
         """
         service = self.estimator.case_seconds(request.n_scans, preop_cached)
+        waited = max(0.0, float(waited_s))
         deadline = (
             float("inf") if request.deadline_s is None else float(request.deadline_s)
         )
+        checks = [
+            StageCheck("queue wait", float(backlog_seconds), None),
+            StageCheck("case service", float(service), None),
+        ]
+        if waited > 0.0:
+            checks.insert(0, StageCheck("network wait", waited, None))
         verdict = ScanVerdict(
             scan_index=len(self._items),
-            total_seconds=backlog_seconds + service,
+            total_seconds=waited + backlog_seconds + service,
             scan_budget=deadline,
-            checks=[
-                StageCheck("queue wait", float(backlog_seconds), None),
-                StageCheck("case service", float(service), None),
-            ],
+            checks=checks,
         )
         if verdict.scan_over:
             verdict.warnings.append(
@@ -231,21 +241,26 @@ class AdmissionQueue:
         request: CaseRequest,
         backlog_seconds: float = 0.0,
         preop_cached: bool = False,
+        waited_s: float = 0.0,
     ) -> tuple[bool, ScanVerdict | None, str]:
         """Try to enqueue; returns ``(admitted, verdict, detail)``.
 
         A full queue rejects immediately with ``verdict=None`` (hard
         backpressure — no estimate involved); otherwise the budget-style
-        verdict decides, and an admitted case is appended FIFO.
+        verdict decides, and an admitted case is appended FIFO with its
+        deadline clock backdated by ``waited_s`` — the pre-admission
+        delay (network transit, transport queuing) already spent against
+        ``deadline_s``.
         """
         if self.full:
             return False, None, f"queue full (capacity {self.capacity})"
-        verdict = self.admission_verdict(request, backlog_seconds, preop_cached)
+        verdict = self.admission_verdict(request, backlog_seconds, preop_cached, waited_s)
         if not verdict.within_budget:
             return False, verdict, verdict.warnings[-1] if verdict.warnings else (
                 f"admission verdict {verdict.label}"
             )
-        self._items.append(QueuedCase(request, time.monotonic()))
+        enqueued = time.monotonic() - max(0.0, float(waited_s))
+        self._items.append(QueuedCase(request, enqueued))
         return True, verdict, "admitted"
 
     # -- dispatch / eviction -------------------------------------------------

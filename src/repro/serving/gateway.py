@@ -47,7 +47,7 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.slo import SCAN_TOTAL, SLOTracker
 from repro.obs.telemetry import TraceContext, graft_frame
 from repro.obs.trace import Tracer, get_tracer
-from repro.resilience.faults import ServingFaultPlan
+from repro.resilience.faults import SERVING_FAULTS, ServingFaultPlan
 from repro.serving.admission import AdmissionQueue, ServiceEstimator, SheddingLadder
 from repro.serving.pool import SessionWorkerPool
 from repro.serving.protocol import (
@@ -181,6 +181,11 @@ class ShardGateway:
         #: The gateway keeps its own copy (workers own pickled ones) so a
         #: lost reply or dead shard can re-admit without reconstructing.
         self._inflight: dict[str, CaseRequest] = {}
+        #: case_id -> True while the serving worker is building the
+        #: patient's preoperative model (its key was unseen at dispatch):
+        #: health probes report such workers "building-preop" instead of
+        #: counting the long silence toward wedged detection.
+        self._building: dict[str, bool] = {}
         self._not_before: dict[str, float] = {}
         self._drop_results: dict[int, int] = {}
         self._respawns_seen: dict[int, int] = {}
@@ -290,14 +295,24 @@ class ShardGateway:
                 pressure=decision.pressure,
             )
         preop_cached = request.preop_key() in self._known_keys
+        # Deadline budget already burned before admission: network
+        # transit + transport queuing, from the client-stamped wall
+        # clock. Charged against deadline_s instead of extending it.
+        waited_s = 0.0
+        if request.client_enqueue_unix is not None:
+            waited_s = max(0.0, time.time() - float(request.client_enqueue_unix))
+            self.metrics.histogram("serving.network_wait_seconds").observe(waited_s)
         admitted, verdict, detail = self.queue.admit(
-            request, backlog_seconds=backlog, preop_cached=preop_cached
+            request,
+            backlog_seconds=backlog,
+            preop_cached=preop_cached,
+            waited_s=waited_s,
         )
         self.metrics.gauge("serving.queue_depth").set(len(self.queue))
         if not admitted:
             return self._reject(request, detail)
         self.metrics.counter("serving.admitted").inc()
-        self._admitted_at[request.case_id] = time.monotonic()
+        self._admitted_at[request.case_id] = time.monotonic() - waited_s
         self._attempts.setdefault(request.case_id, 0)
         self._open_case_span(request)
         self.flight.note(
@@ -335,16 +350,8 @@ class ShardGateway:
         t0 = time.perf_counter()
         scans_before = self.metrics.value("serving.scans", 0.0)
         with self._trace().span("serve.run", kind="serving") as span:
-            while self._working():
-                self._fire_due_faults()
-                self._evict_expired_queued()
-                self._dispatch_ready()
-                self._collect(poll_seconds)
-                self._enforce_running_deadlines()
-                self._handle_deaths()
-                self._detect_hangs()
-                self._autoscale_tick()
-                self._maintain()
+            while self.tick(poll_seconds):
+                pass
             elapsed = time.perf_counter() - t0
             scans = self.metrics.value("serving.scans", 0.0) - scans_before
             if elapsed > 0 and scans:
@@ -353,6 +360,35 @@ class ShardGateway:
                 )
             span.set(seconds=elapsed, scans=int(scans))
         return self.results
+
+    def tick(self, poll_seconds: float = 0.05) -> bool:
+        """One control-loop iteration; ``False`` when the gateway is idle.
+
+        :meth:`run` is ``while tick(): pass`` — a long-lived driver (the
+        network front-end) calls :meth:`tick` directly instead, so new
+        submissions can interleave between iterations. An idle tick is
+        not free of duty: it still absorbs worker heartbeats and runs
+        pool maintenance, so a server idling between cases neither grows
+        the result queues without bound nor misses a respawn.
+        """
+        if self._closed:
+            raise ValidationError("gateway is shut down")
+        if not self._working():
+            for shard in self.live_shards():
+                for result in shard.pool.poll_results(timeout=0.0):
+                    self._record(shard, result)
+            self._maintain()
+            return False
+        self._fire_due_faults()
+        self._evict_expired_queued()
+        self._dispatch_ready()
+        self._collect(poll_seconds)
+        self._enforce_running_deadlines()
+        self._handle_deaths()
+        self._detect_hangs()
+        self._autoscale_tick()
+        self._maintain()
+        return True
 
     def _working(self) -> bool:
         if len(self.queue) == 0 and not any(
@@ -383,7 +419,10 @@ class ShardGateway:
     def _fire_due_faults(self) -> None:
         if self.faults is None:
             return
-        for spec in self.faults.due(self.dispatched_total):
+        # Poll only gateway-level kinds: a shared plan may also carry
+        # wire-level specs the network front-end consumes by submit
+        # ordinal — firing them here would silently eat them.
+        for spec in self.faults.due(self.dispatched_total, kinds=SERVING_FAULTS):
             shard = self.shards.get(spec.shard)
             self.flight.note("fault.fire", fault=spec.describe())
             self._trace().event("serving.fault", fault=spec.describe())
@@ -475,6 +514,7 @@ class ShardGateway:
             self._attempts[request.case_id] = (
                 self._attempts.get(request.case_id, 0) + 1
             )
+            self._building[request.case_id] = key not in self._known_keys
             self._known_keys.add(key)
             if self.telemetry:
                 request.trace_context = TraceContext.from_tracer(
@@ -554,6 +594,7 @@ class ShardGateway:
     def _record(self, shard: Shard, result: CaseResult) -> None:
         result.attempts = self._attempts.get(result.case_id, 1)
         self._inflight.pop(result.case_id, None)
+        self._building.pop(result.case_id, None)
         admitted = self._admitted_at.get(result.case_id)
         if admitted is not None:
             result.queue_seconds = max(
@@ -707,6 +748,7 @@ class ShardGateway:
 
     def _readmit(self, request: CaseRequest, cause: str) -> None:
         """Bounded re-admission with capped exponential backoff + jitter."""
+        self._building.pop(request.case_id, None)
         attempts = self._attempts.get(request.case_id, 1)
         if attempts >= self.max_attempts:
             self.metrics.counter("serving.failed").inc()
@@ -822,6 +864,80 @@ class ShardGateway:
                     f"worker {handle.worker_id} (shard {shard.shard_id}) "
                     f"hung (silent > {grace:.1f} s)",
                 )
+
+    # -- health ---------------------------------------------------------------
+
+    def health(self) -> dict:
+        """Gateway-driven health snapshot for transport-level probes.
+
+        Replaces the in-process heartbeat view with something a remote
+        client can act on: **liveness** (the fleet can still take work)
+        and **readiness** (it would serve a submission now), with every
+        worker classified from its heartbeat age and dispatch state —
+
+        * ``idle`` — alive, no case.
+        * ``serving`` — busy, heartbeating within the hang grace.
+        * ``building-preop`` — busy on a case whose patient model was
+          unseen at dispatch: the long silence is the model build, not a
+          wedge, and readiness stays true.
+        * ``wedged`` — busy and heartbeat-silent past the hang grace;
+          the next :meth:`tick` will terminate and re-admit it.
+        """
+        grace = self._hang_grace()
+        now = time.monotonic()
+        counts = {"idle": 0, "serving": 0, "building-preop": 0, "wedged": 0}
+        shards = []
+        for shard_id in sorted(self.shards):
+            shard = self.shards[shard_id]
+            if not shard.up:
+                shards.append({"shard": shard_id, "up": False, "workers": []})
+                continue
+            workers = []
+            for handle in shard.pool.workers:
+                age = now - shard.pool.heartbeats.get(handle.worker_id, now)
+                if handle.idle:
+                    state = "idle"
+                elif age > grace:
+                    state = "wedged"
+                elif handle.busy is not None and self._building.get(
+                    handle.busy.case_id, False
+                ):
+                    state = "building-preop"
+                else:
+                    state = "serving"
+                counts[state] += 1
+                workers.append(
+                    {
+                        "worker": handle.worker_id,
+                        "state": state,
+                        "heartbeat_age_s": round(age, 3),
+                        "case": None if handle.busy is None else handle.busy.case_id,
+                    }
+                )
+            shards.append({"shard": shard_id, "up": True, "workers": workers})
+        live = not self._closed and bool(self.live_shards())
+        responsive = counts["idle"] + counts["serving"] + counts["building-preop"]
+        if self._closed:
+            reason = "shut down"
+        elif not live:
+            reason = "no live shards"
+        elif responsive == 0:
+            reason = "all workers wedged"
+        elif self.queue.full:
+            reason = "queue full"
+        else:
+            reason = "ok"
+        return {
+            "live": live,
+            "ready": live and responsive > 0 and not self.queue.full,
+            "reason": reason,
+            "queue_depth": len(self.queue),
+            "queue_capacity": self.queue.capacity,
+            "inflight": len(self._inflight),
+            "hang_grace_s": round(grace, 3),
+            "workers": counts,
+            "shards": shards,
+        }
 
     # -- elasticity -----------------------------------------------------------
 

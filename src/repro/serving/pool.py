@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import multiprocessing
 import queue as queue_module
+import signal
 import tempfile
 import time
 import traceback
@@ -331,6 +332,10 @@ def _worker_main(
     drills: ``("hang",)`` wedges the worker (alive, silent, never
     returns), ``("slow", seconds)`` adds per-case latency.
     """
+    # A terminal Ctrl-C signals the whole foreground process group;
+    # drain is the parent's job, so workers ignore SIGINT and wait for
+    # the explicit "stop" message (SIGKILL-based chaos is unaffected).
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
     preop_cache: dict = {}
     slow_s = 0.0
 

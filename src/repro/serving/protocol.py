@@ -95,6 +95,19 @@ class CaseRequest:
         ``max_degradation``). Applied to the worker's private config
         copy only — the submitter's config object is never mutated.
         ``None`` serves at full fidelity.
+    client_enqueue_unix:
+        Wall-clock (``time.time()``) instant the *client* committed the
+        case to the wire. Carried so the gateway can charge network and
+        transport-queue delay against ``deadline_s``: admission backdates
+        the case's deadline clock by ``now - client_enqueue_unix`` instead
+        of silently restarting it at the server. ``None`` (in-process
+        submission) starts the clock at admission, as before.
+    idempotency_key:
+        Client-chosen key the network front-end dedups resubmissions by
+        (retries after a torn reply, duplicate deliveries). Defaults to
+        ``case_id`` when unset. Two live submissions with the same key
+        are collapsed into one execution; a terminal result is replayed
+        verbatim to late duplicates.
     """
 
     case_id: str
@@ -107,6 +120,8 @@ class CaseRequest:
     trace_context: object | None = None
     flight_dir: str | None = None
     shed_level: int | None = None
+    client_enqueue_unix: float | None = None
+    idempotency_key: str | None = None
 
     def __post_init__(self) -> None:
         if not self.case_id:
@@ -140,8 +155,11 @@ class CaseRequest:
         parts = []
         for volume in (self.preop_mri, self.preop_labels):
             parts.append(checksum_array(np.asarray(volume.data)))
-            parts.append(repr(tuple(volume.spacing)))
-            parts.append(repr(tuple(volume.origin)))
+            # Normalize to builtin floats: numpy scalars repr differently
+            # (``np.float64(1.0)`` vs ``1.0``), which would make a wire
+            # round-trip of bit-identical volumes hash to a different key.
+            parts.append(repr(tuple(float(s) for s in volume.spacing)))
+            parts.append(repr(tuple(float(o) for o in volume.origin)))
         parts.append(repr(sorted(config_to_manifest(config).items())))
         self._preop_key = checksum_bytes("|".join(parts).encode())
         return self._preop_key

@@ -21,6 +21,17 @@ The contract it checks is the serving tier's headline robustness claim:
 ``benchmarks/test_soak.py`` persists it as ``BENCH_soak.json`` and
 asserts the contract, and ``repro bench-soak`` runs it from the command
 line.
+
+:func:`run_net_soak` runs the same contract through the network path:
+a :class:`repro.serving.transport.NetworkFrontEnd` on a real socket, a
+retrying :class:`repro.serving.NetClient`, and *wire-level* chaos on
+top of the gateway faults (mid-frame resets, truncated frames, delayed
+ACKs, duplicate deliveries, a partition-then-heal). Its extra audit:
+duplicate deliveries must be deduplicated — no idempotency key ever
+starts a second execution (``double_solved`` stays empty) — and the
+retry / breaker / byte counters must land in the merged metrics.
+``benchmarks/test_netsoak.py`` persists it as ``BENCH_netsoak.json``;
+``repro bench-netsoak`` runs it from the command line.
 """
 
 from __future__ import annotations
@@ -35,13 +46,29 @@ from repro.serving.admission import SheddingLadder
 from repro.serving.gateway import ShardGateway
 from repro.serving.protocol import SERVED_STATUSES, CaseRequest
 from repro.serving.shard import AutoscalePolicy
-from repro.util import format_table
+from repro.util import ValidationError, format_table
 
 #: Default injected-fault schedule, keyed by gateway dispatch ordinal:
 #: a hang and a slowdown early (mid first wave), a dropped reply, then a
 #: full shard kill once the fleet is warm — the soak must absorb all
 #: four without losing a case.
 DEFAULT_FAULTS = "1:hang-worker=0,2:slow-shard=1@0.1,3:drop-result=1,4:kill-shard=0"
+
+#: Default wire-chaos schedule for the network soak, keyed by *submit*
+#: ordinal at the front-end: a duplicate delivery early (exercises the
+#: dedup ladder), a reset mid-result-frame and a truncated frame (the
+#: client must retry and be answered from the terminal cache), a
+#: delayed ACK, then a partition that heals (the client reconnects and
+#: resubmits everything unresolved).
+DEFAULT_WIRE_FAULTS = (
+    "1:dup-deliver,2:reset-mid-frame,3:truncate-frame,4:delay-ack@0.1,"
+    "5:partition@0.6"
+)
+
+#: Gateway-side chaos paired with the wire schedule: keep it to a hang
+#: and a dropped result so the network path, not shard failover, is the
+#: star of the audit.
+DEFAULT_NET_GATEWAY_FAULTS = "1:hang-worker=0,2:drop-result=0"
 
 
 @dataclass
@@ -66,6 +93,11 @@ class SoakReport:
     unterminated_cases: list[str] = field(default_factory=list)
     replay_bit_identical: bool | None = None
     latency: dict = field(default_factory=dict)
+    #: Network-path audit (:func:`run_net_soak` only): server/client
+    #: ``net.*`` counters, duplicate-dedup accounting, breaker stats,
+    #: and ``double_solved`` — idempotency keys that started more than
+    #: one execution (must be empty).
+    net: dict = field(default_factory=dict)
 
     @property
     def throughput_scans_per_s(self) -> float:
@@ -112,6 +144,7 @@ class SoakReport:
             "shed_before_reject": self.shed_before_reject,
             "replay_bit_identical": self.replay_bit_identical,
             "latency": self.latency,
+            "net": dict(self.net),
         }
 
     def table(self) -> str:
@@ -149,6 +182,16 @@ class SoakReport:
         )
         if self.replay_bit_identical is not None:
             table += f" | replay bit-identical: {self.replay_bit_identical}"
+        if self.net:
+            table += (
+                f"\n  net: {int(self.net.get('submits', 0))} submits"
+                f" | {int(self.net.get('duplicates', 0))} duplicates deduped"
+                f" ({int(self.net.get('journal_dedup', 0))} via journal)"
+                f" | {int(self.net.get('client_retries', 0))} client retries"
+                f" | {int(self.net.get('client_reconnects', 0))} reconnects"
+                f" | {int(self.net.get('breaker_trips', 0))} breaker trips"
+                f" | double-solved: {len(self.net.get('double_solved', []))}"
+            )
         return table
 
 
@@ -281,9 +324,17 @@ def _audit(
     durable: list[str],
     elapsed: float,
     waves: int,
+    results: dict | None = None,
 ) -> SoakReport:
-    """Assemble the report and the lost-case accounting."""
-    results = gateway.results
+    """Assemble the report and the lost-case accounting.
+
+    ``results`` defaults to the gateway's own terminal map; the network
+    soak passes the *client-received* results instead, so the audit
+    covers the full wire path (a result the server produced but never
+    delivered counts as unterminated).
+    """
+    if results is None:
+        results = gateway.results
     statuses: dict[str, int] = {}
     for case_id in admitted:
         result = results.get(case_id)
@@ -343,3 +394,124 @@ def _audit(
         unterminated_cases=unterminated,
         latency=gateway.slo.summary() if gateway.slo is not None else {},
     )
+
+
+def run_net_soak(
+    n_cases: int = 8,
+    n_shards: int = 2,
+    workers_per_shard: int = 1,
+    scans_per_case: int = 1,
+    shape: tuple[int, int, int] = (24, 24, 16),
+    mesh_cell_mm: float = 8.0,
+    n_patients: int = 2,
+    queue_capacity: int = 8,
+    durable_every: int = 2,
+    checkpoint_root: str | None = None,
+    faults: str | ServingFaultPlan | None = DEFAULT_NET_GATEWAY_FAULTS,
+    wire_faults: str | ServingFaultPlan | None = DEFAULT_WIRE_FAULTS,
+    max_attempts: int = 3,
+    seed: int = 7,
+    wait_timeout_s: float = 600.0,
+    gateway_sink: list | None = None,
+    frontend_sink: list | None = None,
+) -> SoakReport:
+    """Chaos-soak the serving tier end-to-end through a real socket.
+
+    The gateway runs behind a :class:`NetworkFrontEnd` on a loopback
+    listener; a retrying :class:`NetClient` uploads each patient's
+    preop model once, submits every case with delta-compressed scans,
+    and rides out the injected wire chaos (resets, truncations, delayed
+    ACKs, duplicate deliveries, a partition) with reconnect + resubmit.
+    On top of :func:`run_soak`'s durability contract the report's
+    ``net`` block audits exactly-once execution under duplicates and
+    merges the client's retry/breaker/byte counters into the gateway
+    registry so one telemetry bundle covers both ends of the wire.
+    """
+    from repro.serving.netclient import NetClient
+    from repro.serving.transport import NetworkFrontEnd
+
+    faults = (
+        ServingFaultPlan.parse(faults) if isinstance(faults, str) else faults
+    )
+    wire_faults = (
+        ServingFaultPlan.parse(wire_faults)
+        if isinstance(wire_faults, str)
+        else wire_faults
+    )
+    requests = make_soak_requests(
+        n_cases,
+        scans_per_case,
+        shape,
+        mesh_cell_mm,
+        n_patients,
+        seed,
+        durable_every,
+        checkpoint_root,
+    )
+    gateway = ShardGateway(
+        n_shards=n_shards,
+        workers_per_shard=workers_per_shard,
+        queue_capacity=queue_capacity,
+        max_attempts=max_attempts,
+        serving_faults=faults,
+    )
+    if gateway_sink is not None:
+        gateway_sink.append(gateway)
+    frontend = NetworkFrontEnd(gateway, wire_faults=wire_faults)
+    if frontend_sink is not None:
+        frontend_sink.append(frontend)
+    admitted: list[str] = []
+    durable: list[str] = []
+    refused: dict[str, str] = {}
+    client = None
+    try:
+        t0 = time.perf_counter()
+        frontend.start_in_thread()
+        client = NetClient("127.0.0.1", frontend.port)
+        for request in requests:
+            try:
+                client.submit(request)
+            except ValidationError as exc:  # refused at the front door
+                refused[request.case_id] = str(exc)
+                continue
+            admitted.append(request.case_id)
+            if request.checkpoint_dir is not None:
+                durable.append(request.case_id)
+        results = dict(client.wait(timeout=wait_timeout_s))
+        elapsed = time.perf_counter() - t0
+        # One bundle for both ends of the wire: fold the client's
+        # net.client.* counters into the gateway registry before the
+        # counters are sampled for the report.
+        gateway.metrics.merge(client.metrics.snapshot())
+        report = _audit(
+            gateway, requests, admitted, durable, elapsed, waves=1,
+            results=results,
+        )
+        report.faults_injected.extend(
+            wire_faults.log if wire_faults is not None else []
+        )
+        metrics = gateway.metrics.as_dict()
+        report.net = {
+            name.removeprefix("net."): value
+            for name, value in metrics.items()
+            if name.startswith("net.") and not name.startswith("net.client.")
+        }
+        report.net.update(
+            {
+                "client_" + name.removeprefix("net.client."): value
+                for name, value in metrics.items()
+                if name.startswith("net.client.")
+            }
+        )
+        report.net["refused"] = refused
+        report.net["breaker_trips"] = client.breaker.trips
+        report.net["breaker_state"] = client.breaker.state
+        report.net["double_solved"] = sorted(
+            key for key, count in frontend.exec_counts.items() if count > 1
+        )
+        return report
+    finally:
+        if client is not None:
+            client.close()
+        frontend.stop_from_thread()
+        gateway.shutdown()
