@@ -1,0 +1,98 @@
+"""Batched-solving benchmark: scans/sec vs coalescing batch width.
+
+Four concurrent cases of one patient are served through a
+single-worker :class:`repro.serving.SessionServer` at coalescing batch
+widths 1 (coalescing off — the plain serial-dispatch path), 2 and 4.
+Wider windows pack more same-patient cases into each multi-RHS batched
+solve (one shared stiffness matrix, one factorized preconditioner, one
+blocked Krylov drive per scan round), so aggregate throughput rises
+while each member's displacement fields stay bit-identical to a serial
+back-to-back session baseline.
+
+Acceptance criteria checked here (and recorded in ``BENCH_batch.json``):
+
+* aggregate scans/sec improves monotonically up to batch width 4;
+* every rung's per-member fields are bit-identical to the serial run
+  (checksum equality — difference exactly 0, inside the 1e-10 bar).
+
+``REPRO_BENCH_SMOKE=1`` shrinks the workload to a CI-sized smoke run
+and only checks correctness (tiny grids put per-dispatch noise on the
+same order as the solve, leaving no headroom for a monotonicity bar).
+
+Runnable standalone: ``PYTHONPATH=src python benchmarks/test_batch.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+
+import pytest
+
+from repro.serving import run_batch_sweep
+
+RESULT_PATH = pathlib.Path(__file__).with_name("BENCH_batch.json")
+
+pytestmark = pytest.mark.bench
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+#: Full sizing: fine mesh on a moderate grid makes the biomechanical
+#: solve the dominant per-scan cost — the regime batching targets.
+FULL = dict(widths=(1, 2, 4), scans_per_case=2, shape=(32, 32, 24),
+            mesh_cell_mm=4.0, shift_mm=5.0, seed=7)
+#: Smoke sizing: same code path, minutes -> seconds.
+SMOKE_PARAMS = dict(widths=(1, 2, 4), scans_per_case=1, shape=(24, 24, 16),
+                    mesh_cell_mm=6.0, shift_mm=5.0, seed=7)
+
+
+def run_benchmark() -> dict:
+    """Run the configured (full or smoke) sweep; return the record."""
+    params = SMOKE_PARAMS if SMOKE else FULL
+    report = run_batch_sweep(**params)
+    record = report.as_dict()
+    record["smoke"] = SMOKE
+    return record
+
+
+def check_acceptance(record: dict) -> None:
+    """Assert the PR's acceptance criteria on a benchmark record."""
+    assert record["bit_identical"], "batched fields must match serial bit-exactly"
+    widths = [p["width"] for p in record["points"]]
+    assert widths == sorted(widths), record
+    for point in record["points"]:
+        width, n = point["width"], record["n_cases"]
+        expected = 0 if width <= 1 else -(-n // width)  # ceil(n / width)
+        assert point["batches"] == expected, record
+    if not record["smoke"]:
+        assert record["monotonic"], record
+
+
+def test_batch_width_sweep(capsys):
+    record = run_benchmark()
+    RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    check_acceptance(record)
+    lines = [
+        f"  width {p['width']}: {p['seconds']:.2f} s"
+        f" ({p['scans_per_s']:.3f} scans/s, {p['batches']} batches,"
+        f" bit-identical={p['bit_identical']})"
+        for p in record["points"]
+    ]
+    print(
+        f"\nBatched solving ({'smoke' if SMOKE else 'full'}): "
+        f"{record['n_cases']} cases x {record['scans_per_case']} scan(s), "
+        "1 worker\n" + "\n".join(lines)
+        + f"\n  monotonic: {record['monotonic']}"
+    )
+
+
+def main() -> None:
+    record = run_benchmark()
+    RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    check_acceptance(record)
+    print(json.dumps(record, indent=2))
+
+
+if __name__ == "__main__":
+    main()

@@ -20,6 +20,7 @@ Implements the paper's Figure 1 schema end to end:
 from __future__ import annotations
 
 import time
+from contextlib import ExitStack
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -42,6 +43,7 @@ from repro.parallel.simulation import (
     ParallelSimulation,
     prepare_solve_context,
     simulate_parallel,
+    simulate_parallel_batch,
 )
 from repro.registration.rigid import RegistrationResult, register_rigid
 from repro.registration.transform import RigidTransform
@@ -169,6 +171,23 @@ class IntraoperativeResult:
     budget_verdict: ScanVerdict | None = None
     degradation: DegradationReport | None = None
     restored: bool = False
+
+
+@dataclass
+class BatchScanItem:
+    """One member's inputs for a coalesced multi-case scan round.
+
+    Mirrors the per-member arguments of
+    :meth:`IntraoperativePipeline.process_scan`; the preoperative model
+    is shared by the whole batch and passed once to
+    :meth:`IntraoperativePipeline.process_scan_batch`.
+    """
+
+    intraop_mri: ImageVolume
+    prototypes: PrototypeSet | None = None
+    reference_labels: ImageVolume | None = None
+    scan_index: int = 0
+    previous: IntraoperativeResult | None = None
 
 
 @dataclass
@@ -353,22 +372,27 @@ class IntraoperativePipeline:
                 )
                 scan_span.set(budget=verdict.label)
 
-        if self.metrics is not None:
-            m = self.metrics
-            m.counter("pipeline.scans").inc()
-            m.histogram("scan.seconds").observe(timeline.total("intraoperative"))
-            m.record_solver_result(result.simulation.solver)
-            if result.simulation.cache_stats is not None:
-                m.record_cache_stats(result.simulation.cache_stats)
-            if result.degradation is not None:
-                m.counter(f"resilience.level.{result.degradation.label}").inc()
-                if result.degradation.escalated:
-                    m.counter("resilience.escalations").inc()
-                if result.degradation.faults:
-                    m.counter("resilience.faults_triggered").inc(
-                        len(result.degradation.faults)
-                    )
+        self._record_scan_metrics(result, timeline)
         return result
+
+    def _record_scan_metrics(self, result: IntraoperativeResult, timeline: Timeline) -> None:
+        """Land one scan's numbers in the metrics registry (if attached)."""
+        if self.metrics is None:
+            return
+        m = self.metrics
+        m.counter("pipeline.scans").inc()
+        m.histogram("scan.seconds").observe(timeline.total("intraoperative"))
+        m.record_solver_result(result.simulation.solver)
+        if result.simulation.cache_stats is not None:
+            m.record_cache_stats(result.simulation.cache_stats)
+        if result.degradation is not None:
+            m.counter(f"resilience.level.{result.degradation.label}").inc()
+            if result.degradation.escalated:
+                m.counter("resilience.escalations").inc()
+            if result.degradation.faults:
+                m.counter("resilience.faults_triggered").inc(
+                    len(result.degradation.faults)
+                )
 
     def _process_scan(
         self,
@@ -630,6 +654,181 @@ class IntraoperativePipeline:
             match_rigid_mi=rigid_mi,
             match_simulated_mi=sim_mi,
         )
+
+    # -- batched orchestration -------------------------------------------------
+
+    def process_scan_batch(
+        self,
+        preop: PreoperativeModel,
+        items: "list[BatchScanItem]",
+        x0s: list[np.ndarray | None] | None = None,
+        seed_from_bank: bool = False,
+    ) -> list:
+        """Process one scan for several same-patient cases jointly.
+
+        The serving tier's coalesced dispatch path: every member shares
+        ``preop`` (same patient model, same solve context), so the image
+        stages run per member but the biomechanical simulation becomes
+        ONE multi-RHS solve through
+        :func:`repro.parallel.simulate_parallel_batch` — the stiffness
+        matrix and the preconditioner factors stream once per Krylov
+        round for the whole batch.
+
+        The arithmetic is the fail-fast (plain) path, so a member's
+        displacement field is bit-identical to a serial
+        :meth:`process_scan` run with resilience disabled and the same
+        warm-start vector (``x0s`` entry; the shared context's own
+        ``last_solution`` memory is never read or written here — the
+        caller owns each member's warm chain, see
+        :func:`batch_warm_vector`).
+
+        Failure isolation is per member: a member whose image stages,
+        solve slot, or resample raises gets its *exception* in the
+        returned list — the caller re-runs just that member through the
+        serial (resilient) path — and members carrying non-finite scans
+        are deferred the same way without being attempted (input
+        hardening and fault injection are serial-path concerns). Budget
+        verdicts are not computed for batched members
+        (``budget_verdict`` stays ``None``).
+
+        Returns a list with one :class:`IntraoperativeResult` or
+        exception per item, in order.
+        """
+        cfg = self.config
+        if not items:
+            raise ValidationError("process_scan_batch needs at least one item")
+        m = len(items)
+        if x0s is None:
+            x0s = [None] * m
+        if len(x0s) != m:
+            raise ValidationError(f"x0s must have {m} entries, got {len(x0s)}")
+        tracer = self._tracer()
+        results: list = [None] * m
+        timelines = [Timeline(tracer=tracer) for _ in items]
+        fronts: list[tuple | None] = [None] * m
+        with use_tracer(tracer), tracer.span(
+            "process_scan_batch", kind="pipeline", n_members=m
+        ) as span:
+            for i, item in enumerate(items):
+                if item.intraop_mri.nonfinite_count():
+                    results[i] = ValidationError(
+                        "non-finite intraoperative scan; "
+                        "member deferred to the serial path"
+                    )
+                    continue
+                try:
+                    rigid_result, transform = self._stage_rigid(
+                        item.intraop_mri, preop, timelines[i]
+                    )
+                    prototypes, segmentation = self._stage_classify(
+                        item.intraop_mri,
+                        preop,
+                        item.prototypes,
+                        item.reference_labels,
+                        transform,
+                        timelines[i],
+                    )
+                    (
+                        correspondence,
+                        target_mask,
+                        preop_centers,
+                        rigid_inverse,
+                    ) = self._stage_surface(preop, segmentation, transform, timelines[i])
+                    fronts[i] = (
+                        rigid_result,
+                        transform,
+                        prototypes,
+                        segmentation,
+                        correspondence,
+                        target_mask,
+                        preop_centers,
+                        rigid_inverse,
+                    )
+                except Exception as exc:  # noqa: BLE001 - member isolation boundary
+                    results[i] = exc
+            live = [i for i in range(m) if fronts[i] is not None]
+            sims: dict[int, object] = {}
+            if live:
+                bcs = [
+                    DirichletBC(
+                        preop.surface.mesh_nodes, fronts[i][4].displacements
+                    )
+                    for i in live
+                ]
+                # The joint solve's wall time is shared: each member's
+                # timeline records the same simulation-stage duration.
+                with ExitStack() as stack:
+                    for i in live:
+                        stack.enter_context(
+                            timelines[i].stage("biomechanical simulation")
+                        )
+                    batch = simulate_parallel_batch(
+                        preop.mesher.mesh,
+                        bcs,
+                        n_ranks=cfg.n_ranks,
+                        machine=self.machine,
+                        materials=cfg.materials,
+                        partitioner=cfg.partitioner,
+                        tol=cfg.solver_tol,
+                        restart=cfg.gmres_restart,
+                        context=preop.solve_context,
+                        x0s=[x0s[i] for i in live],
+                        seed_from_bank=seed_from_bank,
+                        isolate_errors=True,
+                    )
+                sims = dict(zip(live, batch))
+            for i in live:
+                sim = sims[i]
+                if not isinstance(sim, ParallelSimulation):
+                    results[i] = sim  # the member's captured solve exception
+                    continue
+                (
+                    rigid_result,
+                    transform,
+                    prototypes,
+                    segmentation,
+                    correspondence,
+                    target_mask,
+                    preop_centers,
+                    rigid_inverse,
+                ) = fronts[i]
+                self._note_cache(timelines[i], preop, sim)
+                try:
+                    grid_disp, deformed = self._stage_resample(
+                        preop, sim.displacement, timelines[i]
+                    )
+                    rigid_rms, sim_rms, rigid_mi, sim_mi = self._match_metrics(
+                        preop,
+                        items[i].intraop_mri,
+                        deformed,
+                        rigid_inverse,
+                        preop_centers,
+                        target_mask,
+                    )
+                except Exception as exc:  # noqa: BLE001 - member isolation boundary
+                    results[i] = exc
+                    continue
+                results[i] = IntraoperativeResult(
+                    deformed_mri=deformed,
+                    nodal_displacement=sim.displacement,
+                    grid_displacement=grid_disp,
+                    segmentation=segmentation,
+                    rigid=rigid_result,
+                    correspondence=correspondence,
+                    simulation=sim,
+                    timeline=timelines[i],
+                    prototypes=prototypes,
+                    match_rigid_rms=rigid_rms,
+                    match_simulated_rms=sim_rms,
+                    match_rigid_mi=rigid_mi,
+                    match_simulated_mi=sim_mi,
+                )
+                self._record_scan_metrics(results[i], timelines[i])
+            n_solved = sum(
+                isinstance(r, IntraoperativeResult) for r in results
+            )
+            span.set(n_solved=n_solved, n_deferred=m - n_solved)
+        return results
 
     # -- resilient orchestration ----------------------------------------------
 
@@ -914,3 +1113,23 @@ class IntraoperativePipeline:
             match_simulated_mi=sim_mi,
             degradation=report,
         )
+
+
+def batch_warm_vector(result: IntraoperativeResult | object) -> np.ndarray | None:
+    """Free-DOF solution vector to warm-start a member's *next* round.
+
+    The batched path owns each member's warm-start chain explicitly
+    (the shared context's ``last_solution`` belongs to no single case);
+    feed this into the next round's ``x0s`` entry. Returns ``None`` for
+    failed members, degraded scans (their stand-in solver records do not
+    carry a compatible full-resolution solution), or anything that is
+    not an :class:`IntraoperativeResult`.
+    """
+    if not isinstance(result, IntraoperativeResult):
+        return None
+    if result.degradation is not None and result.degradation.degraded:
+        return None
+    x = getattr(result.simulation.solver, "x", None)
+    if x is None:
+        return None
+    return np.asarray(x, dtype=float)

@@ -32,9 +32,9 @@ from repro.imaging.phantom import Tissue, make_neurosurgery_case
 from repro.machines.spec import DEEP_FLOW, MachineSpec
 from repro.mesh.generator import mesh_labeled_volume
 from repro.mesh.partition import partition_statistics
+from repro.mesh.surface import extract_boundary_surface
 from repro.parallel.simulation import PARTITIONERS, simulate_parallel
 from repro.surface.correspondence import surface_correspondence
-from repro.mesh.surface import extract_boundary_surface
 
 
 def partitioner_ablation(

@@ -11,12 +11,12 @@ from repro.fem.assembly import assemble_load_vector, assemble_stiffness, element
 from repro.fem.bc import DirichletBC, ReducedSystem, apply_dirichlet, partition_free_fixed
 from repro.fem.condensed import CondensedSurfaceModel
 from repro.fem.context import AssemblyContext, CacheStats, ReductionContext, SolveContext
-from repro.fem.incremental import IncrementalResult, simulate_incremental
 from repro.fem.element import (
     element_stiffness_from_B,
     shape_function_gradients,
     strain_displacement_matrices,
 )
+from repro.fem.incremental import IncrementalResult, simulate_incremental
 from repro.fem.material import (
     BRAIN_HETEROGENEOUS,
     BRAIN_HOMOGENEOUS,

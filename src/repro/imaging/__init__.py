@@ -15,6 +15,7 @@ from repro.imaging.distance import (
     signed_distance,
 )
 from repro.imaging.filters import gaussian_smooth, gradient_magnitude, image_gradient
+from repro.imaging.io import load_mesh, load_volume, save_mesh, save_volume
 from repro.imaging.metrics import (
     joint_histogram,
     mean_absolute_difference,
@@ -22,7 +23,6 @@ from repro.imaging.metrics import (
     normalized_cross_correlation,
     rms_difference,
 )
-from repro.imaging.io import load_mesh, load_volume, save_mesh, save_volume
 from repro.imaging.noise import add_rician_noise, bias_field
 from repro.imaging.phantom import (
     BrainPhantom,
@@ -30,12 +30,12 @@ from repro.imaging.phantom import (
     Tissue,
     make_neurosurgery_case,
 )
-from repro.imaging.scanner import INTRAOP_05T, ScannerProtocol, acquire
 from repro.imaging.resample import (
     resample_volume,
     trilinear_sample,
     warp_volume,
 )
+from repro.imaging.scanner import INTRAOP_05T, ScannerProtocol, acquire
 from repro.imaging.volume import ImageVolume
 
 __all__ = [

@@ -14,14 +14,20 @@ communication is reported to a telemetry object — either a no-op, or a
 virtual wall-clock on one of the paper's three architectures.
 """
 
+from repro.parallel.assembly import DistributedSystem, build_distributed_system
 from repro.parallel.decomposition import Decomposition
 from repro.parallel.distributed import RowBlockMatrix, distributed_dot, distributed_norm
-from repro.parallel.assembly import DistributedSystem, build_distributed_system
-from repro.parallel.solver import DistributedBlockJacobi, DistributedRAS, distributed_gmres
 from repro.parallel.simulation import (
     ParallelSimulation,
     prepare_solve_context,
     simulate_parallel,
+    simulate_parallel_batch,
+)
+from repro.parallel.solver import (
+    DistributedBlockJacobi,
+    DistributedRAS,
+    distributed_block_gmres,
+    distributed_gmres,
 )
 
 __all__ = [
@@ -32,9 +38,11 @@ __all__ = [
     "ParallelSimulation",
     "RowBlockMatrix",
     "build_distributed_system",
+    "distributed_block_gmres",
     "distributed_dot",
     "distributed_gmres",
     "distributed_norm",
     "prepare_solve_context",
     "simulate_parallel",
+    "simulate_parallel_batch",
 ]

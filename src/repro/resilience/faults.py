@@ -273,7 +273,11 @@ class FaultPlan:
         """Parse ``"SCAN:KIND[=PARAM];..."`` (e.g. ``"1:kill-rank=2"``).
 
         Entries are separated by ``;`` or ``,``; whitespace is ignored.
+        A malformed entry or unknown kind raises
+        :class:`repro.util.ValidationError` naming the offending chunk,
+        the expected grammar, and every valid fault kind.
         """
+        valid = f"valid kinds: {', '.join(FAULT_KINDS)}"
         specs: list[FaultSpec] = []
         for chunk in text.replace(",", ";").split(";"):
             chunk = chunk.strip()
@@ -293,12 +297,14 @@ class FaultPlan:
                 specs.append(
                     FaultSpec(scan=int(scan_part), kind=kind.strip(), param=param)
                 )
+            except ValidationError as exc:
+                raise ValidationError(
+                    f"bad fault entry {chunk!r}: {exc} ({valid})"
+                ) from exc
             except (ValueError, TypeError) as exc:
-                if isinstance(exc, ValidationError):
-                    raise
                 raise ValidationError(
                     f"cannot parse fault entry {chunk!r} "
-                    "(expected SCAN:KIND or SCAN:KIND=PARAM)"
+                    f"(expected SCAN:KIND or SCAN:KIND=PARAM; {valid})"
                 ) from exc
         return cls(specs, seed=seed)
 

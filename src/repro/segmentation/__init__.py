@@ -11,8 +11,8 @@ labels every voxel of each new intraoperative scan.
 
 from repro.segmentation.atlas import LocalizationModel
 from repro.segmentation.knn import KNNClassifier
-from repro.segmentation.prototypes import PrototypeSet, select_prototypes
 from repro.segmentation.preoperative import AtlasSegmentation, segment_preoperative
+from repro.segmentation.prototypes import PrototypeSet, select_prototypes
 from repro.segmentation.quality import confusion_matrix, dice_per_class
 
 __all__ = [

@@ -31,19 +31,25 @@ from repro.serving.admission import (
     SheddingDecision,
     SheddingLadder,
 )
-from repro.serving.bench import ThroughputReport, run_throughput_benchmark
+from repro.serving.bench import (
+    BatchSweepReport,
+    ThroughputReport,
+    run_batch_sweep,
+    run_throughput_benchmark,
+)
 from repro.serving.gateway import ShardGateway
 from repro.serving.netclient import CircuitBreaker, NetClient, NetError
 from repro.serving.pool import SessionWorkerPool, WorkerHandle
 from repro.serving.protocol import (
     CASE_STATUSES,
     SERVED_STATUSES,
+    BatchRequest,
     CaseRequest,
     CaseResult,
     ScanOutcome,
     outcome_from_result,
 )
-from repro.serving.scheduler import POLICIES, Scheduler
+from repro.serving.scheduler import POLICIES, CoalescingWindow, Scheduler
 from repro.serving.server import SessionServer
 from repro.serving.shard import (
     AutoscalePolicy,
@@ -62,10 +68,13 @@ from repro.serving.transport import (
 __all__ = [
     "AdmissionQueue",
     "AutoscalePolicy",
+    "BatchRequest",
+    "BatchSweepReport",
     "CASE_STATUSES",
     "CaseRequest",
     "CaseResult",
     "CircuitBreaker",
+    "CoalescingWindow",
     "ConsistentHashRing",
     "FrameError",
     "NetClient",
@@ -90,5 +99,6 @@ __all__ = [
     "encode_frame",
     "encode_volume",
     "outcome_from_result",
+    "run_batch_sweep",
     "run_throughput_benchmark",
 ]

@@ -54,10 +54,12 @@ from repro.serving.protocol import (
     STATUS_EVICTED,
     STATUS_FAILED,
     STATUS_REJECTED,
+    BatchRequest,
     CaseRequest,
     CaseResult,
+    request_members,
 )
-from repro.serving.scheduler import Scheduler
+from repro.serving.scheduler import CoalescingWindow, Scheduler
 from repro.serving.shard import AutoscalePolicy, ConsistentHashRing, Shard
 from repro.util import ValidationError, format_table
 
@@ -105,6 +107,13 @@ class ShardGateway:
         legitimately long solves are not shot.
     metrics / tracer / telemetry / flight_dir / start_method / drain_dir:
         As on :class:`repro.serving.SessionServer`.
+    coalesce_window_s / coalesce_max_batch:
+        Scheduler coalescing, as on the single-host server (off by
+        default): same-``preop_key`` cases — which the ring routes to
+        the same shard — are held up to the window and leave as one
+        :class:`repro.serving.BatchRequest` for the batched multi-RHS
+        solve path. Members keep individual failover: deaths, hangs and
+        shard losses re-admit each member on its own attempt budget.
     """
 
     def __init__(
@@ -126,6 +135,8 @@ class ShardGateway:
         flight_dir: str | None = None,
         start_method: str | None = None,
         drain_dir: str | None = None,
+        coalesce_window_s: float = 0.0,
+        coalesce_max_batch: int = 4,
     ):
         if n_shards < 1:
             raise ValidationError(f"n_shards must be >= 1, got {n_shards}")
@@ -153,6 +164,7 @@ class ShardGateway:
         self.estimator = ServiceEstimator()
         self.queue = AdmissionQueue(queue_capacity, self.estimator)
         self.scheduler = Scheduler(policy)
+        self.coalescer = CoalescingWindow(coalesce_window_s, coalesce_max_batch)
         self.shedding = shedding if shedding is not None else SheddingLadder()
         self.autoscale = autoscale
         self.faults = serving_faults
@@ -471,9 +483,10 @@ class ShardGateway:
             interrupted=len(interrupted),
         )
         for request in interrupted:
-            self._inflight.pop(request.case_id, None)
-            self.metrics.counter("serving.failover").inc()
-            self._readmit(request, f"shard {shard_id} died ({cause})")
+            for member in request_members(request):
+                self._inflight.pop(member.case_id, None)
+                self.metrics.counter("serving.failover").inc()
+                self._readmit(member, f"shard {shard_id} died ({cause})")
 
     # -- dispatch -------------------------------------------------------------
 
@@ -508,6 +521,23 @@ class ShardGateway:
                 # exists to protect.
                 skipped.add(request.case_id)
                 continue
+            if self.coalescer.enabled:
+                group = [
+                    i for i in candidates if items[i].request.preop_key() == key
+                ]
+                self.coalescer.observe(key, now)
+                if not self.coalescer.ready(key, len(group), now):
+                    # Window still open: hold the same-patient cohort
+                    # (all routed to this shard by the ring) so more
+                    # members can join; other keys dispatch around it.
+                    skipped.update(items[i].request.case_id for i in group)
+                    continue
+                self.coalescer.clear(key)
+                if len(group) >= 2:
+                    self._dispatch_batch(group, shard, idle, key)
+                    continue
+                # Window expired with one case: fall through to the
+                # ordinary serial dispatch, bit-identically.
             queued = self.queue.pop(index)
             self._not_before.pop(request.case_id, None)
             handle = self.scheduler.pick_worker(idle, key)
@@ -547,6 +577,76 @@ class ShardGateway:
                 worker=handle.worker_id,
                 attempt=self._attempts[request.case_id],
                 waited=wait,
+            )
+
+    def _dispatch_batch(self, indices: list[int], shard, idle: list, key: str) -> None:
+        """Pop a same-patient cohort and dispatch it as one batch.
+
+        Mirrors :meth:`SessionServer._dispatch_batch` on the routed
+        shard: the first ``coalesce_max_batch`` cohort members (queue
+        order) leave as a :class:`BatchRequest` onto one affine worker,
+        each keeping its own trace context, attempt count, in-flight
+        copy and deadline. One dispatch ordinal is consumed — an
+        injected fault hits the whole worker trip, and failover then
+        re-admits the members individually.
+        """
+        take = sorted(indices)[: self.coalescer.max_batch]
+        queued_members = [self.queue.pop(i) for i in sorted(take, reverse=True)]
+        queued_members.reverse()  # restore admission order
+        handle = self.scheduler.pick_worker(idle, key)
+        requests = []
+        for queued in queued_members:
+            request = queued.request
+            self._not_before.pop(request.case_id, None)
+            self._attempts[request.case_id] = (
+                self._attempts.get(request.case_id, 0) + 1
+            )
+            self._building[request.case_id] = key not in self._known_keys
+            self._known_keys.add(key)
+            if self.telemetry:
+                request.trace_context = TraceContext.from_tracer(
+                    self._trace(),
+                    parent_span_id=self._case_span_id(request.case_id),
+                    process_label=f"{shard.label}-worker{handle.worker_id}",
+                )
+                request.flight_dir = self.flight_dir
+            requests.append(request)
+        deadlines = [q.deadline_monotonic for q in queued_members]
+        batch = BatchRequest(members=requests, deadline_monotonics=deadlines)
+        shard.pool.dispatch(handle, batch)
+        handle.busy_deadline = (
+            max(deadlines) if all(d is not None for d in deadlines) else None
+        )
+        for request in requests:
+            self._inflight[request.case_id] = request
+        self.dispatched_total += 1
+        self.metrics.counter("serving.batches").inc()
+        self.metrics.histogram("serving.batch_width").observe(float(len(requests)))
+        self.metrics.gauge("serving.queue_depth").set(len(self.queue))
+        self.metrics.counter(f"serving.dispatch[shard={shard.shard_id}]").inc(
+            len(requests)
+        )
+        for queued, request in zip(queued_members, requests):
+            wait = queued.waited()
+            self.metrics.histogram("serving.queue_wait_seconds").observe(wait)
+            if self.slo is not None:
+                self.slo.observe("queue wait", wait, target=None)
+            self.flight.note(
+                "case.dispatch",
+                case=request.case_id,
+                shard=shard.shard_id,
+                worker=handle.worker_id,
+                waited=wait,
+                batch=batch.batch_id,
+            )
+            self._trace().event(
+                "serving.dispatch",
+                case=request.case_id,
+                shard=shard.shard_id,
+                worker=handle.worker_id,
+                attempt=self._attempts[request.case_id],
+                waited=wait,
+                batch=batch.batch_id,
             )
 
     # -- results --------------------------------------------------------------
@@ -707,22 +807,9 @@ class ShardGateway:
                 request = shard.pool.terminate_worker(handle.worker_id)
                 if request is None:
                     continue
-                self._inflight.pop(request.case_id, None)
-                self.metrics.counter("serving.evicted").inc()
-                if self.telemetry:
-                    self.metrics.counter("telemetry.frames_lost").inc()
-                self._close_case_span(
-                    request.case_id,
-                    status=STATUS_EVICTED,
-                    where="running",
-                    telemetry_lost=True,
-                )
-                self.flight.note(
-                    "case.evicted",
-                    case=request.case_id,
-                    where="running",
-                    shard=shard.shard_id,
-                    worker=handle.worker_id,
+                members = request_members(request)
+                batch_id = (
+                    request.case_id if isinstance(request, BatchRequest) else None
                 )
                 self._dump_flight(
                     "deadline eviction",
@@ -730,21 +817,43 @@ class ShardGateway:
                     where="running",
                     shard=shard.shard_id,
                 )
-                self._trace().event(
-                    "serving.evicted", case=request.case_id, where="running"
-                )
-                self.results[request.case_id] = CaseResult(
-                    case_id=request.case_id,
-                    status=STATUS_EVICTED,
-                    detail=(
-                        f"deadline {request.deadline_s:.1f} s expired mid-service; "
-                        "worker terminated"
-                    ),
-                    worker=handle.worker_id,
-                    attempts=self._attempts.get(request.case_id, 1),
-                    checkpoint=request.checkpoint_dir,
-                    flight_dump=self._worker_flight_dump(handle.worker_id),
-                )
+                # The batch deadline is max(member deadlines), so when
+                # it fires every member's own deadline has expired too.
+                for member in members:
+                    self._inflight.pop(member.case_id, None)
+                    self.metrics.counter("serving.evicted").inc()
+                    if self.telemetry:
+                        self.metrics.counter("telemetry.frames_lost").inc()
+                    self._close_case_span(
+                        member.case_id,
+                        status=STATUS_EVICTED,
+                        where="running",
+                        telemetry_lost=True,
+                    )
+                    self.flight.note(
+                        "case.evicted",
+                        case=member.case_id,
+                        where="running",
+                        shard=shard.shard_id,
+                        worker=handle.worker_id,
+                    )
+                    self._trace().event(
+                        "serving.evicted", case=member.case_id, where="running"
+                    )
+                    self.results[member.case_id] = CaseResult(
+                        case_id=member.case_id,
+                        status=STATUS_EVICTED,
+                        detail=(
+                            f"deadline {member.deadline_s:.1f} s expired "
+                            "mid-service; worker terminated"
+                        ),
+                        worker=handle.worker_id,
+                        attempts=self._attempts.get(member.case_id, 1),
+                        checkpoint=member.checkpoint_dir,
+                        flight_dump=self._worker_flight_dump(handle.worker_id),
+                        batch_id=batch_id,
+                        batch_size=len(members),
+                    )
 
     def _readmit(self, request: CaseRequest, cause: str) -> None:
         """Bounded re-admission with capped exponential backoff + jitter."""
@@ -810,15 +919,19 @@ class ShardGateway:
                 )
                 if request is None:
                     continue
-                self._inflight.pop(request.case_id, None)
-                span = self._case_spans.get(request.case_id)
-                if span is not None:
-                    span.event(
-                        "worker.death", shard=shard.shard_id, worker=worker_id
+                # Every member of a dispatched batch goes down with the
+                # worker; each re-admits on its own attempt budget.
+                for member in request_members(request):
+                    self._inflight.pop(member.case_id, None)
+                    span = self._case_spans.get(member.case_id)
+                    if span is not None:
+                        span.event(
+                            "worker.death", shard=shard.shard_id, worker=worker_id
+                        )
+                    self._readmit(
+                        member,
+                        f"worker {worker_id} (shard {shard.shard_id}) died",
                     )
-                self._readmit(
-                    request, f"worker {worker_id} (shard {shard.shard_id}) died"
-                )
 
     def _hang_grace(self) -> float:
         """Heartbeat-silence threshold before a busy worker counts as hung.
@@ -858,12 +971,13 @@ class ShardGateway:
                 )
                 if request is None:
                     continue
-                self._inflight.pop(request.case_id, None)
-                self._readmit(
-                    request,
-                    f"worker {handle.worker_id} (shard {shard.shard_id}) "
-                    f"hung (silent > {grace:.1f} s)",
-                )
+                for member in request_members(request):
+                    self._inflight.pop(member.case_id, None)
+                    self._readmit(
+                        member,
+                        f"worker {handle.worker_id} (shard {shard.shard_id}) "
+                        f"hung (silent > {grace:.1f} s)",
+                    )
 
     # -- health ---------------------------------------------------------------
 
@@ -899,8 +1013,9 @@ class ShardGateway:
                     state = "idle"
                 elif age > grace:
                     state = "wedged"
-                elif handle.busy is not None and self._building.get(
-                    handle.busy.case_id, False
+                elif handle.busy is not None and any(
+                    self._building.get(member.case_id, False)
+                    for member in request_members(handle.busy)
                 ):
                     state = "building-preop"
                 else:
@@ -1032,37 +1147,38 @@ class ShardGateway:
             for handle in list(shard.pool.busy_workers()):
                 request = handle.busy
                 handle.busy = None
-                self._inflight.pop(request.case_id, None)
                 if handle.process.is_alive():
                     handle.process.terminate()
                     handle.process.join(timeout=2.0)
-                self.metrics.counter("serving.evicted").inc()
-                if self.telemetry:
-                    self.metrics.counter("telemetry.frames_lost").inc()
-                self._close_case_span(
-                    request.case_id,
-                    status=STATUS_EVICTED,
-                    where="drain-timeout",
-                    telemetry_lost=True,
-                )
-                self.flight.note(
-                    "case.evicted",
-                    case=request.case_id,
-                    where="drain-timeout",
-                    shard=shard.shard_id,
-                )
-                self.results[request.case_id] = CaseResult(
-                    case_id=request.case_id,
-                    status=STATUS_EVICTED,
-                    detail=(
-                        f"missed drain timeout ({timeout:.1f} s); "
-                        f"worker {handle.worker_id} terminated"
-                    ),
-                    worker=handle.worker_id,
-                    attempts=self._attempts.get(request.case_id, 1),
-                    checkpoint=request.checkpoint_dir,
-                    flight_dump=self._worker_flight_dump(handle.worker_id),
-                )
+                for member in request_members(request):
+                    self._inflight.pop(member.case_id, None)
+                    self.metrics.counter("serving.evicted").inc()
+                    if self.telemetry:
+                        self.metrics.counter("telemetry.frames_lost").inc()
+                    self._close_case_span(
+                        member.case_id,
+                        status=STATUS_EVICTED,
+                        where="drain-timeout",
+                        telemetry_lost=True,
+                    )
+                    self.flight.note(
+                        "case.evicted",
+                        case=member.case_id,
+                        where="drain-timeout",
+                        shard=shard.shard_id,
+                    )
+                    self.results[member.case_id] = CaseResult(
+                        case_id=member.case_id,
+                        status=STATUS_EVICTED,
+                        detail=(
+                            f"missed drain timeout ({timeout:.1f} s); "
+                            f"worker {handle.worker_id} terminated"
+                        ),
+                        worker=handle.worker_id,
+                        attempts=self._attempts.get(member.case_id, 1),
+                        checkpoint=member.checkpoint_dir,
+                        flight_dump=self._worker_flight_dump(handle.worker_id),
+                    )
         self.metrics.counter("serving.drains").inc()
         self._closed = True
         return self.results

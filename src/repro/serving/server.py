@@ -32,10 +32,12 @@ from repro.serving.protocol import (
     STATUS_EVICTED,
     STATUS_FAILED,
     STATUS_REJECTED,
+    BatchRequest,
     CaseRequest,
     CaseResult,
+    request_members,
 )
-from repro.serving.scheduler import Scheduler
+from repro.serving.scheduler import CoalescingWindow, Scheduler
 from repro.util import ValidationError, format_table
 
 
@@ -76,6 +78,15 @@ class SessionServer:
         directory is created when omitted and telemetry is on.
     start_method / drain_dir:
         Forwarded to :class:`repro.serving.SessionWorkerPool`.
+    coalesce_window_s / coalesce_max_batch:
+        Scheduler coalescing (off by default). With a positive window,
+        dispatchable cases sharing a ``preop_key`` are held up to
+        ``coalesce_window_s`` seconds so up to ``coalesce_max_batch`` of
+        them leave as one :class:`repro.serving.BatchRequest` — the
+        worker then drives their scans through the batched multi-RHS
+        solve path against one shared patient model. A window that
+        expires with a single case dispatches serially, bit-identically
+        to coalescing off.
     """
 
     def __init__(
@@ -90,6 +101,8 @@ class SessionServer:
         flight_dir: str | None = None,
         start_method: str | None = None,
         drain_dir: str | None = None,
+        coalesce_window_s: float = 0.0,
+        coalesce_max_batch: int = 4,
     ):
         if max_attempts < 1:
             raise ValidationError(f"max_attempts must be >= 1, got {max_attempts}")
@@ -115,6 +128,7 @@ class SessionServer:
         self.estimator = ServiceEstimator()
         self.queue = AdmissionQueue(queue_capacity, self.estimator)
         self.scheduler = Scheduler(policy)
+        self.coalescer = CoalescingWindow(coalesce_window_s, coalesce_max_batch)
         self.pool = SessionWorkerPool(
             n_workers, start_method=start_method, drain_dir=drain_dir
         )
@@ -304,6 +318,24 @@ class SessionServer:
                 # worker — wait for it instead of rebuilding elsewhere.
                 held.add(items[index].request.case_id)
                 continue
+            if self.coalescer.enabled:
+                group = [
+                    i for i in candidates if items[i].request.preop_key() == key
+                ]
+                now = time.monotonic()
+                self.coalescer.observe(key, now)
+                if not self.coalescer.ready(key, len(group), now):
+                    # Window still open: hold the whole same-patient
+                    # cohort so more members can join; other keys
+                    # dispatch around it.
+                    held.update(items[i].request.case_id for i in group)
+                    continue
+                self.coalescer.clear(key)
+                if len(group) >= 2:
+                    self._dispatch_batch(group, idle, key)
+                    continue
+                # Window expired with one case: fall through to the
+                # ordinary serial dispatch, bit-identically.
             queued = self.queue.pop(index)
             request = queued.request
             handle = self.scheduler.pick_worker(idle, request.preop_key())
@@ -340,6 +372,66 @@ class SessionServer:
                 worker=handle.worker_id,
                 attempt=self._attempts[request.case_id],
                 waited=wait,
+            )
+
+    def _dispatch_batch(self, indices: list[int], idle: list, key: str) -> None:
+        """Pop a same-patient cohort and dispatch it as one batch.
+
+        ``indices`` are queue positions of dispatchable cases sharing
+        ``key``; the first ``coalesce_max_batch`` of them (queue order)
+        leave together as a :class:`BatchRequest` onto one affine
+        worker. Each member keeps its own trace context, attempt count
+        and deadline — the worker evicts expired members between solve
+        rounds, while the server-side kill switch fires only once the
+        whole batch is past its latest member deadline.
+        """
+        take = sorted(indices)[: self.coalescer.max_batch]
+        queued_members = [self.queue.pop(i) for i in sorted(take, reverse=True)]
+        queued_members.reverse()  # restore admission order
+        handle = self.scheduler.pick_worker(idle, key)
+        requests = []
+        for queued in queued_members:
+            request = queued.request
+            self._attempts[request.case_id] = (
+                self._attempts.get(request.case_id, 0) + 1
+            )
+            self._known_keys.add(key)
+            if self.telemetry:
+                request.trace_context = TraceContext.from_tracer(
+                    self._trace(),
+                    parent_span_id=self._case_span_id(request.case_id),
+                    process_label=f"worker-{handle.worker_id}",
+                )
+                request.flight_dir = self.flight_dir
+            requests.append(request)
+        deadlines = [q.deadline_monotonic for q in queued_members]
+        batch = BatchRequest(members=requests, deadline_monotonics=deadlines)
+        self.pool.dispatch(handle, batch)
+        handle.busy_deadline = (
+            max(deadlines) if all(d is not None for d in deadlines) else None
+        )
+        self.metrics.counter("serving.batches").inc()
+        self.metrics.histogram("serving.batch_width").observe(float(len(requests)))
+        self.metrics.gauge("serving.queue_depth").set(len(self.queue))
+        for queued, request in zip(queued_members, requests):
+            wait = queued.waited()
+            self.metrics.histogram("serving.queue_wait_seconds").observe(wait)
+            if self.slo is not None:
+                self.slo.observe("queue wait", wait, target=None)
+            self.flight.note(
+                "case.dispatch",
+                case=request.case_id,
+                worker=handle.worker_id,
+                waited=wait,
+                batch=batch.batch_id,
+            )
+            self._trace().event(
+                "serving.dispatch",
+                case=request.case_id,
+                worker=handle.worker_id,
+                attempt=self._attempts[request.case_id],
+                waited=wait,
+                batch=batch.batch_id,
             )
 
     def _record(self, result: CaseResult) -> None:
@@ -427,44 +519,51 @@ class SessionServer:
             request = self.pool.terminate_worker(handle.worker_id)
             if request is None:
                 continue
-            self.metrics.counter("serving.evicted").inc()
-            if self.telemetry:
-                self.metrics.counter("telemetry.frames_lost").inc()
-            # The killed worker can't ship a frame; its last per-scan
-            # flight spool (if any) is the post-mortem.
-            self._close_case_span(
-                request.case_id,
-                status=STATUS_EVICTED,
-                where="running",
-                telemetry_lost=True,
-            )
-            self.flight.note(
-                "case.evicted",
-                case=request.case_id,
-                where="running",
-                worker=handle.worker_id,
-            )
+            members = request_members(request)
+            batch_id = request.case_id if isinstance(request, BatchRequest) else None
             self._dump_server_flight(
                 "deadline eviction",
                 case=request.case_id,
                 where="running",
                 worker=handle.worker_id,
             )
-            self._trace().event(
-                "serving.evicted", case=request.case_id, where="running"
-            )
-            self.results[request.case_id] = CaseResult(
-                case_id=request.case_id,
-                status=STATUS_EVICTED,
-                detail=(
-                    f"deadline {request.deadline_s:.1f} s expired mid-service; "
-                    "worker terminated"
-                ),
-                worker=handle.worker_id,
-                attempts=self._attempts.get(request.case_id, 1),
-                checkpoint=request.checkpoint_dir,
-                flight_dump=self._worker_flight_dump(handle.worker_id),
-            )
+            # The batch deadline is max(member deadlines), so when it
+            # fires every member's own deadline has expired too: each
+            # surfaces its own eviction. The killed worker can't ship a
+            # frame; its last per-scan flight spool is the post-mortem.
+            for member in members:
+                self.metrics.counter("serving.evicted").inc()
+                if self.telemetry:
+                    self.metrics.counter("telemetry.frames_lost").inc()
+                self._close_case_span(
+                    member.case_id,
+                    status=STATUS_EVICTED,
+                    where="running",
+                    telemetry_lost=True,
+                )
+                self.flight.note(
+                    "case.evicted",
+                    case=member.case_id,
+                    where="running",
+                    worker=handle.worker_id,
+                )
+                self._trace().event(
+                    "serving.evicted", case=member.case_id, where="running"
+                )
+                self.results[member.case_id] = CaseResult(
+                    case_id=member.case_id,
+                    status=STATUS_EVICTED,
+                    detail=(
+                        f"deadline {member.deadline_s:.1f} s expired "
+                        "mid-service; worker terminated"
+                    ),
+                    worker=handle.worker_id,
+                    attempts=self._attempts.get(member.case_id, 1),
+                    checkpoint=member.checkpoint_dir,
+                    flight_dump=self._worker_flight_dump(handle.worker_id),
+                    batch_id=batch_id,
+                    batch_size=len(members),
+                )
 
     def _worker_flight_dump(self, worker_id: int) -> str | None:
         """Path of a worker's persisted flight ring, when one exists."""
@@ -493,42 +592,48 @@ class SessionServer:
             )
             if request is None:
                 continue
-            span = self._case_spans.get(request.case_id)
-            if span is not None:
-                span.event("worker.death", worker=worker_id)
-            attempts = self._attempts.get(request.case_id, 1)
-            if attempts >= self.max_attempts:
-                self.metrics.counter("serving.failed").inc()
-                if self.telemetry:
-                    self.metrics.counter("telemetry.frames_lost").inc()
-                self._close_case_span(
-                    request.case_id,
-                    status=STATUS_FAILED,
-                    worker=worker_id,
-                    telemetry_lost=True,
+            # A death takes down every member of a dispatched batch;
+            # each member is judged (and re-admitted) individually, so
+            # one member exhausting its budget doesn't fail the others.
+            for member in request_members(request):
+                span = self._case_spans.get(member.case_id)
+                if span is not None:
+                    span.event("worker.death", worker=worker_id)
+                attempts = self._attempts.get(member.case_id, 1)
+                if attempts >= self.max_attempts:
+                    self.metrics.counter("serving.failed").inc()
+                    if self.telemetry:
+                        self.metrics.counter("telemetry.frames_lost").inc()
+                    self._close_case_span(
+                        member.case_id,
+                        status=STATUS_FAILED,
+                        worker=worker_id,
+                        telemetry_lost=True,
+                    )
+                    self.results[member.case_id] = CaseResult(
+                        case_id=member.case_id,
+                        status=STATUS_FAILED,
+                        detail=(
+                            f"worker {worker_id} died; re-admission "
+                            f"budget exhausted ({attempts} attempts)"
+                        ),
+                        worker=worker_id,
+                        attempts=attempts,
+                        checkpoint=member.checkpoint_dir,
+                        flight_dump=self._worker_flight_dump(worker_id),
+                    )
+                    continue
+                # Re-admission goes to the head of the queue: a durable
+                # case resumes from its journal (committed scans come
+                # back restored, only the remainder is recomputed). Its
+                # serve.case span stays open — still in flight.
+                self.metrics.counter("serving.readmitted").inc()
+                self.queue.requeue_front(member)
+                self._trace().event(
+                    "serving.readmitted",
+                    case=member.case_id,
+                    attempt=attempts + 1,
                 )
-                self.results[request.case_id] = CaseResult(
-                    case_id=request.case_id,
-                    status=STATUS_FAILED,
-                    detail=(
-                        f"worker {worker_id} died; "
-                        f"re-admission budget exhausted ({attempts} attempts)"
-                    ),
-                    worker=worker_id,
-                    attempts=attempts,
-                    checkpoint=request.checkpoint_dir,
-                    flight_dump=self._worker_flight_dump(worker_id),
-                )
-                continue
-            # Re-admission goes to the head of the queue: a durable case
-            # resumes from its journal (committed scans come back
-            # restored, only the remainder is recomputed). Its serve.case
-            # span stays open — the case is still in flight.
-            self.metrics.counter("serving.readmitted").inc()
-            self.queue.requeue_front(request)
-            self._trace().event(
-                "serving.readmitted", case=request.case_id, attempt=attempts + 1
-            )
 
     # -- drain / shutdown ----------------------------------------------------
 
@@ -569,38 +674,39 @@ class SessionServer:
             if handle.process.is_alive():
                 handle.process.terminate()
                 handle.process.join(timeout=2.0)
-            self.metrics.counter("serving.evicted").inc()
-            if self.telemetry:
-                self.metrics.counter("telemetry.frames_lost").inc()
-            self._close_case_span(
-                request.case_id,
-                status=STATUS_EVICTED,
-                where="drain-timeout",
-                telemetry_lost=True,
-            )
-            self.flight.note(
-                "case.evicted",
-                case=request.case_id,
-                where="drain-timeout",
-                worker=handle.worker_id,
-            )
             self._dump_server_flight(
                 "drain timeout",
                 case=request.case_id,
                 worker=handle.worker_id,
             )
-            self.results[request.case_id] = CaseResult(
-                case_id=request.case_id,
-                status=STATUS_EVICTED,
-                detail=(
-                    f"missed drain timeout ({timeout:.1f} s); "
-                    f"worker {handle.worker_id} terminated"
-                ),
-                worker=handle.worker_id,
-                attempts=self._attempts.get(request.case_id, 1),
-                checkpoint=request.checkpoint_dir,
-                flight_dump=self._worker_flight_dump(handle.worker_id),
-            )
+            for member in request_members(request):
+                self.metrics.counter("serving.evicted").inc()
+                if self.telemetry:
+                    self.metrics.counter("telemetry.frames_lost").inc()
+                self._close_case_span(
+                    member.case_id,
+                    status=STATUS_EVICTED,
+                    where="drain-timeout",
+                    telemetry_lost=True,
+                )
+                self.flight.note(
+                    "case.evicted",
+                    case=member.case_id,
+                    where="drain-timeout",
+                    worker=handle.worker_id,
+                )
+                self.results[member.case_id] = CaseResult(
+                    case_id=member.case_id,
+                    status=STATUS_EVICTED,
+                    detail=(
+                        f"missed drain timeout ({timeout:.1f} s); "
+                        f"worker {handle.worker_id} terminated"
+                    ),
+                    worker=handle.worker_id,
+                    attempts=self._attempts.get(member.case_id, 1),
+                    checkpoint=member.checkpoint_dir,
+                    flight_dump=self._worker_flight_dump(handle.worker_id),
+                )
         self.metrics.counter("serving.drains").inc()
         self._closed = True
         return self.results

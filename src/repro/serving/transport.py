@@ -138,7 +138,9 @@ def _frame_digest(header: bytes, payload: bytes) -> bytes:
 def encode_frame(ftype: int, payload_obj, flags: int = 0) -> bytes:
     """One complete wire frame for ``payload_obj`` (pickled)."""
     if ftype not in FRAME_TYPES:
-        raise FrameError(f"unknown frame type {ftype}")
+        raise FrameError(
+            f"unknown frame type {ftype} (valid: {sorted(FRAME_TYPES)})"
+        )
     payload = pickle.dumps(payload_obj, protocol=pickle.HIGHEST_PROTOCOL)
     if len(payload) > MAX_FRAME_BYTES:
         raise FrameError(
@@ -158,7 +160,9 @@ def parse_header(header: bytes, max_bytes: int = MAX_FRAME_BYTES) -> tuple[int, 
     if magic != MAGIC:
         raise FrameError(f"bad frame magic {magic!r} (expected {MAGIC!r})")
     if ftype not in FRAME_TYPES:
-        raise FrameError(f"unknown frame type {ftype}")
+        raise FrameError(
+            f"unknown frame type {ftype} (valid: {sorted(FRAME_TYPES)})"
+        )
     if length > max_bytes:
         raise FrameError(f"frame length {length} exceeds cap {max_bytes}")
     return ftype, flags, length

@@ -8,16 +8,17 @@ cross-check, against a minimal operator interface that both serial CSR
 matrices and the distributed row-block operators satisfy.
 """
 
+from repro.solver.block import block_conjugate_gradient, block_gmres
 from repro.solver.cg import conjugate_gradient
 from repro.solver.gmres import GMRESResult, gmres
 from repro.solver.operator import AsOperator, LinearOperator, MatrixOperator
-from repro.solver.schwarz import RestrictedAdditiveSchwarz
 from repro.solver.preconditioner import (
     BlockJacobiPreconditioner,
     IdentityPreconditioner,
     JacobiPreconditioner,
     contiguous_block_ranges,
 )
+from repro.solver.schwarz import RestrictedAdditiveSchwarz
 
 __all__ = [
     "AsOperator",
@@ -28,6 +29,8 @@ __all__ = [
     "LinearOperator",
     "MatrixOperator",
     "RestrictedAdditiveSchwarz",
+    "block_conjugate_gradient",
+    "block_gmres",
     "conjugate_gradient",
     "contiguous_block_ranges",
     "gmres",

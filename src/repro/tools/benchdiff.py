@@ -1,0 +1,195 @@
+"""Diff freshly produced BENCH_*.json records against committed baselines.
+
+The bench-regression CI job reruns the smoke benchmarks, then compares
+the hot-path metrics of each fresh record against the baseline checked
+in under ``benchmarks/baselines/``. A metric that regresses by more
+than the tolerance band (default 25%) fails the job; any smaller
+regression is reported as a warning so drift is visible before it
+crosses the bar. Run::
+
+    python -m repro.tools.benchdiff --baseline benchmarks/baselines \
+        --fresh benchmarks [--fail-pct 25] [FILE.json ...]
+
+Each benchmark file declares its hot-path metrics in :data:`HOT_PATHS`
+as ``(dotted.path, direction)`` pairs, where the dotted path may index
+into lists (``points.-1.scans_per_s``) and the direction says which way
+is better. Regression is relative to the baseline value::
+
+    higher-better:  (base - new) / base
+    lower-better:   (new - base) / base
+
+Files absent from either side are skipped with a warning (a missing
+fresh record usually means the producing benchmark was not run), as are
+metrics whose baseline is non-positive (no meaningful relative band).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+#: Hot-path metrics per benchmark record: (dotted path, direction).
+#: Direction is "higher" or "lower" — which way is better.
+HOT_PATHS: dict[str, list[tuple[str, str]]] = {
+    "BENCH_throughput.json": [
+        ("pool_scans_per_s", "higher"),
+        ("speedup", "higher"),
+    ],
+    "BENCH_batch.json": [
+        ("points.-1.scans_per_s", "higher"),
+    ],
+    "BENCH_hotpath.json": [
+        ("scans.0.warm_seconds", "lower"),
+        ("scans.0.speedup_vs_cold_first", "higher"),
+    ],
+    "BENCH_soak.json": [
+        ("throughput_scans_per_s", "higher"),
+    ],
+    "BENCH_netsoak.json": [
+        ("throughput_scans_per_s", "higher"),
+    ],
+}
+
+
+@dataclass(frozen=True)
+class Delta:
+    """Outcome of comparing one metric between baseline and fresh."""
+
+    file: str
+    path: str
+    direction: str
+    base: float
+    new: float
+    regression_pct: float
+
+    def describe(self) -> str:
+        arrow = "↑" if self.direction == "higher" else "↓"
+        return (
+            f"{self.file}:{self.path} ({arrow} better) "
+            f"base={self.base:.6g} new={self.new:.6g} "
+            f"regression={self.regression_pct:+.1f}%"
+        )
+
+
+def resolve(record: object, dotted: str) -> float:
+    """Fetch ``dotted`` out of a parsed JSON record.
+
+    Path segments are dict keys or (possibly negative) list indices:
+    ``points.-1.scans_per_s`` is the last point's rate.
+    """
+    node = record
+    for part in dotted.split("."):
+        if isinstance(node, list):
+            node = node[int(part)]
+        elif isinstance(node, dict):
+            node = node[part]
+        else:
+            raise KeyError(f"cannot descend into {type(node).__name__} at {part!r}")
+    return float(node)
+
+
+def compare(file: str, base: dict, new: dict,
+            metrics: list[tuple[str, str]]) -> tuple[list[Delta], list[str]]:
+    """Compare the hot-path metrics of one record pair."""
+    deltas: list[Delta] = []
+    warnings: list[str] = []
+    for dotted, direction in metrics:
+        try:
+            base_value = resolve(base, dotted)
+        except (KeyError, IndexError, TypeError, ValueError) as exc:
+            warnings.append(f"{file}:{dotted}: missing in baseline ({exc})")
+            continue
+        try:
+            new_value = resolve(new, dotted)
+        except (KeyError, IndexError, TypeError, ValueError) as exc:
+            warnings.append(f"{file}:{dotted}: missing in fresh record ({exc})")
+            continue
+        if base_value <= 0:
+            warnings.append(
+                f"{file}:{dotted}: baseline {base_value:.6g} <= 0, "
+                "no relative band — skipped"
+            )
+            continue
+        if direction == "higher":
+            regression = (base_value - new_value) / base_value
+        else:
+            regression = (new_value - base_value) / base_value
+        deltas.append(Delta(file, dotted, direction, base_value, new_value,
+                            100.0 * regression))
+    return deltas, warnings
+
+
+def run_diff(baseline_dir: Path, fresh_dir: Path, fail_pct: float,
+             files: list[str]) -> int:
+    """Diff every requested record; return the process exit code."""
+    failures: list[Delta] = []
+    warnings: list[str] = []
+    compared = 0
+    for name in files:
+        metrics = HOT_PATHS.get(name)
+        if not metrics:
+            warnings.append(f"{name}: no hot-path metrics declared — skipped")
+            continue
+        base_path = baseline_dir / name
+        fresh_path = fresh_dir / name
+        if not base_path.is_file():
+            warnings.append(f"{name}: no baseline at {base_path} — skipped")
+            continue
+        if not fresh_path.is_file():
+            warnings.append(f"{name}: no fresh record at {fresh_path} — skipped")
+            continue
+        base = json.loads(base_path.read_text())
+        new = json.loads(fresh_path.read_text())
+        deltas, file_warnings = compare(name, base, new, metrics)
+        warnings.extend(file_warnings)
+        for delta in deltas:
+            compared += 1
+            status = "ok"
+            if delta.regression_pct > fail_pct:
+                failures.append(delta)
+                status = "FAIL"
+            elif delta.regression_pct > 0:
+                status = "warn"
+            print(f"[{status}] {delta.describe()}")
+    for message in warnings:
+        print(f"[warn] {message}")
+    print(
+        f"benchdiff: {compared} metric(s) compared, "
+        f"{len(failures)} regression(s) past {fail_pct:.0f}%, "
+        f"{len(warnings)} warning(s)"
+    )
+    if failures:
+        for delta in failures:
+            print(f"regression past tolerance: {delta.describe()}")
+        return 1
+    if compared == 0:
+        print("benchdiff: nothing compared — check --baseline/--fresh paths")
+        return 1
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.benchdiff", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--baseline", type=Path, required=True,
+                        help="directory holding committed baseline BENCH_*.json")
+    parser.add_argument("--fresh", type=Path, required=True,
+                        help="directory holding freshly produced BENCH_*.json")
+    parser.add_argument("--fail-pct", type=float, default=25.0,
+                        help="hot-path regression tolerance in percent "
+                             "(default: 25)")
+    parser.add_argument("files", nargs="*", default=[],
+                        help="record filenames to diff "
+                             "(default: every file with declared hot paths)")
+    args = parser.parse_args(argv)
+    files = args.files or sorted(HOT_PATHS)
+    return run_diff(args.baseline, args.fresh, args.fail_pct, files)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
